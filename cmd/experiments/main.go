@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures as text
+// rows at a configurable scale.
+//
+// Usage:
+//
+//	experiments [-exp table1|table2|fig8a|...|ablations|all]
+//	            [-scale 1.0] [-machines 8] [-queries 20] [-budget 1024] [-seed 42]
+//
+// Each experiment prints the data series of the corresponding exhibit; the
+// expected qualitative shape (from the paper) is printed above the table so
+// runs are self-describing. EXPERIMENTS.md records a captured run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stwig/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (see -list)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		machines = flag.Int("machines", 8, "simulated cluster size")
+		queries  = flag.Int("queries", 20, "queries per data point (paper: 100)")
+		budget   = flag.Int("budget", 1024, "match budget per query (paper: 1024; 0 = unlimited)")
+		seed     = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %-14s %s\n", e.Name, e.Paper, e.Shape)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:           *scale,
+		Machines:        *machines,
+		QueriesPerPoint: *queries,
+		Budget:          *budget,
+		Seed:            *seed,
+	}
+
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, err := experiments.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		fmt.Printf("=== %s (%s)\n", e.Name, e.Paper)
+		fmt.Printf("expected shape: %s\n\n", e.Shape)
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("\n(took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,153 @@
+// Command stwigql loads a graph into a simulated memory cloud and answers
+// subgraph queries with the STwig engine.
+//
+// Usage:
+//
+//	stwigql -graph data.bin -query q.txt [-machines 8] [-budget 1024]
+//	        [-verify] [-show 10] [-stats]
+//	stwigql -graph data.bin -pattern '(a:author)-(p:paper), (p)-(v:venue)'
+//
+// The query file uses the same line format as text graphs:
+//
+//	v 0 author
+//	v 1 paper
+//	e 0 1
+//
+// Alternatively, -pattern accepts the inline Cypher-like syntax of
+// internal/pattern.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+	"stwig/internal/pattern"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "graph file (binary format from mkgraph, or text with -text)")
+		textGraph  = flag.Bool("text", false, "graph file is in text format")
+		queryPath  = flag.String("query", "", "query file (v/e line format)")
+		patternStr = flag.String("pattern", "", "inline pattern, e.g. '(a:x)-(b:y), (b)-(c:z)'")
+		machines   = flag.Int("machines", 8, "simulated cluster size")
+		budget     = flag.Int("budget", 1024, "match budget (0 = enumerate all)")
+		verify     = flag.Bool("verify", false, "re-verify every returned match against the graph")
+		show       = flag.Int("show", 10, "matches to print (0 = none)")
+		showStats  = flag.Bool("stats", true, "print execution statistics")
+		explain    = flag.Bool("explain", false, "print the query plan instead of executing")
+	)
+	flag.Parse()
+	if *graphPath == "" || (*queryPath == "" && *patternStr == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*graphPath, *textGraph, *queryPath, *patternStr, *machines, *budget, *verify, *show, *showStats, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath string, textGraph bool, queryPath, patternStr string, machines, budget int, verify bool, show int, showStats, explain bool) error {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	var g *graph.Graph
+	if textGraph {
+		g, err = graph.ReadText(gf, graph.Undirected())
+	} else {
+		g, err = graph.ReadBinary(gf)
+	}
+	if err != nil {
+		return fmt.Errorf("stwigql: reading graph: %w", err)
+	}
+	fmt.Printf("graph: %v\n", g.ComputeStats())
+
+	var q *core.Query
+	if patternStr != "" {
+		q, err = pattern.Parse(patternStr)
+		if err != nil {
+			return fmt.Errorf("stwigql: parsing pattern: %w", err)
+		}
+	} else {
+		qf, err2 := os.Open(queryPath)
+		if err2 != nil {
+			return err2
+		}
+		defer qf.Close()
+		q, err = core.ParseQuery(qf)
+		if err != nil {
+			return fmt.Errorf("stwigql: reading query: %w", err)
+		}
+	}
+	fmt.Printf("query: %d vertices, %d edges — %s\n", q.NumVertices(), q.NumEdges(), pattern.Format(q))
+
+	cluster, err := memcloud.NewCluster(memcloud.Config{Machines: machines})
+	if err != nil {
+		return err
+	}
+	loadStart := time.Now()
+	if err := cluster.LoadGraph(g); err != nil {
+		return err
+	}
+	fmt.Printf("loaded onto %d machines in %v (string index: %d bytes)\n",
+		machines, time.Since(loadStart).Round(time.Millisecond), cluster.StringIndexBytes())
+
+	eng := core.NewEngine(cluster, core.Options{MatchBudget: budget})
+	if explain {
+		plan, err := eng.Explain(q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	start := time.Now()
+	res, err := eng.Match(q)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d matches in %v", len(res.Matches), elapsed.Round(time.Microsecond))
+	if res.Stats.Truncated {
+		fmt.Printf(" (truncated at budget %d)", budget)
+	}
+	fmt.Println()
+
+	if showStats {
+		s := res.Stats
+		fmt.Printf("decomposition: %v\n", s.Decomposition)
+		fmt.Printf("stwig matches: %v\n", s.STwigMatchCounts)
+		fmt.Printf("phases: explore=%v join=%v\n",
+			s.ExploreTime.Round(time.Microsecond), s.JoinTime.Round(time.Microsecond))
+		fmt.Printf("network: %v\n", s.Net)
+		fmt.Printf("per-machine matches: %v\n", s.PerMachineMatches)
+	}
+
+	if verify {
+		for _, m := range res.Matches {
+			if err := core.VerifyMatch(cluster, q, m); err != nil {
+				return fmt.Errorf("stwigql: VERIFICATION FAILED for %v: %w", m, err)
+			}
+		}
+		fmt.Printf("verified all %d matches\n", len(res.Matches))
+	}
+
+	core.SortMatches(res.Matches)
+	for i, m := range res.Matches {
+		if i >= show {
+			fmt.Printf("... and %d more\n", len(res.Matches)-show)
+			break
+		}
+		fmt.Println(m)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Protein-interaction motif search: the paper's intro names protein-protein
+// interaction networks as a core application of subgraph matching. This
+// example builds a synthetic PPI-style network — proteins labeled by
+// functional family, with dense intra-complex interactions — and searches
+// for two structural motifs biologists query for:
+//
+//   - the feed-forward regulation chain (kinase → transcription factor →
+//     structural protein, with the kinase also touching the target), and
+//   - the scaffold bridge (a scaffold protein binding two kinases that do
+//     not need to interact themselves).
+//
+// Every returned match is re-verified against the graph with VerifyMatch,
+// showing the library's end-to-end auditability.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+func main() {
+	g := buildPPI(40_000, 99)
+	cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 6})
+	if err := cluster.LoadGraph(g); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PPI network: %v\n\n", g.ComputeStats())
+
+	eng := core.NewEngine(cluster, core.Options{MatchBudget: 512})
+
+	feedForward := core.MustNewQuery(
+		[]string{"kinase", "tf", "structural"},
+		[][2]int{{0, 1}, {1, 2}, {0, 2}},
+	)
+	report(cluster, eng, "feed-forward loop (kinase→TF→structural, closed)", feedForward)
+
+	scaffold := core.MustNewQuery(
+		[]string{"kinase", "scaffold", "kinase"},
+		[][2]int{{0, 1}, {1, 2}},
+	)
+	report(cluster, eng, "scaffold bridge (kinase-scaffold-kinase)", scaffold)
+}
+
+func report(cluster *memcloud.Cluster, eng *core.Engine, name string, q *core.Query) {
+	start := time.Now()
+	res, err := eng.Match(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		if err := core.VerifyMatch(cluster, q, m); err != nil {
+			log.Fatalf("verification failed for %v: %v", m, err)
+		}
+	}
+	fmt.Printf("%s:\n  %d matches in %v (all re-verified)\n\n",
+		name, len(res.Matches), time.Since(start).Round(time.Microsecond))
+}
+
+// buildPPI synthesizes a protein network: complexes of 10–30 proteins with
+// dense internal interaction, sparse cross-complex edges, and functional
+// family labels with realistic proportions.
+func buildPPI(n int64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+	families := []string{"kinase", "tf", "structural", "scaffold", "transport", "metabolic"}
+	weights := []float64{0.15, 0.10, 0.30, 0.05, 0.15, 0.25}
+	pick := func() string {
+		r := rng.Float64()
+		acc := 0.0
+		for i, w := range weights {
+			acc += w
+			if r < acc {
+				return families[i]
+			}
+		}
+		return families[len(families)-1]
+	}
+	for i := int64(0); i < n; i++ {
+		b.AddNode(pick())
+	}
+	// Complexes: consecutive blocks with dense internal wiring.
+	var start int64
+	for start < n {
+		size := int64(10 + rng.Intn(21))
+		if start+size > n {
+			size = n - start
+		}
+		for i := int64(0); i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < 0.25 {
+					b.MustAddEdge(graph.NodeID(start+i), graph.NodeID(start+j))
+				}
+			}
+		}
+		start += size
+	}
+	// Sparse cross-complex interactions.
+	for i := int64(0); i < n; i++ {
+		if rng.Float64() < 0.3 {
+			j := rng.Int63n(n)
+			if i != j {
+				b.MustAddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return b.Build()
+}

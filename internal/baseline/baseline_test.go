@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+	"stwig/internal/workload"
+)
+
+func figure1Graph() *graph.Graph {
+	return graph.MustFromEdges(
+		[]string{"a", "a", "b", "c", "d"},
+		[][2]int64{{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}},
+		graph.Undirected(),
+	)
+}
+
+func figure1Query() *core.Query {
+	return core.MustNewQuery([]string{"a", "b", "c", "d"},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+}
+
+func randomDataGraph(rng *rand.Rand, n, m int, labels []string) *graph.Graph {
+	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+	for i := 0; i < n; i++ {
+		b.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			b.MustAddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func randomQuery(rng *rand.Rand, labels []string) *core.Query {
+	n := 2 + rng.Intn(4)
+	q, err := workload.RandomQuery(n, n-1+rng.Intn(3), labels, rng)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func TestUllmannPaperExample(t *testing.T) {
+	got := Ullmann(figure1Graph(), figure1Query(), 0)
+	if len(got) != 2 {
+		t.Fatalf("Ullmann found %d matches, want 2: %v", len(got), got)
+	}
+}
+
+func TestVF2PaperExample(t *testing.T) {
+	got := VF2(figure1Graph(), figure1Query(), 0)
+	if len(got) != 2 {
+		t.Fatalf("VF2 found %d matches, want 2: %v", len(got), got)
+	}
+}
+
+func TestEdgeJoinPaperExample(t *testing.T) {
+	ix := BuildEdgeIndex(figure1Graph())
+	got, err := ix.Match(figure1Query(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("EdgeJoin found %d matches, want 2: %v", len(got), got)
+	}
+}
+
+func TestSignaturePaperExample(t *testing.T) {
+	for _, r := range []int{1, 2} {
+		ix := BuildSignatureIndex(figure1Graph(), r)
+		got := ix.Match(figure1Query(), 0)
+		if len(got) != 2 {
+			t.Fatalf("r=%d: Signature found %d matches, want 2", r, len(got))
+		}
+	}
+}
+
+func TestLimits(t *testing.T) {
+	g := figure1Graph()
+	q := core.MustNewQuery([]string{"a", "b"}, [][2]int{{0, 1}})
+	if got := Ullmann(g, q, 1); len(got) != 1 {
+		t.Fatalf("Ullmann limit: %d", len(got))
+	}
+	if got := VF2(g, q, 1); len(got) != 1 {
+		t.Fatalf("VF2 limit: %d", len(got))
+	}
+	ix := BuildEdgeIndex(g)
+	if got, _ := ix.Match(q, 1, 0); len(got) != 1 {
+		t.Fatalf("EdgeJoin limit: %d", len(got))
+	}
+	sx := BuildSignatureIndex(g, 1)
+	if got := sx.Match(q, 1); len(got) != 1 {
+		t.Fatalf("Signature limit: %d", len(got))
+	}
+}
+
+func TestMissingLabel(t *testing.T) {
+	g := figure1Graph()
+	q := core.MustNewQuery([]string{"a", "zzz"}, [][2]int{{0, 1}})
+	if got := Ullmann(g, q, 0); got != nil {
+		t.Fatal("Ullmann matched missing label")
+	}
+	if got := VF2(g, q, 0); got != nil {
+		t.Fatal("VF2 matched missing label")
+	}
+	ix := BuildEdgeIndex(g)
+	if got, _ := ix.Match(q, 0, 0); got != nil {
+		t.Fatal("EdgeJoin matched missing label")
+	}
+	sx := BuildSignatureIndex(g, 1)
+	if got := sx.Match(q, 0); got != nil {
+		t.Fatal("Signature matched missing label")
+	}
+}
+
+func TestEdgeJoinBlowupGuard(t *testing.T) {
+	// A dense single-label graph makes the materialized join explode; the
+	// guard must trip rather than consume the heap.
+	rng := rand.New(rand.NewSource(1))
+	g := randomDataGraph(rng, 40, 300, []string{"x"})
+	q := core.MustNewQuery([]string{"x", "x", "x", "x"},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}})
+	ix := BuildEdgeIndex(g)
+	_, err := ix.Match(q, 0, 100)
+	var blow *ErrIntermediateBlowup
+	if !errors.As(err, &blow) {
+		t.Fatalf("expected blowup error, got %v", err)
+	}
+	if blow.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestEdgeIndexMemoryAndSignatureVisits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomDataGraph(rng, 200, 600, []string{"a", "b", "c"})
+	ix := BuildEdgeIndex(g)
+	if ix.MemoryBytes() <= 0 {
+		t.Fatal("edge index memory estimate not positive")
+	}
+	s1 := BuildSignatureIndex(g, 1)
+	s2 := BuildSignatureIndex(g, 2)
+	if s1.MemoryBytes() <= 0 || s2.MemoryBytes() <= 0 {
+		t.Fatal("signature memory estimate not positive")
+	}
+	// The super-linear build: radius 2 must touch strictly more vertices.
+	if s2.BuildVisits() <= s1.BuildVisits() {
+		t.Fatalf("r=2 visits %d not above r=1 visits %d", s2.BuildVisits(), s1.BuildVisits())
+	}
+	if s1.Radius() != 1 || s2.Radius() != 2 {
+		t.Fatal("radius accessor wrong")
+	}
+}
+
+// TestPropertyAllBaselinesAgree cross-checks the four baselines against
+// each other and against the distributed core engine on random inputs —
+// five independent implementations of Definition 2.
+func TestPropertyAllBaselinesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := []string{"a", "b", "c"}
+		g := randomDataGraph(rng, 12+rng.Intn(12), 25+rng.Intn(30), labels)
+		q := randomQuery(rng, labels)
+
+		ull := core.MatchSet(Ullmann(g, q, 0))
+		vf2 := core.MatchSet(VF2(g, q, 0))
+		ej, err := BuildEdgeIndex(g).Match(q, 0, 0)
+		if err != nil {
+			return false
+		}
+		ejs := core.MatchSet(ej)
+		sig := core.MatchSet(BuildSignatureIndex(g, 2).Match(q, 0))
+
+		c := memcloud.MustNewCluster(memcloud.Config{Machines: 1 + rng.Intn(3)})
+		if err := c.LoadGraph(g); err != nil {
+			return false
+		}
+		res, err := core.NewEngine(c, core.Options{Seed: seed}).Match(q)
+		if err != nil {
+			return false
+		}
+		eng := core.MatchSet(res.Matches)
+
+		sets := []map[string]bool{ull, vf2, ejs, sig, eng}
+		for i := 1; i < len(sets); i++ {
+			if len(sets[i]) != len(sets[0]) {
+				t.Logf("seed %d: set %d size %d vs %d", seed, i, len(sets[i]), len(sets[0]))
+				return false
+			}
+			for k := range sets[0] {
+				if !sets[i][k] {
+					t.Logf("seed %d: set %d missing %s", seed, i, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectedQueryReturnsNil(t *testing.T) {
+	g := figure1Graph()
+	q := core.MustNewQuery([]string{"a", "b", "c", "d"}, [][2]int{{0, 1}, {2, 3}})
+	if VF2(g, q, 0) != nil {
+		t.Fatal("VF2 accepted disconnected query")
+	}
+	sx := BuildSignatureIndex(g, 1)
+	if sx.Match(q, 0) != nil {
+		t.Fatal("Signature accepted disconnected query")
+	}
+}

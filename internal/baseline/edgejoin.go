@@ -1,0 +1,271 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+)
+
+// EdgeIndex is the Table-1 group-2 baseline (RDF-3X / BitMat style): an
+// index over distinct labeled edges. A query is disassembled into its edge
+// set and answered by multiway joins over per-label-pair edge relations —
+// the strategy whose "excessive use of costly join operations" and large
+// intermediary results §3 contrasts with exploration.
+type EdgeIndex struct {
+	// pairs[(la,lb)] maps each vertex labeled la to its neighbors labeled
+	// lb. Both orientations are stored.
+	pairs map[uint64]map[graph.NodeID][]graph.NodeID
+	// byLabel lists all vertices per label, for seeding the first relation.
+	byLabel map[graph.LabelID][]graph.NodeID
+	labels  *graph.LabelTable
+	edges   int64
+}
+
+func pairKey(a, b graph.LabelID) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// BuildEdgeIndex constructs the index in one pass over the adjacency: O(m)
+// time and O(m) space, the complexities Table 1 lists for this family.
+func BuildEdgeIndex(g *graph.Graph) *EdgeIndex {
+	ix := &EdgeIndex{
+		pairs:   make(map[uint64]map[graph.NodeID][]graph.NodeID),
+		byLabel: make(map[graph.LabelID][]graph.NodeID),
+		labels:  g.Labels(),
+	}
+	n := g.NumNodes()
+	for v := int64(0); v < n; v++ {
+		id := graph.NodeID(v)
+		lv := g.Label(id)
+		ix.byLabel[lv] = append(ix.byLabel[lv], id)
+		for _, u := range g.Neighbors(id) {
+			key := pairKey(lv, g.Label(u))
+			m := ix.pairs[key]
+			if m == nil {
+				m = make(map[graph.NodeID][]graph.NodeID)
+				ix.pairs[key] = m
+			}
+			m[id] = append(m[id], u)
+			ix.edges++
+		}
+	}
+	return ix
+}
+
+// MemoryBytes estimates the index's resident size (8 bytes per stored
+// endpoint plus map overheads) — the Table 1 "Index Size" column.
+func (ix *EdgeIndex) MemoryBytes() int64 {
+	var total int64
+	for _, m := range ix.pairs {
+		total += 48
+		for _, vs := range m {
+			total += 8 + int64(len(vs))*8 + 24
+		}
+	}
+	for _, vs := range ix.byLabel {
+		total += int64(len(vs))*8 + 48
+	}
+	return total
+}
+
+// tuple is a partial assignment in the materialized join pipeline.
+type tuple []graph.NodeID // indexed by query vertex; InvalidNode = unbound
+
+// ErrIntermediateBlowup is returned when the materialized join exceeds
+// maxIntermediate tuples, which is the failure mode Table 1 reports for
+// join-heavy methods on large inputs.
+type ErrIntermediateBlowup struct {
+	Edge int
+	Size int
+}
+
+func (e *ErrIntermediateBlowup) Error() string {
+	return fmt.Sprintf("baseline: intermediate result after edge %d reached %d tuples", e.Edge, e.Size)
+}
+
+// Match answers q by decomposing it into edges and running left-deep
+// materialized hash joins over the per-label-pair relations, exactly the
+// group-2 strategy. limit bounds returned matches (0 = all);
+// maxIntermediate bounds the materialized intermediate result (0 = no
+// bound) and triggers ErrIntermediateBlowup when exceeded.
+func (ix *EdgeIndex) Match(q *core.Query, limit, maxIntermediate int) ([]core.Match, error) {
+	nq := q.NumVertices()
+	wantLabels := make([]graph.LabelID, nq)
+	for i := 0; i < nq; i++ {
+		id, ok := ix.labels.Lookup(q.Label(i))
+		if !ok {
+			return nil, nil
+		}
+		wantLabels[i] = id
+	}
+
+	// Join order: BFS over query edges so each edge after the first shares
+	// a vertex with the prefix (otherwise the join is a cartesian product).
+	edges := orderEdgesConnected(q)
+
+	// Seed: the relation of the first edge.
+	first := edges[0]
+	rel := ix.pairs[pairKey(wantLabels[first[0]], wantLabels[first[1]])]
+	var current []tuple
+	for u, vs := range rel {
+		for _, v := range vs {
+			if u == v {
+				continue
+			}
+			tp := newTuple(nq)
+			tp[first[0]], tp[first[1]] = u, v
+			current = append(current, tp)
+		}
+	}
+
+	for ei := 1; ei < len(edges); ei++ {
+		e := edges[ei]
+		la, lb := wantLabels[e[0]], wantLabels[e[1]]
+		adj := ix.pairs[pairKey(la, lb)]
+		var next []tuple
+		for _, tp := range current {
+			a, b := tp[e[0]], tp[e[1]]
+			switch {
+			case a != graph.InvalidNode && b != graph.InvalidNode:
+				// Both bound: the edge is a filter (cycle closure).
+				for _, v := range adj[a] {
+					if v == b {
+						next = append(next, tp)
+						break
+					}
+				}
+			case a != graph.InvalidNode:
+				for _, v := range adj[a] {
+					if tp.uses(v) {
+						continue
+					}
+					nt := tp.clone()
+					nt[e[1]] = v
+					next = append(next, nt)
+				}
+			case b != graph.InvalidNode:
+				// Probe the reverse orientation.
+				radj := ix.pairs[pairKey(lb, la)]
+				for _, u := range radj[b] {
+					if tp.uses(u) {
+						continue
+					}
+					nt := tp.clone()
+					nt[e[0]] = u
+					next = append(next, nt)
+				}
+			default:
+				// Disconnected edge (cannot happen with ordered edges):
+				// cartesian expansion.
+				for u, vs := range adj {
+					if tp.uses(u) {
+						continue
+					}
+					for _, v := range vs {
+						if u == v || tp.uses(v) {
+							continue
+						}
+						nt := tp.clone()
+						nt[e[0]], nt[e[1]] = u, v
+						next = append(next, nt)
+					}
+				}
+			}
+			if maxIntermediate > 0 && len(next) > maxIntermediate {
+				return nil, &ErrIntermediateBlowup{Edge: ei, Size: len(next)}
+			}
+		}
+		current = next
+		if len(current) == 0 {
+			return nil, nil
+		}
+	}
+
+	// Isolated query vertices cannot occur (connected queries), so every
+	// tuple is fully bound; enforce injectivity (pairwise distinct).
+	var out []core.Match
+	for _, tp := range current {
+		if !tp.injective() {
+			continue
+		}
+		out = append(out, core.Match{Assignment: append([]graph.NodeID(nil), tp...)})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+func newTuple(n int) tuple {
+	tp := make(tuple, n)
+	for i := range tp {
+		tp[i] = graph.InvalidNode
+	}
+	return tp
+}
+
+func (tp tuple) clone() tuple { return append(tuple(nil), tp...) }
+
+func (tp tuple) uses(id graph.NodeID) bool {
+	for _, v := range tp {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (tp tuple) injective() bool {
+	seen := make(map[graph.NodeID]bool, len(tp))
+	for _, v := range tp {
+		if v == graph.InvalidNode || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// orderEdgesConnected returns q's edges so that every edge after the first
+// shares a vertex with an earlier edge (BFS over the line graph).
+func orderEdgesConnected(q *core.Query) [][2]int {
+	all := q.Edges()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i][0] != all[j][0] {
+			return all[i][0] < all[j][0]
+		}
+		return all[i][1] < all[j][1]
+	})
+	if len(all) <= 1 {
+		return all
+	}
+	ordered := make([][2]int, 0, len(all))
+	used := make([]bool, len(all))
+	bound := map[int]bool{}
+	take := func(i int) {
+		used[i] = true
+		ordered = append(ordered, all[i])
+		bound[all[i][0]] = true
+		bound[all[i][1]] = true
+	}
+	take(0)
+	for len(ordered) < len(all) {
+		found := -1
+		for i, e := range all {
+			if !used[i] && (bound[e[0]] || bound[e[1]]) {
+				found = i
+				break
+			}
+		}
+		if found == -1 {
+			for i := range all {
+				if !used[i] {
+					found = i
+					break
+				}
+			}
+		}
+		take(found)
+	}
+	return ordered
+}

@@ -1,0 +1,130 @@
+// Package baseline implements the comparison methods of the paper's Table 1,
+// grouped exactly as §1.1 groups them:
+//
+//  1. No index: Ullmann [26] and VF2 [11] — exact search over the whole
+//     graph, viable only at toy scale.
+//  2. Edge index: an RDF-3X/BitMat-style per-label-pair edge index answered
+//     by multiway joins, with the "excessive joins, large intermediaries"
+//     behaviour §3 discusses.
+//  4. Neighborhood index: a GraphQL/Zhao-style radius-r label signature per
+//     vertex, with super-linear build time O(n·d^r).
+//
+// All baselines implement the same non-induced subgraph-isomorphism
+// semantics as the core engine (Definition 2), so their result sets are
+// interchangeable — the tests exploit that as a correctness oracle.
+package baseline
+
+import (
+	"stwig/internal/core"
+	"stwig/internal/graph"
+)
+
+// Ullmann runs Ullmann's 1976 algorithm: a boolean candidate matrix M with
+// iterated refinement, searched row by row. limit bounds the number of
+// matches returned (0 = all).
+func Ullmann(g *graph.Graph, q *core.Query, limit int) []core.Match {
+	nq := q.NumVertices()
+	ng := g.NumNodes()
+
+	// Initial candidate matrix: label equality plus the degree condition
+	// deg_g(j) ≥ deg_q(i).
+	m := make([][]bool, nq)
+	for i := range m {
+		m[i] = make([]bool, ng)
+		want, ok := g.Labels().Lookup(q.Label(i))
+		if !ok {
+			return nil
+		}
+		for j := int64(0); j < ng; j++ {
+			id := graph.NodeID(j)
+			m[i][j] = g.Label(id) == want && g.Degree(id) >= q.Degree(i)
+		}
+	}
+	if !refine(g, q, m) {
+		return nil
+	}
+
+	var out []core.Match
+	assign := make([]graph.NodeID, nq)
+	usedCols := make(map[graph.NodeID]bool, nq)
+
+	var rec func(row int) bool // returns false to abort (limit reached)
+	rec = func(row int) bool {
+		if row == nq {
+			out = append(out, core.Match{Assignment: append([]graph.NodeID(nil), assign...)})
+			return limit == 0 || len(out) < limit
+		}
+		for j := int64(0); j < ng; j++ {
+			id := graph.NodeID(j)
+			if !m[row][j] || usedCols[id] {
+				continue
+			}
+			// Consistency with already assigned rows: every query edge
+			// (row, r') with r' < row must map to a data edge.
+			ok := true
+			for _, r := range q.Neighbors(row) {
+				if r < row && !g.HasEdge(id, assign[r]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[row] = id
+			usedCols[id] = true
+			cont := rec(row + 1)
+			delete(usedCols, id)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// refine is Ullmann's refinement procedure: M[i][j] survives only if every
+// query neighbor of i has at least one candidate among j's data neighbors.
+// Iterates to fixpoint; returns false if any row becomes empty.
+func refine(g *graph.Graph, q *core.Query, m [][]bool) bool {
+	nq := q.NumVertices()
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < nq; i++ {
+			rowHas := false
+			for j := range m[i] {
+				if !m[i][j] {
+					continue
+				}
+				id := graph.NodeID(j)
+				ok := true
+				for _, k := range q.Neighbors(i) {
+					found := false
+					for _, l := range g.Neighbors(id) {
+						if m[k][l] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					m[i][j] = false
+					changed = true
+				} else {
+					rowHas = true
+				}
+			}
+			if !rowHas {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"stwig/internal/core"
+	"stwig/internal/graph"
+)
+
+// VF2 runs the Cordella et al. (2004) state-space search: query vertices
+// are matched in a connectivity-respecting order; each candidate pair is
+// checked with the VF2 feasibility rules (consistency of already-mapped
+// neighbors plus a one-step look-ahead on unmapped-neighbor counts). limit
+// bounds the number of matches returned (0 = all).
+func VF2(g *graph.Graph, q *core.Query, limit int) []core.Match {
+	nq := q.NumVertices()
+
+	// Matching order: BFS from vertex 0 so every vertex after the first has
+	// a mapped neighbor (the "connected" property VF2's candidate-pair
+	// generation relies on).
+	order := make([]int, 0, nq)
+	seen := make([]bool, nq)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range q.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(order) != nq {
+		return nil // disconnected query: unsupported, like the engine
+	}
+
+	wantLabels := make([]graph.LabelID, nq)
+	for i := 0; i < nq; i++ {
+		id, ok := g.Labels().Lookup(q.Label(i))
+		if !ok {
+			return nil
+		}
+		wantLabels[i] = id
+	}
+
+	// anchor[k]: a query neighbor of order[k] that appears earlier in the
+	// order; -1 for the root.
+	anchor := make([]int, nq)
+	pos := make([]int, nq)
+	for k, v := range order {
+		pos[v] = k
+	}
+	for k, v := range order {
+		anchor[k] = -1
+		for _, u := range q.Neighbors(v) {
+			if pos[u] < k {
+				anchor[k] = u
+				break
+			}
+		}
+	}
+
+	assign := make([]graph.NodeID, nq)
+	for i := range assign {
+		assign[i] = graph.InvalidNode
+	}
+	used := make(map[graph.NodeID]bool, nq)
+	var out []core.Match
+
+	feasible := func(qv int, id graph.NodeID) bool {
+		if g.Label(id) != wantLabels[qv] || used[id] {
+			return false
+		}
+		// Rule 1: every mapped query neighbor must map to a data neighbor.
+		mappedQ := 0
+		for _, u := range q.Neighbors(qv) {
+			if assign[u] != graph.InvalidNode {
+				mappedQ++
+				if !g.HasEdge(id, assign[u]) {
+					return false
+				}
+			}
+		}
+		// Look-ahead: id must have enough unmapped neighbors to host qv's
+		// unmapped neighbors.
+		unmappedQ := q.Degree(qv) - mappedQ
+		unmappedG := 0
+		for _, nb := range g.Neighbors(id) {
+			if !used[nb] {
+				unmappedG++
+			}
+		}
+		return unmappedG >= unmappedQ
+	}
+
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == nq {
+			out = append(out, core.Match{Assignment: append([]graph.NodeID(nil), assign...)})
+			return limit == 0 || len(out) < limit
+		}
+		qv := order[k]
+		try := func(id graph.NodeID) bool {
+			if !feasible(qv, id) {
+				return true
+			}
+			assign[qv] = id
+			used[id] = true
+			cont := rec(k + 1)
+			assign[qv] = graph.InvalidNode
+			delete(used, id)
+			return cont
+		}
+		if a := anchor[k]; a != -1 {
+			// Candidates: data neighbors of the anchor's image.
+			for _, id := range g.Neighbors(assign[a]) {
+				if !try(id) {
+					return false
+				}
+			}
+			return true
+		}
+		for v := int64(0); v < g.NumNodes(); v++ {
+			if !try(graph.NodeID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}

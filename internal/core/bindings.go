@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/bits"
+
+	"stwig/internal/graph"
+)
+
+// Bindings is the exploration state of §4.2: for each query vertex v, the
+// set H_v of data vertices still eligible to match v. A nil set means v is
+// unbound (any vertex with the right label is eligible). Bindings only ever
+// shrink as STwigs are processed — they are a sound pruning filter, never a
+// source of answers ("They cannot produce answers on their own").
+//
+// Sets are bitsets over the dense data-vertex ID space: membership tests
+// sit on the exploration hot path, and the proxy's per-step merge of every
+// machine's contribution becomes a word-parallel OR instead of hash-set
+// unions (which profiling showed dominating multi-machine queries).
+type Bindings struct {
+	numNodes int64
+	sets     []bitset
+}
+
+// NewBindings returns all-unbound bindings for nVertices query vertices
+// over a data graph of numNodes dense vertex IDs.
+func NewBindings(nVertices int, numNodes int64) *Bindings {
+	return &Bindings{numNodes: numNodes, sets: make([]bitset, nVertices)}
+}
+
+// Bound reports whether query vertex v has been bound by a processed STwig.
+func (b *Bindings) Bound(v int) bool { return b.sets[v] != nil }
+
+// Allows reports whether data vertex id is still eligible for query vertex
+// v. Unbound vertices allow everything.
+func (b *Bindings) Allows(v int, id graph.NodeID) bool {
+	s := b.sets[v]
+	if s == nil {
+		return true
+	}
+	return s.test(id)
+}
+
+// Size returns |H_v|, or -1 if v is unbound.
+func (b *Bindings) Size(v int) int {
+	if b.sets[v] == nil {
+		return -1
+	}
+	return b.sets[v].popcount()
+}
+
+// SetIDs replaces H_v with the given vertices. The engine computes
+// replacement sets from STwig results, which were themselves filtered
+// through the previous bindings, so replacement is monotone shrinking for
+// vertices already bound.
+func (b *Bindings) SetIDs(v int, ids []graph.NodeID) {
+	s := newBitset(b.numNodes)
+	for _, id := range ids {
+		s.set(id)
+	}
+	b.sets[v] = s
+}
+
+// setBits installs a prebuilt bitset as H_v.
+func (b *Bindings) setBits(v int, s bitset) { b.sets[v] = s }
+
+// Values returns H_v's members in ascending order, nil when unbound.
+func (b *Bindings) Values(v int) []graph.NodeID {
+	s := b.sets[v]
+	if s == nil {
+		return nil
+	}
+	out := make([]graph.NodeID, 0, s.popcount())
+	s.forEach(func(id graph.NodeID) { out = append(out, id) })
+	return out
+}
+
+// TotalWords counts the vertex IDs stored across all bound sets; the
+// exploration phase uses it to account binding-broadcast traffic.
+func (b *Bindings) TotalWords() int {
+	total := 0
+	for _, s := range b.sets {
+		if s != nil {
+			total += s.popcount()
+		}
+	}
+	return total
+}
+
+// bindingDelta is one machine's newly observed eligible vertices for the
+// query vertices covered by the STwig just matched.
+type bindingDelta struct {
+	vertex int
+	bits   bitset
+}
+
+// collectDeltas extracts the binding contribution of a machine's STwig
+// matches: for the root and every leaf of t, the set of data vertices that
+// appeared in that role.
+func collectDeltas(t STwig, matches []STwigMatch, numNodes int64) []bindingDelta {
+	deltas := make([]bindingDelta, 1+len(t.Leaves))
+	deltas[0] = bindingDelta{vertex: t.Root, bits: newBitset(numNodes)}
+	for i, leaf := range t.Leaves {
+		deltas[i+1] = bindingDelta{vertex: leaf, bits: newBitset(numNodes)}
+	}
+	for _, m := range matches {
+		deltas[0].bits.set(m.Root)
+		for i := range t.Leaves {
+			for _, id := range m.LeafSets[i] {
+				deltas[i+1].bits.set(id)
+			}
+		}
+	}
+	return deltas
+}
+
+// bitset is a fixed-capacity bit vector over dense vertex IDs.
+type bitset []uint64
+
+func newBitset(n int64) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(id graph.NodeID) { s[id>>6] |= 1 << (uint(id) & 63) }
+
+func (s bitset) test(id graph.NodeID) bool {
+	w := id >> 6
+	if w < 0 || int(w) >= len(s) {
+		return false
+	}
+	return s[w]&(1<<(uint(id)&63)) != 0
+}
+
+// or folds other into s (s |= other).
+func (s bitset) or(other bitset) {
+	for i := range other {
+		if i < len(s) {
+			s[i] |= other[i]
+		}
+	}
+}
+
+func (s bitset) popcount() int {
+	total := 0
+	for _, w := range s {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// forEach calls fn for every set bit in ascending ID order.
+func (s bitset) forEach(fn func(graph.NodeID)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(graph.NodeID(wi*64 + b))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+// ClusterGraph models data distribution with regard to a query (§5.3): one
+// vertex per machine, an edge i→j iff the data graph G_q (G restricted to
+// edges whose endpoint labels match some query edge) has an edge between a
+// vertex on machine i and a vertex on machine j. It is built purely from
+// the label-pair information recorded at load time — the data graph is
+// never touched.
+type ClusterGraph struct {
+	k    int
+	adj  []uint64 // adj[i] = bitmask of machines adjacent to i
+	dist [][]int  // all-pairs hop distances; Unreachable when disconnected
+}
+
+// BuildClusterGraph constructs the query-specific cluster graph and its
+// all-pairs distances (BFS from each machine; the cluster has ≤ 64
+// vertices, so this is trivial).
+func BuildClusterGraph(c *memcloud.Cluster, q *Query, labels []graph.LabelID) *ClusterGraph {
+	k := c.NumMachines()
+	cg := &ClusterGraph{k: k, adj: make([]uint64, k)}
+	for _, e := range q.Edges() {
+		lu, lv := labels[e[0]], labels[e[1]]
+		for i := 0; i < k; i++ {
+			cg.adj[i] |= c.CrossMask(i, lu, lv)
+			cg.adj[i] |= c.CrossMask(i, lv, lu)
+		}
+	}
+	// Symmetrize: an edge u~v with u on i and v on j appears in both
+	// orientations in the cross-pair table for undirected graphs, but keep
+	// the graph well-formed for any partition anyway.
+	for i := 0; i < k; i++ {
+		mask := cg.adj[i]
+		for j := 0; j < k; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				cg.adj[j] |= 1 << uint(i)
+			}
+		}
+	}
+	cg.dist = make([][]int, k)
+	for i := 0; i < k; i++ {
+		cg.dist[i] = cg.bfs(i)
+	}
+	return cg
+}
+
+func (cg *ClusterGraph) bfs(src int) []int {
+	dist := make([]int, cg.k)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		mask := cg.adj[i]
+		for j := 0; j < cg.k; j++ {
+			if mask&(1<<uint(j)) != 0 && dist[j] == Unreachable {
+				dist[j] = dist[i] + 1
+				queue = append(queue, j)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns D_C(i, j).
+func (cg *ClusterGraph) Distance(i, j int) int { return cg.dist[i][j] }
+
+// HasEdge reports whether machines i and j are adjacent in the cluster
+// graph.
+func (cg *ClusterGraph) HasEdge(i, j int) bool { return cg.adj[i]&(1<<uint(j)) != 0 }
+
+// LoadSets returns F[k][t], the set of remote machines machine k must fetch
+// STwig t's matches from (Theorem 4):
+//
+//	F_{k,t} = { j ≠ k : D_C(k,j) ≤ d(r_head, r_t) }
+//
+// where d is the hop distance between STwig roots in the query graph.
+func LoadSets(cg *ClusterGraph, q *Query, dec Decomposition) [][][]int {
+	qd := q.ShortestPaths()
+	headRoot := dec.Twigs[dec.Head].Root
+	F := make([][][]int, cg.k)
+	for k := 0; k < cg.k; k++ {
+		F[k] = make([][]int, len(dec.Twigs))
+		for t, twig := range dec.Twigs {
+			if t == dec.Head {
+				continue // head matches are never fetched: F_{k,head} = ∅
+			}
+			bound := qd[headRoot][twig.Root]
+			for j := 0; j < cg.k; j++ {
+				if j != k && cg.dist[k][j] <= bound {
+					F[k][t] = append(F[k][t], j)
+				}
+			}
+		}
+	}
+	return F
+}
+
+// SelectHead chooses the head STwig per §5.3: the STwig s minimizing the
+// total communication T(s) = Σ_k |{j : D_C(k,j) ≤ d(s)}| where
+// d(s) = max_i d(r_s, r_i). Ties break toward smaller d(s), then smaller
+// index, for determinism.
+func SelectHead(cg *ClusterGraph, q *Query, twigs []STwig) int {
+	qd := q.ShortestPaths()
+	best, bestT, bestD := 0, int(^uint(0)>>1), int(^uint(0)>>1)
+	for s := range twigs {
+		d := 0
+		for i := range twigs {
+			if dd := qd[twigs[s].Root][twigs[i].Root]; dd > d {
+				d = dd
+			}
+		}
+		t := 0
+		for k := 0; k < cg.k; k++ {
+			for j := 0; j < cg.k; j++ {
+				if cg.dist[k][j] <= d {
+					t++
+				}
+			}
+		}
+		if t < bestT || (t == bestT && d < bestD) {
+			best, bestT, bestD = s, t, d
+		}
+	}
+	return best
+}

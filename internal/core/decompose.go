@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Decomposition and ordering (§5.1, §5.2, Algorithm 2).
+//
+// Finding a minimum STwig cover is NP-hard (Theorem 1: polynomially
+// equivalent to minimum vertex cover). Algorithm 2 is the paper's revised
+// 2-approximation that simultaneously picks a processing order in which, as
+// far as possible, each STwig's root is already bound by an earlier STwig,
+// and prefers selective STwigs via the f-value f(v) = deg(v)/freq(label(v)).
+
+// FValues computes f(v) for every query vertex given the data-graph
+// frequency of each vertex's label. A zero frequency (label absent from the
+// data) yields +Inf: such a vertex is infinitely selective, and the engine
+// short-circuits the query to zero results before decomposition anyway.
+func FValues(q *Query, labelFreq []int64) []float64 {
+	f := make([]float64, q.NumVertices())
+	for v := range f {
+		if labelFreq[v] <= 0 {
+			f[v] = math.Inf(1)
+			continue
+		}
+		f[v] = float64(q.Degree(v)) / float64(labelFreq[v])
+	}
+	return f
+}
+
+// DecomposeOrdered runs Algorithm 2: it returns an ordered STwig cover of q
+// guided by f-values. The head STwig is chosen separately (SelectHead); the
+// returned Decomposition.Head is 0 until then.
+func DecomposeOrdered(q *Query, f []float64) Decomposition {
+	n := q.NumVertices()
+	// Mutable remaining-edge structure.
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool, q.Degree(v))
+		for _, u := range q.Neighbors(v) {
+			adj[v][u] = true
+		}
+	}
+	deg := make([]int, n)
+	for v := range adj {
+		deg[v] = len(adj[v])
+	}
+	remaining := q.NumEdges()
+
+	inS := make([]bool, n) // the set S of Algorithm 2
+	var twigs []STwig
+
+	// takeTwig emits the STwig rooted at v over all remaining incident
+	// edges, updates S with v's neighbors, and removes the edges.
+	takeTwig := func(v int) {
+		leaves := make([]int, 0, deg[v])
+		for _, u := range q.Neighbors(v) { // deterministic order
+			if adj[v][u] {
+				leaves = append(leaves, u)
+			}
+		}
+		twigs = append(twigs, STwig{Root: v, Leaves: leaves})
+		for _, u := range leaves {
+			inS[u] = true
+			delete(adj[v], u)
+			delete(adj[u], v)
+			deg[v]--
+			deg[u]--
+			remaining--
+		}
+	}
+
+	for remaining > 0 {
+		v, u := pickEdge(q, f, adj, deg, inS)
+		takeTwig(v)
+		if deg[u] > 0 {
+			takeTwig(u)
+		}
+		// "remove u, v and all nodes with degree 0 from S"
+		inS[v] = false
+		inS[u] = false
+		for w := 0; w < n; w++ {
+			if inS[w] && deg[w] == 0 {
+				inS[w] = false
+			}
+		}
+	}
+	return Decomposition{Twigs: twigs}
+}
+
+// pickEdge selects the next edge per Algorithm 2's two rules: prefer edges
+// incident to S (so the root is bound), and among those maximize
+// f(u)+f(v). The returned v is the root of the first STwig to emit: the
+// S-member when only one endpoint is in S, otherwise the endpoint with the
+// larger f-value. Ties break toward smaller vertex indices for determinism.
+func pickEdge(q *Query, f []float64, adj []map[int]bool, deg []int, inS []bool) (v, u int) {
+	bestV, bestU := -1, -1
+	bestScore := math.Inf(-1)
+	consider := func(a, b int) {
+		score := fsum(f[a], f[b])
+		if score > bestScore {
+			bestScore, bestV, bestU = score, a, b
+		}
+	}
+	anyInS := false
+	for w := range inS {
+		if inS[w] && deg[w] > 0 {
+			anyInS = true
+			break
+		}
+	}
+	for a := 0; a < len(adj); a++ {
+		if anyInS && !inS[a] {
+			continue
+		}
+		for _, b := range q.Neighbors(a) {
+			if !adj[a][b] {
+				continue
+			}
+			consider(a, b)
+		}
+	}
+	if bestV == -1 {
+		// S nonempty but no remaining edge touches it (possible after the
+		// cover disconnects the remainder): fall back to the global best.
+		for a := 0; a < len(adj); a++ {
+			for _, b := range q.Neighbors(a) {
+				if adj[a][b] {
+					consider(a, b)
+				}
+			}
+		}
+	}
+	v, u = bestV, bestU
+	// When both or neither endpoint is in S, root at the higher f-value
+	// (the worked example roots the first STwig at the largest-f vertex).
+	if inS[v] == inS[u] && f[u] > f[v] {
+		v, u = u, v
+	} else if !inS[v] && inS[u] {
+		v, u = u, v
+	}
+	return v, u
+}
+
+// fsum adds f-values, tolerating +Inf without producing NaN.
+func fsum(a, b float64) float64 {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.Inf(1)
+	}
+	return a + b
+}
+
+// DecomposeRandom is the unrevised 2-approximation of §5.1 — random edge
+// selection, no binding-aware ordering, no selectivity guidance. It exists
+// as the ablation baseline for Algorithm 2 (BenchmarkAblation_Ordering).
+func DecomposeRandom(q *Query, rng *rand.Rand) Decomposition {
+	n := q.NumVertices()
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool, q.Degree(v))
+		for _, u := range q.Neighbors(v) {
+			adj[v][u] = true
+		}
+	}
+	deg := make([]int, n)
+	for v := range adj {
+		deg[v] = len(adj[v])
+	}
+	remaining := q.NumEdges()
+	var twigs []STwig
+	takeTwig := func(v int) {
+		leaves := make([]int, 0, deg[v])
+		for _, u := range q.Neighbors(v) {
+			if adj[v][u] {
+				leaves = append(leaves, u)
+			}
+		}
+		twigs = append(twigs, STwig{Root: v, Leaves: leaves})
+		for _, u := range leaves {
+			delete(adj[v], u)
+			delete(adj[u], v)
+			deg[v]--
+			deg[u]--
+			remaining--
+		}
+	}
+	for remaining > 0 {
+		// Reservoir-sample a remaining edge uniformly.
+		var ev, eu int
+		count := 0
+		for a := 0; a < n; a++ {
+			for _, b := range q.Neighbors(a) {
+				if a < b && adj[a][b] {
+					count++
+					if rng.Intn(count) == 0 {
+						ev, eu = a, b
+					}
+				}
+			}
+		}
+		if rng.Intn(2) == 0 {
+			ev, eu = eu, ev
+		}
+		takeTwig(ev)
+		if deg[eu] > 0 {
+			takeTwig(eu)
+		}
+	}
+	return Decomposition{Twigs: twigs}
+}
+
+// MinimumVertexCoverSize computes the exact minimum vertex cover size of q
+// by branch and bound. Exponential; only for small test queries, where it
+// anchors the 2-approximation property test (Theorem 2: |cover| ≤ 2·OPT,
+// and minimum STwig cover size equals minimum vertex cover size by
+// Theorem 1).
+func MinimumVertexCoverSize(q *Query) int {
+	edges := q.Edges()
+	best := q.NumVertices()
+	inCover := make([]bool, q.NumVertices())
+	var rec func(eIdx, size int)
+	rec = func(eIdx, size int) {
+		if size >= best {
+			return
+		}
+		// Find first uncovered edge.
+		for eIdx < len(edges) {
+			e := edges[eIdx]
+			if !inCover[e[0]] && !inCover[e[1]] {
+				break
+			}
+			eIdx++
+		}
+		if eIdx == len(edges) {
+			best = size
+			return
+		}
+		e := edges[eIdx]
+		for _, pick := range [2]int{e[0], e[1]} {
+			inCover[pick] = true
+			rec(eIdx+1, size+1)
+			inCover[pick] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}

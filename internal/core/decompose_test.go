@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// uniformF gives every vertex the same label frequency so f(v) is driven by
+// degree only.
+func uniformF(q *Query) []float64 {
+	freq := make([]int64, q.NumVertices())
+	for i := range freq {
+		freq[i] = 10
+	}
+	return FValues(q, freq)
+}
+
+// figure6Query is the paper's Figure 6(a): vertices a,b,c,d,e,f with edges
+// a-b, a-c, b-c(? no) ... The figure shows: a-b? Let us encode exactly the
+// edges used by the §5.2 worked example: d adjacent to b,c,e,f; c adjacent
+// to a,f(besides d); b adjacent to a,f? The example decomposes into
+// T1={d,(b,c,e,f)}, T2={c,(a,f)}, T3={b,(a,f)}. That requires edges:
+// d-b, d-c, d-e, d-f, c-a, c-f, b-a, b-f.
+func figure6Query() *Query {
+	// indices: a=0 b=1 c=2 d=3 e=4 f=5
+	return MustNewQuery(
+		[]string{"a", "b", "c", "d", "e", "f"},
+		[][2]int{{3, 1}, {3, 2}, {3, 4}, {3, 5}, {2, 0}, {2, 5}, {1, 0}, {1, 5}},
+	)
+}
+
+func TestDecomposeFigure6WorkedExample(t *testing.T) {
+	// §5.2: "assume each label matches 10 vertices". Then f(d)=0.4,
+	// f(c)=f(b)=0.3 (degree 3 each), and the algorithm should produce
+	// T1 rooted at d, T2 rooted at c (or b), T3 rooted at b (or c).
+	q := figure6Query()
+	dec := DecomposeOrdered(q, uniformF(q))
+	if err := dec.CoversAllEdges(q); err != nil {
+		t.Fatalf("cover invalid: %v", err)
+	}
+	if len(dec.Twigs) != 3 {
+		t.Fatalf("decomposition size = %d, want 3 (%v)", len(dec.Twigs), dec)
+	}
+	if dec.Twigs[0].Root != 3 { // d
+		t.Fatalf("first STwig rooted at %d, want d=3 (%v)", dec.Twigs[0].Root, dec)
+	}
+	if len(dec.Twigs[0].Leaves) != 4 {
+		t.Fatalf("first STwig = %v, want 4 leaves", dec.Twigs[0])
+	}
+	roots := map[int]bool{dec.Twigs[1].Root: true, dec.Twigs[2].Root: true}
+	if !roots[1] || !roots[2] { // b and c
+		t.Fatalf("remaining roots = %v, want {b,c}", dec)
+	}
+}
+
+func TestDecompositionOrderingBindsRoots(t *testing.T) {
+	// §5.2's goal: except for the first STwig, each root should appear in
+	// an earlier STwig.
+	q := figure6Query()
+	dec := DecomposeOrdered(q, uniformF(q))
+	bound := dec.boundRoots()
+	for i := 1; i < len(bound); i++ {
+		if !bound[i] {
+			t.Fatalf("STwig %d root not bound by earlier STwigs (%v)", i, dec)
+		}
+	}
+}
+
+func TestDecomposeTriangle(t *testing.T) {
+	q := MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	dec := DecomposeOrdered(q, uniformF(q))
+	if err := dec.CoversAllEdges(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Twigs) != 2 {
+		t.Fatalf("triangle decomposed into %d STwigs, want 2 (%v)", len(dec.Twigs), dec)
+	}
+}
+
+func TestDecomposeStar(t *testing.T) {
+	// A star is a single STwig.
+	q := MustNewQuery([]string{"hub", "x", "y", "z"}, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	dec := DecomposeOrdered(q, uniformF(q))
+	if len(dec.Twigs) != 1 || dec.Twigs[0].Root != 0 || len(dec.Twigs[0].Leaves) != 3 {
+		t.Fatalf("star decomposition = %v", dec)
+	}
+}
+
+func TestDecomposeSingleEdge(t *testing.T) {
+	q := MustNewQuery([]string{"a", "b"}, [][2]int{{0, 1}})
+	dec := DecomposeOrdered(q, uniformF(q))
+	if err := dec.CoversAllEdges(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Twigs) != 1 {
+		t.Fatalf("edge decomposed into %d STwigs", len(dec.Twigs))
+	}
+}
+
+func TestFValueSelectivityGuidesRoots(t *testing.T) {
+	// Two hubs with equal degree; the rarer-labeled one has higher f and
+	// should root the first STwig.
+	q := MustNewQuery(
+		[]string{"rare", "common", "x", "x", "x", "x"},
+		[][2]int{{0, 2}, {0, 3}, {1, 4}, {1, 5}, {0, 1}},
+	)
+	freq := []int64{1, 1000, 50, 50, 50, 50}
+	dec := DecomposeOrdered(q, FValues(q, freq))
+	if dec.Twigs[0].Root != 0 {
+		t.Fatalf("first root = %d, want rare hub 0 (%v)", dec.Twigs[0].Root, dec)
+	}
+}
+
+func TestFValuesInfiniteOnZeroFreq(t *testing.T) {
+	q := MustNewQuery([]string{"a", "b"}, [][2]int{{0, 1}})
+	f := FValues(q, []int64{0, 5})
+	if !math.IsInf(f[0], 1) {
+		t.Fatalf("f for zero-frequency label = %v, want +Inf", f[0])
+	}
+	// fsum with Inf must not produce NaN.
+	if math.IsNaN(fsum(f[0], f[1])) || math.IsNaN(fsum(f[0], f[0])) {
+		t.Fatal("fsum produced NaN")
+	}
+}
+
+func TestDecomposeRandomIsValidCover(t *testing.T) {
+	q := figure6Query()
+	for seed := int64(0); seed < 20; seed++ {
+		dec := DecomposeRandom(q, rand.New(rand.NewSource(seed)))
+		if err := dec.CoversAllEdges(q); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMinimumVertexCoverSize(t *testing.T) {
+	cases := []struct {
+		q    *Query
+		want int
+	}{
+		{MustNewQuery([]string{"a", "b"}, [][2]int{{0, 1}}), 1},
+		{MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}, {0, 2}}), 2},
+		{MustNewQuery([]string{"h", "x", "y", "z"}, [][2]int{{0, 1}, {0, 2}, {0, 3}}), 1},
+		{figure6Query(), 3},
+	}
+	for i, c := range cases {
+		if got := MinimumVertexCoverSize(c.q); got != c.want {
+			t.Errorf("case %d: MinVC = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// randomConnectedQuery generates a connected query for property tests.
+func randomConnectedQuery(rng *rand.Rand, n int, extraEdges int, labels []string) *Query {
+	ls := make([]string, n)
+	for i := range ls {
+		ls[i] = labels[rng.Intn(len(labels))]
+	}
+	var edges [][2]int
+	seen := map[[2]int]bool{}
+	addEdge := func(u, v int) {
+		if u == v {
+			return
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		edges = append(edges, [2]int{u, v})
+	}
+	// Random spanning tree guarantees connectivity (the paper's random
+	// query generator does the same, §6.1).
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < extraEdges; i++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return MustNewQuery(ls, edges)
+}
+
+func TestPropertyDecompositionIsCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		q := randomConnectedQuery(rng, n, rng.Intn(2*n), []string{"a", "b", "c", "d"})
+		dec := DecomposeOrdered(q, uniformF(q))
+		return dec.CoversAllEdges(q) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTwoApproximation(t *testing.T) {
+	// Theorem 2: |T| ≤ 2·OPT, where OPT equals the minimum vertex cover
+	// size (Theorem 1).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		q := randomConnectedQuery(rng, n, rng.Intn(n), []string{"a", "b", "c"})
+		dec := DecomposeOrdered(q, uniformF(q))
+		opt := MinimumVertexCoverSize(q)
+		return len(dec.Twigs) <= 2*opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRandomDecompositionIsCoverAndTwoApprox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		q := randomConnectedQuery(rng, n, rng.Intn(n), []string{"a", "b"})
+		dec := DecomposeRandom(q, rng)
+		if dec.CoversAllEdges(q) != nil {
+			return false
+		}
+		return len(dec.Twigs) <= 2*MinimumVertexCoverSize(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSTwigString(t *testing.T) {
+	s := STwig{Root: 2, Leaves: []int{0, 5}}
+	if s.String() != "(2; 0 5)" {
+		t.Fatalf("String = %q", s.String())
+	}
+	d := Decomposition{Twigs: []STwig{s, {Root: 1, Leaves: []int{3}}}, Head: 1}
+	if d.String() == "" {
+		t.Fatal("Decomposition.String empty")
+	}
+}
+
+func TestCoversAllEdgesRejections(t *testing.T) {
+	q := MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	bad := []Decomposition{
+		{Twigs: []STwig{{Root: 0, Leaves: []int{1}}}},                                 // misses (1,2)
+		{Twigs: []STwig{{Root: 0, Leaves: []int{2}}}},                                 // non-edge
+		{Twigs: []STwig{{Root: 0, Leaves: []int{1}}, {Root: 1, Leaves: []int{0, 2}}}}, // duplicate edge
+		{Twigs: []STwig{{Root: 5, Leaves: []int{1}}}},                                 // root out of range
+		{Twigs: []STwig{{Root: 0, Leaves: nil}}},                                      // no leaves
+		{Twigs: []STwig{{Root: 0, Leaves: []int{9}}}},                                 // leaf out of range
+	}
+	for i, d := range bad {
+		if d.CoversAllEdges(q) == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

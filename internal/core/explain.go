@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan describes how the engine would execute a query, without executing
+// it: the proxy phase's complete output (decomposition, ordering, head
+// STwig, load sets) plus per-STwig candidate estimates from the string
+// index. It is the subgraph-matching analogue of a database EXPLAIN.
+type Plan struct {
+	// Query echoes the analyzed pattern.
+	Query *Query
+	// Resolvable is false when some query label does not occur in the data
+	// graph at all; the query is then answered empty without execution and
+	// the remaining fields are zero.
+	Resolvable bool
+	// Decomposition is the ordered STwig cover with Head set.
+	Decomposition Decomposition
+	// RootCandidates[t] is the cluster-wide number of vertices carrying
+	// STwig t's root label — the size of the Index.getID scan that seeds
+	// the STwig before binding filters.
+	RootCandidates []int64
+	// FValues[v] is the selectivity score f(v) = deg(v)/freq(label(v))
+	// that guided Algorithm 2.
+	FValues []float64
+	// LoadSets[k][t] lists the machines machine k fetches STwig t's
+	// matches from (Theorem 4); empty for the head STwig.
+	LoadSets [][][]int
+	// ClusterDiameter is the largest finite pairwise distance in the
+	// query-specific cluster graph (0 for a single machine).
+	ClusterDiameter int
+}
+
+// Explain computes the execution plan for q without running the query. The
+// same proxy-phase code paths are used as in Match, so the plan is exactly
+// what execution would do.
+func (e *Engine) Explain(q *Query) (*Plan, error) {
+	if q.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	if !q.Connected() {
+		return nil, fmt.Errorf("core: query graph must be connected")
+	}
+	if q.NumEdges() == 0 {
+		return nil, fmt.Errorf("core: query must have at least one edge")
+	}
+	plan := &Plan{Query: q}
+	labels, ok := q.resolveLabels(e.cluster.Labels())
+	if !ok {
+		return plan, nil
+	}
+	plan.Resolvable = true
+
+	freq := make([]int64, q.NumVertices())
+	for v := range freq {
+		freq[v] = e.cluster.GlobalLabelCount(labels[v])
+	}
+	plan.FValues = FValues(q, freq)
+	dec := DecomposeOrdered(q, plan.FValues)
+	cg := BuildClusterGraph(e.cluster, q, labels)
+	dec.Head = SelectHead(cg, q, dec.Twigs)
+	plan.Decomposition = dec
+	if e.opts.NoLoadSets {
+		plan.LoadSets = allToAllLoadSets(e.cluster.NumMachines(), dec)
+	} else {
+		plan.LoadSets = LoadSets(cg, q, dec)
+	}
+	plan.RootCandidates = make([]int64, len(dec.Twigs))
+	for t, twig := range dec.Twigs {
+		plan.RootCandidates[t] = freq[twig.Root]
+	}
+	for i := 0; i < e.cluster.NumMachines(); i++ {
+		for j := 0; j < e.cluster.NumMachines(); j++ {
+			if d := cg.Distance(i, j); d != Unreachable && d > plan.ClusterDiameter {
+				plan.ClusterDiameter = d
+			}
+		}
+	}
+	return plan, nil
+}
+
+// String renders the plan in a compact, human-readable layout.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %d vertices, %d edges\n", p.Query.NumVertices(), p.Query.NumEdges())
+	if !p.Resolvable {
+		b.WriteString("plan: EMPTY (some query label is absent from the data graph)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "decomposition (%d STwigs, head=*):\n", len(p.Decomposition.Twigs))
+	for t, twig := range p.Decomposition.Twigs {
+		head := " "
+		if t == p.Decomposition.Head {
+			head = "*"
+		}
+		fmt.Fprintf(&b, "  %s step %d: root %d (%s, f=%.4g) leaves %v — %d root candidates\n",
+			head, t+1, twig.Root, p.Query.Label(twig.Root), p.FValues[twig.Root],
+			twig.Leaves, p.RootCandidates[t])
+	}
+	fmt.Fprintf(&b, "cluster graph diameter: %d\n", p.ClusterDiameter)
+	// Summarize load sets: total fetches vs the all-to-all worst case.
+	k := len(p.LoadSets)
+	fetches, worst := 0, 0
+	for machine := range p.LoadSets {
+		for t := range p.LoadSets[machine] {
+			if t == p.Decomposition.Head {
+				continue
+			}
+			fetches += len(p.LoadSets[machine][t])
+			worst += k - 1
+		}
+	}
+	fmt.Fprintf(&b, "exchange: %d fetches across %d machines (all-to-all would be %d)\n",
+		fetches, k, worst)
+	return b.String()
+}
+
+// EstimatedSTwigWork returns a rough per-STwig work estimate: root
+// candidates times the average degree would require graph statistics the
+// paper assumes unavailable, so this reports the available proxy — the
+// root-candidate counts in processing order.
+func (p *Plan) EstimatedSTwigWork() []int64 {
+	return append([]int64(nil), p.RootCandidates...)
+}
+
+// Interface check: Plan prints.
+var _ fmt.Stringer = (*Plan)(nil)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainBasic(t *testing.T) {
+	g := figure1Graph()
+	c := clusterFor(t, g, 3)
+	e := NewEngine(c, Options{})
+	plan, err := e.Explain(figure1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Resolvable {
+		t.Fatal("resolvable query reported unresolvable")
+	}
+	if len(plan.Decomposition.Twigs) == 0 {
+		t.Fatal("no decomposition in plan")
+	}
+	if err := plan.Decomposition.CoversAllEdges(plan.Query); err != nil {
+		t.Fatalf("plan decomposition invalid: %v", err)
+	}
+	if len(plan.RootCandidates) != len(plan.Decomposition.Twigs) {
+		t.Fatal("root candidates length mismatch")
+	}
+	for t2, twig := range plan.Decomposition.Twigs {
+		want := int64(len(g.NodesWithLabel(g.Labels().MustLookup(plan.Query.Label(twig.Root)))))
+		if plan.RootCandidates[t2] != want {
+			t.Fatalf("root candidates for step %d = %d, want %d", t2, plan.RootCandidates[t2], want)
+		}
+	}
+	if len(plan.LoadSets) != 3 {
+		t.Fatal("load sets not per machine")
+	}
+	if len(plan.FValues) != plan.Query.NumVertices() {
+		t.Fatal("f-values length mismatch")
+	}
+	out := plan.String()
+	for _, want := range []string{"decomposition", "cluster graph diameter", "exchange", "root candidates"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan rendering missing %q:\n%s", want, out)
+		}
+	}
+	if len(plan.EstimatedSTwigWork()) != len(plan.RootCandidates) {
+		t.Fatal("EstimatedSTwigWork length mismatch")
+	}
+}
+
+func TestExplainMatchesExecution(t *testing.T) {
+	// The plan's decomposition must be exactly what Match uses.
+	g := figure1Graph()
+	c := clusterFor(t, g, 3)
+	e := NewEngine(c, Options{})
+	q := figure1Query()
+	plan, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Decomposition.String() != res.Stats.Decomposition.String() {
+		t.Fatalf("plan %v != executed %v", plan.Decomposition, res.Stats.Decomposition)
+	}
+}
+
+func TestExplainUnresolvable(t *testing.T) {
+	c := clusterFor(t, figure1Graph(), 2)
+	plan, err := NewEngine(c, Options{}).Explain(
+		MustNewQuery([]string{"a", "nope"}, [][2]int{{0, 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Resolvable {
+		t.Fatal("unresolvable query reported resolvable")
+	}
+	if !strings.Contains(plan.String(), "EMPTY") {
+		t.Fatal("empty plan rendering missing EMPTY marker")
+	}
+}
+
+func TestExplainRejectsBadQueries(t *testing.T) {
+	c := clusterFor(t, figure1Graph(), 2)
+	e := NewEngine(c, Options{})
+	if _, err := e.Explain(MustNewQuery([]string{"a"}, nil)); err == nil {
+		t.Fatal("edgeless query accepted")
+	}
+	if _, err := e.Explain(MustNewQuery([]string{"a", "b", "c", "d"}, [][2]int{{0, 1}, {2, 3}})); err == nil {
+		t.Fatal("disconnected query accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+// STwigMatch is one matched STwig in factored form: a root data vertex and,
+// for each leaf of the STwig, the set of data vertices that can play that
+// leaf. Algorithm 1 returns {n} × S_l1 × ... × S_lk; keeping the factors
+// instead of materializing the product is what keeps intermediate results
+// small — the product is expanded lazily during the join, under the match
+// budget.
+type STwigMatch struct {
+	Root     graph.NodeID
+	LeafSets [][]graph.NodeID
+}
+
+// ExpandedCount returns the number of tuples this factored match denotes
+// (ignoring injectivity), saturating at maxCount.
+func (m STwigMatch) ExpandedCount() int64 {
+	const maxCount = int64(1) << 40
+	total := int64(1)
+	for _, s := range m.LeafSets {
+		total *= int64(len(s))
+		if total > maxCount {
+			return maxCount
+		}
+	}
+	return total
+}
+
+// words returns the number of 8-byte words needed to ship this match
+// (root + per-leaf lengths + leaf candidates); used for network accounting
+// in the exchange phase.
+func (m STwigMatch) words() int {
+	w := 1 + len(m.LeafSets)
+	for _, s := range m.LeafSets {
+		w += len(s)
+	}
+	return w
+}
+
+// matchSTwigOnMachine is Algorithm 1 (MatchSTwig) executed on one machine,
+// extended with the binding filters of §4.2:
+//
+//	Sr ← Index.getID(r)            — local string index, optionally ∩ H_root
+//	for each n in Sr:
+//	    c ← Cloud.Load(n)          — local: the root is a local vertex
+//	    for each li in L:
+//	        S_li ← {m ∈ c.children : Index.hasLabel(m, li)}  ∩ H_li
+//	    R ← R ∪ {n} × S_l1 × ... × S_lk     (kept factored)
+//
+// Neighbor label checks across all roots of the step are merged into one
+// batch per remote owner — Trinity's "message merging and batch
+// transmission" (§2.2), which turns tens of thousands of per-root round
+// trips into at most machines-1 messages per STwig step.
+func matchSTwigOnMachine(m *memcloud.Machine, t STwig, labels []graph.LabelID, b *Bindings) []STwigMatch {
+	roots := m.LocalIDs(labels[t.Root])
+
+	// Pass 1: gather the surviving roots' neighbor lists and flatten every
+	// neighbor ID into one batch.
+	type rootCell struct {
+		id    graph.NodeID
+		nbrs  []graph.NodeID
+		start int // offset of nbrs' labels in the flat batch
+	}
+	cells := make([]rootCell, 0, len(roots))
+	var flat []graph.NodeID
+	for _, n := range roots {
+		if b != nil && !b.Allows(t.Root, n) {
+			continue
+		}
+		cell, ok := m.LoadLocal(n)
+		if !ok {
+			continue // cannot happen: the index only lists local vertices
+		}
+		cells = append(cells, rootCell{id: n, nbrs: cell.Neighbors, start: len(flat)})
+		flat = append(flat, cell.Neighbors...)
+	}
+	nbrLabels := m.LabelsOfBatch(flat, nil)
+
+	// Pass 2: per root, build factored leaf sets from the resolved labels.
+	var out []STwigMatch
+rootLoop:
+	for _, rc := range cells {
+		leafSets := make([][]graph.NodeID, len(t.Leaves))
+		for i, leaf := range t.Leaves {
+			want := labels[leaf]
+			var set []graph.NodeID
+			for j, nb := range rc.nbrs {
+				if nbrLabels[rc.start+j] != want {
+					continue
+				}
+				if nb == rc.id {
+					continue // a vertex cannot match both root and leaf
+				}
+				if b != nil && !b.Allows(leaf, nb) {
+					continue
+				}
+				set = append(set, nb)
+			}
+			if len(set) == 0 {
+				continue rootLoop
+			}
+			leafSets[i] = set
+		}
+		if len(t.Leaves) > 1 && !injectivelySatisfiable(leafSets) {
+			continue
+		}
+		out = append(out, STwigMatch{Root: rc.id, LeafSets: leafSets})
+	}
+	return out
+}
+
+// injectivelySatisfiable performs a cheap necessary check that distinct
+// leaves can take distinct values: a Hall-condition approximation that
+// rejects matches whose union of leaf candidates is smaller than the leaf
+// count. (The join enforces exact injectivity; this only prunes obviously
+// dead factored matches early.)
+func injectivelySatisfiable(leafSets [][]graph.NodeID) bool {
+	distinct := make(map[graph.NodeID]struct{})
+	for _, s := range leafSets {
+		for _, id := range s {
+			distinct[id] = struct{}{}
+		}
+		if len(distinct) >= len(leafSets) {
+			return true
+		}
+	}
+	return len(distinct) >= len(leafSets)
+}

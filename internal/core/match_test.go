@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+// figure5Setup loads the paper's Figure 5-style graph on 3 machines with a
+// predictable partition and returns the cluster.
+func matchTestCluster(t *testing.T) (*memcloud.Cluster, *graph.Graph) {
+	t.Helper()
+	g := figure1Graph() // 0:a 1:a 2:b 3:c 4:d
+	c := memcloud.MustNewCluster(memcloud.Config{
+		Machines:    3,
+		Partitioner: memcloud.RangePartitioner{K: 3, N: g.NumNodes()},
+	})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+func resolve(t *testing.T, c *memcloud.Cluster, q *Query) []graph.LabelID {
+	t.Helper()
+	labels, ok := q.resolveLabels(c.Labels())
+	if !ok {
+		t.Fatal("labels not resolvable")
+	}
+	return labels
+}
+
+func TestMatchSTwigAgainstPaperExample(t *testing.T) {
+	// Query STwig q1 = (a, {b, c}) from §4.1 against Figure 1(a)'s graph:
+	// both a1 and a2 are adjacent to b1 and c1.
+	c, _ := matchTestCluster(t)
+	q := MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {0, 2}})
+	labels := resolve(t, c, q)
+	twig := STwig{Root: 0, Leaves: []int{1, 2}}
+
+	var all []STwigMatch
+	for i := 0; i < c.NumMachines(); i++ {
+		all = append(all, matchSTwigOnMachine(c.Machine(i), twig, labels, nil)...)
+	}
+	if len(all) != 2 {
+		t.Fatalf("got %d factored matches, want 2: %v", len(all), all)
+	}
+	for _, m := range all {
+		if m.Root != 0 && m.Root != 1 {
+			t.Fatalf("unexpected root %d", m.Root)
+		}
+		if len(m.LeafSets) != 2 || len(m.LeafSets[0]) != 1 || m.LeafSets[0][0] != 2 {
+			t.Fatalf("b-leaf set wrong: %v", m.LeafSets)
+		}
+		if len(m.LeafSets[1]) != 1 || m.LeafSets[1][0] != 3 {
+			t.Fatalf("c-leaf set wrong: %v", m.LeafSets)
+		}
+	}
+}
+
+func TestMatchSTwigRootsAreLocal(t *testing.T) {
+	c, _ := matchTestCluster(t)
+	q := MustNewQuery([]string{"b", "a"}, [][2]int{{0, 1}})
+	labels := resolve(t, c, q)
+	twig := STwig{Root: 0, Leaves: []int{1}}
+	for i := 0; i < c.NumMachines(); i++ {
+		for _, m := range matchSTwigOnMachine(c.Machine(i), twig, labels, nil) {
+			if c.Owner(m.Root) != i {
+				t.Fatalf("machine %d emitted non-local root %d", i, m.Root)
+			}
+		}
+	}
+}
+
+func TestMatchSTwigRespectsBindings(t *testing.T) {
+	c, _ := matchTestCluster(t)
+	q := MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {0, 2}})
+	labels := resolve(t, c, q)
+	twig := STwig{Root: 0, Leaves: []int{1, 2}}
+
+	b := NewBindings(3, 5)
+	b.SetIDs(0, []graph.NodeID{1}) // only a2 allowed as root
+
+	var all []STwigMatch
+	for i := 0; i < c.NumMachines(); i++ {
+		all = append(all, matchSTwigOnMachine(c.Machine(i), twig, labels, b)...)
+	}
+	if len(all) != 1 || all[0].Root != 1 {
+		t.Fatalf("binding filter on root ignored: %v", all)
+	}
+
+	// Empty leaf binding kills all matches.
+	b2 := NewBindings(3, 5)
+	b2.SetIDs(1, nil)
+	all = nil
+	for i := 0; i < c.NumMachines(); i++ {
+		all = append(all, matchSTwigOnMachine(c.Machine(i), twig, labels, b2)...)
+	}
+	if len(all) != 0 {
+		t.Fatalf("empty leaf binding produced matches: %v", all)
+	}
+}
+
+func TestMatchSTwigExcludesRootFromLeaves(t *testing.T) {
+	// Query x-x on a graph with an x-x edge: the leaf set for a given root
+	// must not contain the root itself.
+	g := graph.MustFromEdges([]string{"x", "x"}, [][2]int64{{0, 1}}, graph.Undirected())
+	c := memcloud.MustNewCluster(memcloud.Config{Machines: 1})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	q := MustNewQuery([]string{"x", "x"}, [][2]int{{0, 1}})
+	labels := resolve(t, c, q)
+	twig := STwig{Root: 0, Leaves: []int{1}}
+	ms := matchSTwigOnMachine(c.Machine(0), twig, labels, nil)
+	if len(ms) != 2 {
+		t.Fatalf("want 2 matches (each vertex as root), got %v", ms)
+	}
+	for _, m := range ms {
+		for _, leaf := range m.LeafSets[0] {
+			if leaf == m.Root {
+				t.Fatalf("root %d appears in its own leaf set", m.Root)
+			}
+		}
+	}
+}
+
+func TestSTwigMatchExpandedCountAndWords(t *testing.T) {
+	m := STwigMatch{
+		Root:     7,
+		LeafSets: [][]graph.NodeID{{1, 2, 3}, {4, 5}},
+	}
+	if got := m.ExpandedCount(); got != 6 {
+		t.Fatalf("ExpandedCount = %d, want 6", got)
+	}
+	if got := m.words(); got != 1+2+3+2 {
+		t.Fatalf("words = %d", got)
+	}
+}
+
+func TestInjectivelySatisfiable(t *testing.T) {
+	ok := [][]graph.NodeID{{1}, {2}}
+	if !injectivelySatisfiable(ok) {
+		t.Fatal("satisfiable sets rejected")
+	}
+	dead := [][]graph.NodeID{{1}, {1}}
+	if injectivelySatisfiable(dead) {
+		t.Fatal("two leaves forced onto one vertex accepted")
+	}
+}
+
+func TestBindings(t *testing.T) {
+	b := NewBindings(3, 64)
+	if b.Bound(0) || b.Size(0) != -1 || !b.Allows(0, 5) {
+		t.Fatal("fresh bindings should be unbound and allow everything")
+	}
+	b.SetIDs(0, []graph.NodeID{1, 2})
+	if !b.Bound(0) || b.Size(0) != 2 {
+		t.Fatal("SetIDs did not bind")
+	}
+	if !b.Allows(0, 1) || b.Allows(0, 3) {
+		t.Fatal("Allows wrong")
+	}
+	vals := b.Values(0)
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("Values = %v", vals)
+	}
+	if b.Values(1) != nil {
+		t.Fatal("unbound Values should be nil")
+	}
+	if b.TotalWords() != 2 {
+		t.Fatalf("TotalWords = %d", b.TotalWords())
+	}
+}
+
+func TestBindingsAcrossWordBoundaries(t *testing.T) {
+	b := NewBindings(1, 200)
+	ids := []graph.NodeID{0, 63, 64, 127, 128, 199}
+	b.SetIDs(0, ids)
+	if b.Size(0) != len(ids) {
+		t.Fatalf("Size = %d, want %d", b.Size(0), len(ids))
+	}
+	for _, id := range ids {
+		if !b.Allows(0, id) {
+			t.Fatalf("Allows(%d) = false", id)
+		}
+	}
+	for _, id := range []graph.NodeID{1, 62, 65, 198} {
+		if b.Allows(0, id) {
+			t.Fatalf("Allows(%d) = true", id)
+		}
+	}
+	got := b.Values(0)
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("Values = %v, want %v", got, ids)
+		}
+	}
+	// Out-of-range probes must not panic and must report false.
+	if b.Allows(0, graph.NodeID(100000)) {
+		t.Fatal("out-of-range id allowed")
+	}
+}
+
+func TestCollectDeltas(t *testing.T) {
+	twig := STwig{Root: 1, Leaves: []int{0, 2}}
+	matches := []STwigMatch{
+		{Root: 10, LeafSets: [][]graph.NodeID{{20, 21}, {30}}},
+		{Root: 11, LeafSets: [][]graph.NodeID{{20}, {31}}},
+	}
+	deltas := collectDeltas(twig, matches, 64)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	if deltas[0].vertex != 1 || deltas[0].bits.popcount() != 2 {
+		t.Fatalf("root delta = %+v", deltas[0])
+	}
+	if deltas[1].vertex != 0 || deltas[1].bits.popcount() != 2 { // {20,21} ∪ {20}
+		t.Fatalf("leaf-0 delta = %+v", deltas[1])
+	}
+	if deltas[2].vertex != 2 || deltas[2].bits.popcount() != 2 { // {30,31}
+		t.Fatalf("leaf-2 delta = %+v", deltas[2])
+	}
+	if !deltas[2].bits.test(30) || !deltas[2].bits.test(31) || deltas[2].bits.test(29) {
+		t.Fatal("delta bits wrong")
+	}
+}

@@ -1,0 +1,260 @@
+// Package core implements the paper's contribution: STwig-based distributed
+// subgraph matching. A query graph is decomposed into two-level tree units
+// (STwigs) with Algorithm 2, matched by exploration over a memcloud.Cluster
+// with binding propagation (§4.2), and assembled by per-machine multi-way
+// joins whose communication is bounded by cluster-graph load sets (§5.3).
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stwig/internal/graph"
+)
+
+// Query is a connected, vertex-labeled pattern graph (Definition 1).
+// Vertices are dense indices 0..NumVertices()-1; labels are strings resolved
+// against the data graph's label table at execution time.
+type Query struct {
+	labels []string
+	adj    [][]int
+	m      int
+}
+
+// NewQuery builds a query from per-vertex labels and undirected edges.
+// Self-loops, duplicate edges, and out-of-range endpoints are rejected;
+// subgraph matching per Definition 2 needs a simple pattern.
+func NewQuery(labels []string, edges [][2]int) (*Query, error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	q := &Query{labels: append([]string(nil), labels...), adj: make([][]int, n)}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("core: query edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("core: query self-loop at vertex %d", u)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return nil, fmt.Errorf("core: duplicate query edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+		q.adj[u] = append(q.adj[u], v)
+		q.adj[v] = append(q.adj[v], u)
+		q.m++
+	}
+	for i := range q.adj {
+		sort.Ints(q.adj[i])
+	}
+	return q, nil
+}
+
+// MustNewQuery is NewQuery that panics on error.
+func MustNewQuery(labels []string, edges [][2]int) *Query {
+	q, err := NewQuery(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// NumVertices returns the number of pattern vertices.
+func (q *Query) NumVertices() int { return len(q.labels) }
+
+// NumEdges returns the number of pattern edges.
+func (q *Query) NumEdges() int { return q.m }
+
+// Label returns the label string of pattern vertex v.
+func (q *Query) Label(v int) string { return q.labels[v] }
+
+// Labels returns a copy of all vertex labels.
+func (q *Query) Labels() []string { return append([]string(nil), q.labels...) }
+
+// Neighbors returns the sorted adjacency of pattern vertex v (shared slice).
+func (q *Query) Neighbors(v int) []int { return q.adj[v] }
+
+// Degree returns the degree of pattern vertex v.
+func (q *Query) Degree(v int) int { return len(q.adj[v]) }
+
+// HasEdge reports whether u and v are adjacent.
+func (q *Query) HasEdge(u, v int) bool {
+	ns := q.adj[u]
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// Edges returns every undirected edge once, as ordered pairs with u < v.
+func (q *Query) Edges() [][2]int {
+	var out [][2]int
+	for u := range q.adj {
+		for _, v := range q.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether the pattern is connected. The engine rejects
+// disconnected patterns: matching them is a cartesian product of component
+// matches and is out of the paper's scope.
+func (q *Query) Connected() bool {
+	if len(q.labels) == 0 {
+		return false
+	}
+	seen := make([]bool, len(q.labels))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range q.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == len(q.labels)
+}
+
+// ShortestPaths returns the all-pairs hop distances of the pattern via the
+// Floyd–Warshall algorithm, as the paper's head-STwig selection prescribes
+// (§5.3). Unreachable pairs hold Unreachable.
+func (q *Query) ShortestPaths() [][]int {
+	n := len(q.labels)
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = Unreachable
+			}
+		}
+	}
+	for u := range q.adj {
+		for _, v := range q.adj[u] {
+			d[u][v] = 1
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d[i][k] == Unreachable {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d[k][j] == Unreachable {
+					continue
+				}
+				if nd := d[i][k] + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Unreachable marks a pair with no connecting path in distance matrices.
+const Unreachable = 1 << 30
+
+// resolveLabels maps each pattern vertex's label string to the data graph's
+// LabelID. ok is false when some label does not occur in the data graph at
+// all, in which case the query trivially has no matches.
+func (q *Query) resolveLabels(table *graph.LabelTable) (ids []graph.LabelID, ok bool) {
+	ids = make([]graph.LabelID, len(q.labels))
+	for v, name := range q.labels {
+		id, found := table.Lookup(name)
+		if !found {
+			return nil, false
+		}
+		ids[v] = id
+	}
+	return ids, true
+}
+
+// ParseQuery reads the same line format as graph text files:
+//
+//	v <index> <label>
+//	e <u> <v>
+func ParseQuery(r io.Reader) (*Query, error) {
+	sc := bufio.NewScanner(r)
+	var labels []string
+	var edges [][2]int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "v":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("core: query line %d: want 'v <id> <label>'", lineNo)
+			}
+			id, err := strconv.Atoi(f[1])
+			if err != nil || id != len(labels) {
+				return nil, fmt.Errorf("core: query line %d: vertex ids must be dense and in order", lineNo)
+			}
+			labels = append(labels, f[2])
+		case "e":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("core: query line %d: want 'e <u> <v>'", lineNo)
+			}
+			u, err1 := strconv.Atoi(f[1])
+			v, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("core: query line %d: bad edge", lineNo)
+			}
+			edges = append(edges, [2]int{u, v})
+		default:
+			return nil, fmt.Errorf("core: query line %d: unknown record %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewQuery(labels, edges)
+}
+
+// String renders the query in the parseable text format.
+func (q *Query) String() string {
+	var b strings.Builder
+	for v, l := range q.labels {
+		fmt.Fprintf(&b, "v %d %s\n", v, l)
+	}
+	for _, e := range q.Edges() {
+		fmt.Fprintf(&b, "e %d %d\n", e[0], e[1])
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"stwig/internal/memcloud"
+)
+
+func TestSimulateParallelPopulatesModeledStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDataGraph(rng, 100, 300, []string{"a", "b", "c"})
+	c := clusterFor(t, g, 4)
+	q := randomConnectedQuery(rng, 4, 2, []string{"a", "b", "c"})
+
+	res, err := NewEngine(c, Options{SimulateParallel: true}).Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.ModeledParallelTime <= 0 {
+		t.Fatalf("ModeledParallelTime = %v", s.ModeledParallelTime)
+	}
+	if s.ModeledMachineTime <= 0 {
+		t.Fatalf("ModeledMachineTime = %v", s.ModeledMachineTime)
+	}
+	if s.ModeledNetTime < 0 {
+		t.Fatalf("ModeledNetTime = %v", s.ModeledNetTime)
+	}
+	// The parallel model can never beat perfect speedup of the machine
+	// component.
+	k := c.NumMachines()
+	if s.ModeledParallelTime < s.ModeledMachineTime/time.Duration(k)/2 {
+		t.Fatalf("modeled parallel %v implausible vs machine time %v on %d machines",
+			s.ModeledParallelTime, s.ModeledMachineTime, k)
+	}
+}
+
+func TestSimulateParallelSameResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomDataGraph(rng, 60, 160, []string{"a", "b", "c"})
+	c := clusterFor(t, g, 3)
+	q := randomConnectedQuery(rng, 4, 2, []string{"a", "b", "c"})
+
+	normal, err := NewEngine(c, Options{Seed: 1}).Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewEngine(c, Options{Seed: 1, SimulateParallel: true}).Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := MatchSet(normal.Matches), MatchSet(sim.Matches)
+	if len(a) != len(b) {
+		t.Fatalf("simulate mode changed results: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("simulate mode missing %s", k)
+		}
+	}
+}
+
+func TestNormalModeHasNoModeledStats(t *testing.T) {
+	g := figure1Graph()
+	c := clusterFor(t, g, 2)
+	res, err := NewEngine(c, Options{}).Match(figure1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ModeledParallelTime != 0 || res.Stats.ModeledMachineTime != 0 {
+		t.Fatal("normal mode populated modeled stats")
+	}
+}
+
+func TestSimulateParallelDefaultsNetModel(t *testing.T) {
+	c := clusterFor(t, figure1Graph(), 2)
+	e := NewEngine(c, Options{SimulateParallel: true})
+	if e.opts.NetModel == (memcloud.NetworkModel{}) {
+		t.Fatal("NetModel not defaulted")
+	}
+	e2 := NewEngine(c, Options{})
+	if e2.opts.NetModel != (memcloud.NetworkModel{}) {
+		t.Fatal("normal mode should leave NetModel zero")
+	}
+}

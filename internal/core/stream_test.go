@@ -1,0 +1,327 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stwig/internal/graph"
+)
+
+func TestMatchStreamDeliversAllMatches(t *testing.T) {
+	g := figure1Graph()
+	c := clusterFor(t, g, 3)
+	q := figure1Query()
+	want := MatchSet(bruteForce(g, q))
+
+	var got []Match
+	stats, err := NewEngine(c, Options{}).MatchStream(context.Background(), q, func(m Match) bool {
+		got = append(got, m)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated {
+		t.Fatal("uncancelled stream reported truncation")
+	}
+	gs := MatchSet(got)
+	if len(gs) != len(want) {
+		t.Fatalf("streamed %d distinct matches, want %d", len(gs), len(want))
+	}
+	sum := 0
+	for _, n := range stats.PerMachineMatches {
+		sum += n
+	}
+	if sum != len(got) {
+		t.Fatalf("per-machine counts %v sum %d, streamed %d", stats.PerMachineMatches, sum, len(got))
+	}
+}
+
+func TestMatchStreamEarlyStop(t *testing.T) {
+	// Dense graph with many matches; stopping after 5 must truncate.
+	b := graph.NewBuilder(graph.Undirected())
+	for i := 0; i < 20; i++ {
+		b.AddNode("a")
+	}
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			b.MustAddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	g := b.Build()
+	c := clusterFor(t, g, 2)
+	q := MustNewQuery([]string{"a", "a"}, [][2]int{{0, 1}})
+
+	count := 0
+	stats, err := NewEngine(c, Options{}).MatchStream(context.Background(), q, func(Match) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("emitted %d, want 5", count)
+	}
+	if !stats.Truncated {
+		t.Fatal("early stop not reported as truncation")
+	}
+}
+
+func TestMatchContextCancelled(t *testing.T) {
+	g := figure1Graph()
+	c := clusterFor(t, g, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled
+	if _, err := NewEngine(c, Options{}).MatchContext(ctx, figure1Query()); err == nil {
+		t.Fatal("cancelled context did not abort query")
+	}
+}
+
+func TestMatchContextCancelMidStream(t *testing.T) {
+	// Cancel from inside the emit callback: the join must stop promptly and
+	// the query still returns (with whatever was emitted before).
+	b := graph.NewBuilder(graph.Undirected())
+	for i := 0; i < 30; i++ {
+		b.AddNode("a")
+	}
+	for i := 0; i < 30; i++ {
+		for j := i + 1; j < 30; j++ {
+			b.MustAddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	g := b.Build()
+	c := clusterFor(t, g, 2)
+	q := MustNewQuery([]string{"a", "a", "a"}, [][2]int{{0, 1}, {1, 2}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	count := 0
+	_, err := NewEngine(c, Options{}).MatchStream(ctx, q, func(Match) bool {
+		count++
+		if count == 10 {
+			cancel()
+		}
+		return true
+	})
+	// Either a clean stop or a ctx error is acceptable; what matters is
+	// that the enumeration did not run to completion (30*29*28 matches).
+	if count > 1000 {
+		t.Fatalf("cancellation ignored: %d matches emitted", count)
+	}
+	_ = err
+}
+
+func TestConcurrentQueriesShareEngine(t *testing.T) {
+	// The engine must be safe for concurrent use (a §8 future-work concern:
+	// query throughput). Run many goroutines against one engine and check
+	// each gets the exact brute-force answer.
+	rng := rand.New(rand.NewSource(11))
+	g := randomDataGraph(rng, 40, 100, []string{"a", "b", "c"})
+	c := clusterFor(t, g, 4)
+	eng := NewEngine(c, Options{})
+
+	queries := make([]*Query, 6)
+	wants := make([]map[string]bool, len(queries))
+	for i := range queries {
+		queries[i] = randomConnectedQuery(rng, 3, 1, []string{"a", "b", "c"})
+		wants[i] = MatchSet(bruteForce(g, queries[i]))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for round := 0; round < 4; round++ {
+		for i := range queries {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := eng.Match(queries[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := MatchSet(res.Matches)
+				if len(got) != len(wants[i]) {
+					errs <- errMismatch
+					return
+				}
+				for k := range wants[i] {
+					if !got[k] {
+						errs <- errMismatch
+						return
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchErr{}
+
+type mismatchErr struct{}
+
+func (*mismatchErr) Error() string { return "concurrent query result mismatch" }
+
+func TestQueriesSeeClusterUpdates(t *testing.T) {
+	// Load Figure 1, then grow the graph with the update API; the engine
+	// must see new matches immediately, and lose them after RemoveEdge.
+	g := figure1Graph()
+	c := clusterFor(t, g, 3)
+	eng := NewEngine(c, Options{})
+	q := figure1Query()
+
+	before, err := eng.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Matches) != 2 {
+		t.Fatalf("baseline matches = %d, want 2", len(before.Matches))
+	}
+
+	// Add a third 'a' vertex wired like a1: creates a third match.
+	a3, err := c.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(a3, 2); err != nil { // b1
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(a3, 3); err != nil { // c1
+		t.Fatal(err)
+	}
+	after, err := eng.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Matches) != 3 {
+		t.Fatalf("matches after update = %d, want 3", len(after.Matches))
+	}
+	for _, m := range after.Matches {
+		if err := VerifyMatch(c, q, m); err != nil {
+			t.Fatalf("invalid match after update: %v", err)
+		}
+	}
+
+	// Remove one of a3's edges: back to 2 matches.
+	if err := c.RemoveEdge(a3, 2); err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Matches) != 2 {
+		t.Fatalf("matches after removal = %d, want 2", len(final.Matches))
+	}
+}
+
+func TestQueriesWithNewLabelAfterUpdate(t *testing.T) {
+	// A label that did not exist at load time becomes queryable once a
+	// vertex carrying it is added.
+	g := figure1Graph()
+	c := clusterFor(t, g, 2)
+	eng := NewEngine(c, Options{})
+	q := MustNewQuery([]string{"z", "b"}, [][2]int{{0, 1}})
+
+	res, err := eng.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatal("matches for nonexistent label")
+	}
+
+	z, err := c.AddNode("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(z, 2); err != nil { // b1
+		t.Fatal(err)
+	}
+	res, err = eng.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(res.Matches))
+	}
+}
+
+func TestPropertyUpdatedClusterMatchesBruteForce(t *testing.T) {
+	// Random updates followed by queries: the engine on the mutated
+	// cluster must agree with brute force on the equivalently mutated
+	// graph.
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		labels := []string{"a", "b", "c"}
+		g := randomDataGraph(rng, 20, 40, labels)
+		c := clusterFor(t, g, 1+int(seed%4))
+
+		// Mirror mutations into a builder for the oracle graph.
+		type edge struct{ u, v graph.NodeID }
+		var added []edge
+		var newLabels []string
+		total := g.NumNodes()
+		for i := 0; i < 3; i++ {
+			l := labels[rng.Intn(3)]
+			if _, err := c.AddNode(l); err != nil {
+				t.Fatal(err)
+			}
+			newLabels = append(newLabels, l)
+			total++
+		}
+		for i := 0; i < 8; i++ {
+			u := graph.NodeID(rng.Int63n(total))
+			v := graph.NodeID(rng.Int63n(total))
+			if u == v {
+				continue
+			}
+			if err := c.AddEdge(u, v); err != nil {
+				continue
+			}
+			added = append(added, edge{u, v})
+		}
+
+		b := graph.NewBuilder(graph.Undirected())
+		for v := int64(0); v < g.NumNodes(); v++ {
+			b.AddNode(g.LabelString(graph.NodeID(v)))
+		}
+		for _, l := range newLabels {
+			b.AddNode(l)
+		}
+		for v := int64(0); v < g.NumNodes(); v++ {
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if graph.NodeID(v) < u {
+					b.MustAddEdge(graph.NodeID(v), u)
+				}
+			}
+		}
+		for _, e := range added {
+			b.MustAddEdge(e.u, e.v)
+		}
+		oracle := b.Build()
+
+		q := randomConnectedQuery(rng, 3, 1, labels)
+		want := MatchSet(bruteForce(oracle, q))
+		res, err := NewEngine(c, Options{Seed: seed}).Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MatchSet(res.Matches)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: got %d matches, want %d", seed, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("seed %d: missing %s", seed, k)
+			}
+		}
+	}
+}

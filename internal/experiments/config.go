@@ -1,0 +1,100 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated memory cloud, at configurable scale.
+// Each Run* function returns a stats.Table whose rows mirror the data
+// series of the corresponding paper exhibit; cmd/experiments prints them
+// and EXPERIMENTS.md records a captured run against the paper's findings.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+	"stwig/internal/workload"
+)
+
+// Config scales the experiment suite. The paper's absolute sizes (up to
+// 4.3G nodes on 12 physical machines) are scaled down so the whole suite
+// runs on one development machine; Scale multiplies every graph size.
+type Config struct {
+	// Scale multiplies dataset sizes; 1.0 is the CI-friendly default
+	// documented per experiment.
+	Scale float64
+	// Machines is the simulated cluster size (paper: 8 for real data,
+	// 12 for synthetic).
+	Machines int
+	// QueriesPerPoint is the number of queries averaged per configuration
+	// (paper: 100).
+	QueriesPerPoint int
+	// Budget is the per-query match budget (paper: stops at 1024 matches).
+	Budget int
+	// Seed fixes all generation.
+	Seed int64
+}
+
+// Defaults returns the CI-friendly configuration.
+func Defaults() Config {
+	return Config{Scale: 1.0, Machines: 8, QueriesPerPoint: 20, Budget: 1024, Seed: 42}
+}
+
+func (c Config) scaled(n int64) int64 {
+	v := int64(float64(n) * c.Scale)
+	if v < 64 {
+		v = 64
+	}
+	return v
+}
+
+// loadCluster builds a cluster of k machines holding g.
+func loadCluster(g *graph.Graph, k int) (*memcloud.Cluster, time.Duration, error) {
+	c, err := memcloud.NewCluster(memcloud.Config{Machines: k})
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := c.LoadGraph(g); err != nil {
+		return nil, 0, err
+	}
+	return c, time.Since(start), nil
+}
+
+// avgQueryTime runs each query once and returns the mean wall time and the
+// mean result count.
+func avgQueryTime(eng *core.Engine, queries []*core.Query) (time.Duration, float64, error) {
+	if len(queries) == 0 {
+		return 0, 0, fmt.Errorf("experiments: empty query set")
+	}
+	var total time.Duration
+	var results int64
+	for _, q := range queries {
+		start := time.Now()
+		res, err := eng.Match(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += time.Since(start)
+		results += int64(len(res.Matches))
+	}
+	return total / time.Duration(len(queries)), float64(results) / float64(len(queries)), nil
+}
+
+// dfsQuerySet generates cfg.QueriesPerPoint DFS queries of n nodes.
+func dfsQuerySet(g *graph.Graph, n int, cfg Config) ([]*core.Query, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return workload.QuerySet(cfg.QueriesPerPoint, func() (*core.Query, error) {
+		return workload.DFSQuery(g, n, rng)
+	})
+}
+
+// randomQuerySet generates cfg.QueriesPerPoint random queries with n nodes
+// and e edges over the graph's label alphabet.
+func randomQuerySet(g *graph.Graph, n, e int, cfg Config) ([]*core.Query, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	labels := workload.GraphLabels(g)
+	return workload.QuerySet(cfg.QueriesPerPoint, func() (*core.Query, error) {
+		return workload.RandomQuery(n, e, labels, rng)
+	})
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig shrinks everything so the whole suite runs in seconds.
+func tinyConfig() Config {
+	return Config{Scale: 0.05, Machines: 3, QueriesPerPoint: 3, Budget: 64, Seed: 7}
+}
+
+func renderOK(t *testing.T, name string) string {
+	t.Helper()
+	exp, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := exp.Run(tinyConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+		t.Fatalf("%s produced fewer than 1 data row:\n%s", name, out)
+	}
+	return out
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			renderOK(t, e.Name)
+		})
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRegistryCoversEveryExhibit(t *testing.T) {
+	// One entry per paper exhibit: 2 tables + 9 figures + ablations +
+	// the §8 throughput extension.
+	want := []string{"table1", "table2", "fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig10a", "fig10b", "fig10c", "fig10d", "ablations", "throughput"}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.Name] = true
+		if e.Paper == "" || e.Shape == "" || e.Run == nil {
+			t.Fatalf("experiment %q underspecified", e.Name)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("missing experiment %q", w)
+		}
+	}
+	if len(have) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(have), len(want))
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	cfg := Config{Scale: 0.000001}
+	if got := cfg.scaled(1000); got != 64 {
+		t.Fatalf("scaled floor = %d, want 64", got)
+	}
+}
+
+func TestScaleForNodes(t *testing.T) {
+	if scaleForNodes(1024) != 10 {
+		t.Fatalf("scaleForNodes(1024) = %d", scaleForNodes(1024))
+	}
+	if scaleForNodes(1) != 6 {
+		t.Fatal("minimum scale not enforced")
+	}
+	if scaleForNodes(1<<40) != 30 {
+		t.Fatal("maximum scale not enforced")
+	}
+}

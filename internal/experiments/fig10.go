@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/rmat"
+	"stwig/internal/stats"
+)
+
+// The synthetic experiments follow §6.3's parameterization: node count,
+// average degree, and *label density* — the ratio of distinct labels to
+// nodes ("Higher label ratio, fewer matched nodes for a given label"). The
+// paper's defaults are 64M nodes, degree 64, label density 1e-4. Keeping
+// label density fixed while sweeping node count keeps the per-label
+// frequency constant, which is why the paper's Figure 10(a) is flat.
+const defaultLabelDensity = 4e-3
+
+// labelsForDensity converts a density into a label-alphabet size.
+func labelsForDensity(nodes int64, density float64) int {
+	l := int(density * float64(nodes))
+	if l < 2 {
+		l = 2
+	}
+	return l
+}
+
+// rmatCluster generates an R-MAT graph and loads it.
+func rmatCluster(cfg Config, scale, degree, numLabels int) (*graph.Graph, *core.Engine, error) {
+	g, err := rmat.Generate(rmat.Params{
+		Scale: scale, AvgDegree: degree, NumLabels: numLabels, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster, _, err := loadCluster(g, cfg.Machines)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, core.NewEngine(cluster, core.Options{MatchBudget: cfg.Budget, Seed: cfg.Seed}), nil
+}
+
+// measureBoth runs a DFS and a random query set and returns both averages,
+// matching the two series in every Figure 10 plot.
+func measureBoth(cfg Config, g *graph.Graph, eng *core.Engine) (dfs, random time.Duration, err error) {
+	dq, err := dfsQuerySet(g, 8, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	rq, err := randomQuerySet(g, 10, 20, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	dfs, _, err = avgQueryTime(eng, dq)
+	if err != nil {
+		return 0, 0, err
+	}
+	random, _, err = avgQueryTime(eng, rq)
+	if err != nil {
+		return 0, 0, err
+	}
+	return dfs, random, nil
+}
+
+// RunFig10a reproduces Figure 10(a): run time vs graph size at fixed
+// average degree 16 and fixed label density. Paper shape: roughly flat —
+// "query time is not sensitive to total node count" because cost tracks
+// STwig count and size (per-label frequency stays constant when label
+// density is fixed), not n.
+func RunFig10a(cfg Config) (*stats.Table, error) {
+	tab := stats.NewTable("nodes", "labels", "dfs_avg", "random_avg")
+	base := scaleForNodes(cfg.scaled(1 << 13))
+	for _, s := range []int{base, base + 1, base + 2, base + 3, base + 4} {
+		nodes := int64(1) << s
+		g, eng, err := rmatCluster(cfg, s, 16, labelsForDensity(nodes, defaultLabelDensity))
+		if err != nil {
+			return nil, err
+		}
+		dfs, random, err := measureBoth(cfg, g, eng)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(g.NumNodes(), g.Labels().Len(), dfs, random)
+	}
+	return tab, nil
+}
+
+// RunFig10b reproduces Figure 10(b): run time vs node count at fixed graph
+// density, so the average degree grows with n. Paper shape: increasing —
+// "larger node degree means larger STwig number and STwig size".
+func RunFig10b(cfg Config) (*stats.Table, error) {
+	tab := stats.NewTable("nodes", "avg_degree", "dfs_avg", "random_avg")
+	base := scaleForNodes(cfg.scaled(1 << 12))
+	degree := 4
+	for i, s := range []int{base, base + 1, base + 2, base + 3} {
+		nodes := int64(1) << s
+		g, eng, err := rmatCluster(cfg, s, degree<<i, labelsForDensity(nodes, defaultLabelDensity))
+		if err != nil {
+			return nil, err
+		}
+		dfs, random, err := measureBoth(cfg, g, eng)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(g.NumNodes(), g.AvgDegree(), dfs, random)
+	}
+	return tab, nil
+}
+
+// RunFig10c reproduces Figure 10(c): run time vs average degree at fixed
+// node count. Paper shape: sub-linear growth; random queries are affected
+// more than DFS queries because denser graphs inflate their intermediate
+// results.
+func RunFig10c(cfg Config) (*stats.Table, error) {
+	tab := stats.NewTable("avg_degree", "dfs_avg", "random_avg")
+	s := scaleForNodes(cfg.scaled(1 << 14))
+	nodes := int64(1) << s
+	numLabels := labelsForDensity(nodes, defaultLabelDensity)
+	for _, degree := range []int{8, 16, 24, 32, 48, 64} {
+		g, eng, err := rmatCluster(cfg, s, degree, numLabels)
+		if err != nil {
+			return nil, err
+		}
+		dfs, random, err := measureBoth(cfg, g, eng)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(g.AvgDegree(), dfs, random)
+	}
+	return tab, nil
+}
+
+// RunFig10d reproduces Figure 10(d): run time vs label density. Paper
+// shape: decreasing — a denser label alphabet means each label matches
+// fewer vertices, shrinking every candidate set.
+//
+// The random-query series uses N=8, E=12 instead of the default N=10,
+// E=20: at simulator scale the lowest density leaves only a handful of
+// labels, and a 20-edge random query there spends minutes failing its
+// cycle constraints — the trend is identical with the lighter query.
+func RunFig10d(cfg Config) (*stats.Table, error) {
+	tab := stats.NewTable("label_density", "num_labels", "dfs_avg", "random_avg")
+	s := scaleForNodes(cfg.scaled(1 << 13))
+	nodes := int64(1) << s
+	for _, density := range []float64{1e-3, 3e-3, 1e-2, 3e-2, 1e-1} {
+		numLabels := labelsForDensity(nodes, density)
+		g, eng, err := rmatCluster(cfg, s, 16, numLabels)
+		if err != nil {
+			return nil, err
+		}
+		dq, err := dfsQuerySet(g, 8, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rq, err := randomQuerySet(g, 8, 12, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dfs, _, err := avgQueryTime(eng, dq)
+		if err != nil {
+			return nil, err
+		}
+		random, _, err := avgQueryTime(eng, rq)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(fmt.Sprintf("%.0e", density), numLabels, dfs, random)
+	}
+	return tab, nil
+}

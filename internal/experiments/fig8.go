@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/stats"
+	"stwig/internal/workload"
+)
+
+// realDataPair builds the two "real data" stand-ins of §6.2 at the
+// configured scale: Patents-like (many labels, selective) and WordNet-like
+// (5 labels, unselective).
+func realDataPair(cfg Config) (patents, wordnet *graph.Graph, err error) {
+	patents, err = workload.SynthPatents(workload.PatentsParams{
+		Nodes: cfg.scaled(40_000), Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	wordnet, err = workload.SynthWordNet(workload.WordNetParams{
+		Nodes: cfg.scaled(20_000), Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return patents, wordnet, nil
+}
+
+// RunFig8a reproduces Figure 8(a): run time vs query node count for DFS
+// queries (3–10 nodes) on both real-data stand-ins. Paper shape: cost
+// rises sharply around 7 nodes, then flattens or dips at 9–10 because the
+// exploration strategy shrinks intermediate results on larger queries.
+func RunFig8a(cfg Config) (*stats.Table, error) {
+	patents, wordnet, err := realDataPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("query_nodes", "patents_avg", "wordnet_avg")
+	pc, _, err := loadCluster(patents, cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	wc, _, err := loadCluster(wordnet, cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	pEng := core.NewEngine(pc, core.Options{MatchBudget: cfg.Budget, Seed: cfg.Seed})
+	wEng := core.NewEngine(wc, core.Options{MatchBudget: cfg.Budget, Seed: cfg.Seed})
+	for n := 3; n <= 10; n++ {
+		pq, err := dfsQuerySet(patents, n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wq, err := dfsQuerySet(wordnet, n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pAvg, _, err := avgQueryTime(pEng, pq)
+		if err != nil {
+			return nil, err
+		}
+		wAvg, _, err := avgQueryTime(wEng, wq)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(n, pAvg, wAvg)
+	}
+	return tab, nil
+}
+
+// RunFig8b reproduces Figure 8(b): run time vs query node count for random
+// queries (N = 5…15, E = 2N). Paper shape: roughly linear in N, because
+// random queries have small result sets and each extra STwig adds a nearly
+// constant amount of work.
+func RunFig8b(cfg Config) (*stats.Table, error) {
+	patents, wordnet, err := realDataPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("query_nodes", "patents_avg", "wordnet_avg")
+	pc, _, err := loadCluster(patents, cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	wc, _, err := loadCluster(wordnet, cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	pEng := core.NewEngine(pc, core.Options{MatchBudget: cfg.Budget, Seed: cfg.Seed})
+	wEng := core.NewEngine(wc, core.Options{MatchBudget: cfg.Budget, Seed: cfg.Seed})
+	for n := 5; n <= 15; n += 2 {
+		pq, err := randomQuerySet(patents, n, 2*n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wq, err := randomQuerySet(wordnet, n, 2*n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pAvg, _, err := avgQueryTime(pEng, pq)
+		if err != nil {
+			return nil, err
+		}
+		wAvg, _, err := avgQueryTime(wEng, wq)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(n, pAvg, wAvg)
+	}
+	return tab, nil
+}
+
+// RunFig8c reproduces Figure 8(c): run time vs query edge count (E=10…20
+// at N=10). Paper shape: flat — the decomposition's STwig count tracks the
+// vertex cover, not the edge count, so extra edges cost almost nothing.
+func RunFig8c(cfg Config) (*stats.Table, error) {
+	patents, wordnet, err := realDataPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("query_edges", "patents_avg", "wordnet_avg")
+	pc, _, err := loadCluster(patents, cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	wc, _, err := loadCluster(wordnet, cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	pEng := core.NewEngine(pc, core.Options{MatchBudget: cfg.Budget, Seed: cfg.Seed})
+	wEng := core.NewEngine(wc, core.Options{MatchBudget: cfg.Budget, Seed: cfg.Seed})
+	for e := 10; e <= 20; e += 2 {
+		pq, err := randomQuerySet(patents, 10, e, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wq, err := randomQuerySet(wordnet, 10, e, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pAvg, _, err := avgQueryTime(pEng, pq)
+		if err != nil {
+			return nil, err
+		}
+		wAvg, _, err := avgQueryTime(wEng, wq)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(e, pAvg, wAvg)
+	}
+	return tab, nil
+}

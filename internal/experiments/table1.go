@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stwig/internal/baseline"
+	"stwig/internal/core"
+	"stwig/internal/stats"
+	"stwig/internal/workload"
+)
+
+// RunTable1 reproduces Table 1's empirical columns — index size, index
+// build time, and query time — for each method family on one graph:
+//
+//	group 1 (no index):            Ullmann, VF2
+//	group 2 (edge index):          EdgeJoin
+//	group 4 (neighborhood index):  Signature r=1, r=2
+//	this paper:                    STwig over the memory cloud
+//
+// The paper's point is the scaling *shape*: the STwig string index is the
+// only linear-and-tiny one, signature indexes blow up with radius, and the
+// no-index searches are orders of magnitude slower per query.
+func RunTable1(cfg Config) (*stats.Table, error) {
+	nodes := cfg.scaled(30_000)
+	g, err := workload.SynthPatents(workload.PatentsParams{Nodes: nodes, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	// Query workload: DFS queries (cut out of the data graph, so every
+	// query has matches and every method does real work), small enough
+	// that the slow baselines finish. The budget mirrors the paper's
+	// 1024-match cutoff.
+	queries, err := dfsQuerySet(g, 4, cfg)
+	if err != nil {
+		return nil, err
+	}
+	limit := cfg.Budget
+	if limit == 0 {
+		limit = 1024
+	}
+
+	tab := stats.NewTable("method", "index_size", "index_time", "avg_query_time", "note")
+
+	// Group 1: Ullmann / VF2 — no index. Run on a capped query count; these
+	// are the ">1000s on toy graphs" rows of Table 1.
+	slowQueries := queries
+	if len(slowQueries) > 5 {
+		slowQueries = slowQueries[:5]
+	}
+	for _, m := range []struct {
+		name string
+		run  func(q *core.Query) int
+	}{
+		{"Ullmann", func(q *core.Query) int { return len(baseline.Ullmann(g, q, limit)) }},
+		{"VF2", func(q *core.Query) int { return len(baseline.VF2(g, q, limit)) }},
+	} {
+		var total time.Duration
+		for _, q := range slowQueries {
+			start := time.Now()
+			m.run(q)
+			total += time.Since(start)
+		}
+		tab.AddRow(m.name, "-", "-", total/time.Duration(len(slowQueries)), "no index (group 1)")
+	}
+
+	// Group 2: edge index + multiway joins.
+	start := time.Now()
+	eix := baseline.BuildEdgeIndex(g)
+	eixTime := time.Since(start)
+	var eixTotal time.Duration
+	blowups := 0
+	for _, q := range queries {
+		qs := time.Now()
+		_, err := eix.Match(q, limit, 2_000_000)
+		eixTotal += time.Since(qs)
+		var blow *baseline.ErrIntermediateBlowup
+		if errors.As(err, &blow) {
+			blowups++
+		} else if err != nil {
+			return nil, err
+		}
+	}
+	note := "edge index (group 2)"
+	if blowups > 0 {
+		note += " — intermediate blowups on some queries"
+	}
+	tab.AddRow("EdgeJoin", stats.HumanBytes(eix.MemoryBytes()), eixTime,
+		eixTotal/time.Duration(len(queries)), note)
+
+	// Group 4: neighborhood signature indexes.
+	for _, r := range []int{1, 2} {
+		start := time.Now()
+		six := baseline.BuildSignatureIndex(g, r)
+		buildTime := time.Since(start)
+		var sigTotal time.Duration
+		for _, q := range queries {
+			qs := time.Now()
+			six.Match(q, limit)
+			sigTotal += time.Since(qs)
+		}
+		tab.AddRow(
+			sprintfRadius(r),
+			stats.HumanBytes(six.MemoryBytes()),
+			buildTime,
+			sigTotal/time.Duration(len(queries)),
+			sprintfVisits(six.BuildVisits(), g.NumNodes()),
+		)
+	}
+
+	// This paper: STwig over the memory cloud. The only index is the
+	// per-machine string index, built during graph load.
+	cluster, loadTime, err := loadCluster(g, cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(cluster, core.Options{MatchBudget: limit, Seed: cfg.Seed})
+	avg, _, err := avgQueryTime(eng, queries)
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("STwig (this paper)", stats.HumanBytes(cluster.StringIndexBytes()), loadTime, avg,
+		sprintfMachines(cfg.Machines))
+	return tab, nil
+}
+
+func sprintfRadius(r int) string {
+	return fmt.Sprintf("Signature r=%d", r)
+}
+
+func sprintfVisits(visits, nodes int64) string {
+	return fmt.Sprintf("neighborhood index (group 4), build visits=%d for n=%d", visits, nodes)
+}
+
+func sprintfMachines(k int) string {
+	return fmt.Sprintf("string index only; %d machines", k)
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"stwig/internal/rmat"
+	"stwig/internal/stats"
+)
+
+// RunTable2 reproduces Table 2: graph loading time as the node count grows.
+// The paper loads R-MAT graphs of 1M…4096M nodes in 2s…689s (roughly
+// linear); here node counts are 2^13…2^19 by default (Scale raises them)
+// and the shape to verify is load time growing ≈ linearly with node count.
+func RunTable2(cfg Config) (*stats.Table, error) {
+	tab := stats.NewTable("nodes", "edges", "load_time", "ns_per_node")
+	for _, scalePow := range []int{13, 14, 15, 16, 17, 18, 19} {
+		g, err := rmat.Generate(rmat.Params{
+			Scale:     scaleForNodes(cfg.scaled(1 << scalePow)),
+			AvgDegree: 16,
+			NumLabels: 64,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, loadTime, err := loadCluster(g, cfg.Machines)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(g.NumNodes(), g.NumEdges(), loadTime,
+			loadTime.Nanoseconds()/g.NumNodes())
+	}
+	return tab, nil
+}
+
+// scaleForNodes converts a node budget to the nearest R-MAT scale exponent.
+func scaleForNodes(n int64) int {
+	s := 0
+	for (int64(1) << s) < n {
+		s++
+	}
+	if s < 6 {
+		s = 6
+	}
+	if s > 30 {
+		s = 30
+	}
+	return s
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates labeled vertices and edges and finalizes them into an
+// immutable CSR Graph. The zero value is not usable; call NewBuilder.
+//
+// Vertices are identified by dense NodeIDs assigned by AddNode in call order;
+// AddEdge accepts only IDs already returned by AddNode so that malformed
+// input fails at insertion rather than at Build.
+type Builder struct {
+	labels     []LabelID
+	srcs, dsts []NodeID
+	table      *LabelTable
+	undirected bool
+	dedupe     bool
+	allowLoops bool
+}
+
+// BuilderOption configures a Builder.
+type BuilderOption func(*Builder)
+
+// Undirected makes Build symmetrize every edge (store it in both adjacency
+// lists). All experiments in the paper reproduction use undirected graphs,
+// matching the paper's example semantics.
+func Undirected() BuilderOption { return func(b *Builder) { b.undirected = true } }
+
+// Dedupe makes Build drop parallel edges (after symmetrization).
+func Dedupe() BuilderOption { return func(b *Builder) { b.dedupe = true } }
+
+// AllowSelfLoops permits v->v edges, which are otherwise rejected.
+func AllowSelfLoops() BuilderOption { return func(b *Builder) { b.allowLoops = true } }
+
+// WithLabelTable shares an existing label table (e.g. so a query and a data
+// graph intern labels identically).
+func WithLabelTable(t *LabelTable) BuilderOption { return func(b *Builder) { b.table = t } }
+
+// NewBuilder returns a Builder with the given options applied.
+func NewBuilder(opts ...BuilderOption) *Builder {
+	b := &Builder{}
+	for _, o := range opts {
+		o(b)
+	}
+	if b.table == nil {
+		b.table = NewLabelTable()
+	}
+	return b
+}
+
+// AddNode appends a vertex with the given label string and returns its ID.
+func (b *Builder) AddNode(label string) NodeID {
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, b.table.Intern(label))
+	return id
+}
+
+// AddNodeLabelID appends a vertex with an already-interned label.
+func (b *Builder) AddNodeLabelID(label LabelID) NodeID {
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, label)
+	return id
+}
+
+// AddNodes appends n vertices labeled by the callback and returns the first
+// assigned ID. Bulk path for generators.
+func (b *Builder) AddNodes(n int64, label func(i int64) LabelID) NodeID {
+	first := NodeID(len(b.labels))
+	for i := int64(0); i < n; i++ {
+		b.labels = append(b.labels, label(i))
+	}
+	return first
+}
+
+// NumNodes returns the number of vertices added so far.
+func (b *Builder) NumNodes() int64 { return int64(len(b.labels)) }
+
+// NumEdges returns the number of AddEdge calls so far.
+func (b *Builder) NumEdges() int64 { return int64(len(b.srcs)) }
+
+// Labels returns the builder's label table.
+func (b *Builder) Labels() *LabelTable { return b.table }
+
+// AddEdge records an edge from u to v. Both endpoints must already exist.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	n := NodeID(len(b.labels))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) references unknown vertex (have %d vertices)", u, v, n)
+	}
+	if u == v && !b.allowLoops {
+		return fmt.Errorf("graph: self-loop (%d,%d) rejected; use AllowSelfLoops", u, v)
+	}
+	b.srcs = append(b.srcs, u)
+	b.dsts = append(b.dsts, v)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for generators whose inputs
+// are correct by construction.
+func (b *Builder) MustAddEdge(u, v NodeID) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Build finalizes the accumulated vertices and edges into an immutable
+// Graph. The Builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	n := int64(len(b.labels))
+	m := int64(len(b.srcs))
+	if b.undirected {
+		m *= 2
+	}
+
+	// Counting sort of edges into CSR: first pass degrees, second pass
+	// placement. This is O(n+m) and allocation-tight, which matters for the
+	// multi-million-node graphs the load benchmarks build.
+	offsets := make([]int64, n+1)
+	for i := range b.srcs {
+		offsets[b.srcs[i]+1]++
+		if b.undirected {
+			offsets[b.dsts[i]+1]++
+		}
+	}
+	for v := int64(0); v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]NodeID, m)
+	cursor := make([]int64, n)
+	for i := range b.srcs {
+		u, v := b.srcs[i], b.dsts[i]
+		adj[offsets[u]+cursor[u]] = v
+		cursor[u]++
+		if b.undirected {
+			adj[offsets[v]+cursor[v]] = u
+			cursor[v]++
+		}
+	}
+	b.srcs, b.dsts = nil, nil
+
+	g := &Graph{
+		offsets:  offsets,
+		adj:      adj,
+		labels:   b.labels,
+		table:    b.table,
+		directed: !b.undirected,
+	}
+	for v := int64(0); v < n; v++ {
+		ns := g.Neighbors(NodeID(v))
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	if b.dedupe {
+		g = dedupeAdjacency(g)
+	}
+	return g
+}
+
+// dedupeAdjacency rebuilds the CSR arrays with consecutive duplicate
+// neighbors removed (adjacency is already sorted).
+func dedupeAdjacency(g *Graph) *Graph {
+	n := g.NumNodes()
+	offsets := make([]int64, n+1)
+	adj := make([]NodeID, 0, len(g.adj))
+	for v := int64(0); v < n; v++ {
+		ns := g.Neighbors(NodeID(v))
+		for i, u := range ns {
+			if i > 0 && ns[i-1] == u {
+				continue
+			}
+			adj = append(adj, u)
+		}
+		offsets[v+1] = int64(len(adj))
+	}
+	return &Graph{offsets: offsets, adj: adj, labels: g.labels, table: g.table, directed: g.directed}
+}
+
+// FromEdges is a convenience constructor: labels[i] names vertex i and each
+// edges element is a [2]int64 endpoint pair. Used heavily by tests.
+func FromEdges(labels []string, edges [][2]int64, opts ...BuilderOption) (*Graph, error) {
+	b := NewBuilder(opts...)
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(NodeID(e[0]), NodeID(e[1])); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(labels []string, edges [][2]int64, opts ...BuilderOption) *Graph {
+	g, err := FromEdges(labels, edges, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

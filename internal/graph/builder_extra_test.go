@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWithLabelTableShares(t *testing.T) {
+	shared := NewLabelTable()
+	shared.Intern("a")
+	b1 := NewBuilder(WithLabelTable(shared))
+	b2 := NewBuilder(WithLabelTable(shared))
+	b1.AddNode("b")
+	b2.AddNode("c")
+	if shared.Len() != 3 {
+		t.Fatalf("shared table has %d labels, want 3", shared.Len())
+	}
+	if b1.Labels() != shared || b2.Labels() != shared {
+		t.Fatal("builders did not share the table")
+	}
+}
+
+func TestAddNodeLabelID(t *testing.T) {
+	b := NewBuilder()
+	l := b.Labels().Intern("x")
+	id := b.AddNodeLabelID(l)
+	g := b.Build()
+	if g.Label(id) != l || g.LabelString(id) != "x" {
+		t.Fatal("AddNodeLabelID label lost")
+	}
+}
+
+func TestBuilderCounters(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("a")
+	b.AddNode("b")
+	b.MustAddEdge(0, 1)
+	if b.NumNodes() != 2 || b.NumEdges() != 1 {
+		t.Fatalf("counters = (%d,%d)", b.NumNodes(), b.NumEdges())
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge did not panic on bad edge")
+		}
+	}()
+	b.MustAddEdge(0, 9)
+}
+
+func TestMustFromEdges(t *testing.T) {
+	g := MustFromEdges([]string{"a", "b"}, [][2]int64{{0, 1}}, Undirected())
+	if g.NumNodes() != 2 {
+		t.Fatal("MustFromEdges failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromEdges did not panic on bad edge")
+		}
+	}()
+	MustFromEdges([]string{"a"}, [][2]int64{{0, 5}})
+}
+
+func TestHasNode(t *testing.T) {
+	g := MustFromEdges([]string{"a", "b"}, [][2]int64{{0, 1}})
+	if !g.HasNode(0) || !g.HasNode(1) {
+		t.Fatal("HasNode false for valid vertex")
+	}
+	if g.HasNode(-1) || g.HasNode(2) {
+		t.Fatal("HasNode true for invalid vertex")
+	}
+}
+
+func TestAvgDegreeEmptyGraph(t *testing.T) {
+	g := NewBuilder().Build()
+	if g.AvgDegree() != 0 {
+		t.Fatal("empty graph AvgDegree != 0")
+	}
+}
+
+func TestLabelStringNoLabel(t *testing.T) {
+	b := NewBuilder()
+	b.AddNodeLabelID(NoLabel)
+	g := b.Build()
+	if g.LabelString(0) != "" {
+		t.Fatalf("LabelString for NoLabel = %q", g.LabelString(0))
+	}
+}
+
+func TestWriteTextDirected(t *testing.T) {
+	// Directed graphs emit every stored edge (no u<v suppression).
+	g := MustFromEdges([]string{"a", "b"}, [][2]int64{{1, 0}})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("e 1 0")) {
+		t.Fatalf("directed edge lost:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,206 @@
+// Package graph provides the labeled-graph substrate used throughout the
+// repository: a compact CSR (compressed sparse row) in-memory representation,
+// an incremental builder, a label table interning label strings, and text and
+// binary serialization.
+//
+// The representation is tuned for the access pattern of graph exploration:
+// Neighbors(v) returns a shared sub-slice of one contiguous adjacency arena,
+// so a traversal touches two flat arrays and no per-node heap objects. This
+// mirrors the "flat memory blob instead of runtime objects on heap" design of
+// the Trinity memory trunk described in §2.2 of the paper.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex of a data graph. IDs are dense in [0, N) for
+// graphs produced by Builder, which is what the partitioner and the memory
+// cloud assume.
+type NodeID int64
+
+// InvalidNode is returned by lookups that find no vertex.
+const InvalidNode NodeID = -1
+
+// LabelID is an interned vertex label. The zero value is the first label
+// interned into a LabelTable; use NoLabel for "absent".
+type LabelID uint32
+
+// NoLabel marks a vertex without a label.
+const NoLabel LabelID = ^LabelID(0)
+
+// Graph is an immutable vertex-labeled graph in CSR form. Construct one with
+// a Builder; the zero value is an empty graph ready for read-only use.
+//
+// Adjacency lists are sorted by neighbor ID, enabling binary-search edge
+// probes (HasEdge) and deterministic iteration.
+type Graph struct {
+	offsets []int64  // len = n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []NodeID // concatenated sorted adjacency arena
+	labels  []LabelID
+	table   *LabelTable
+	// directed records the builder's mode. Matching semantics in this
+	// repository treat adjacency as the neighbor relation, so undirected
+	// graphs store each edge twice.
+	directed bool
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int64 { return int64(len(g.labels)) }
+
+// NumEdges returns the number of stored (directed) adjacency entries. For a
+// graph built with Undirected(true) this is twice the undirected edge count.
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) }
+
+// Directed reports whether the graph was built in directed mode.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Labels returns the label table of the graph. It is nil only for the zero
+// Graph.
+func (g *Graph) Labels() *LabelTable { return g.table }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v NodeID) LabelID { return g.labels[v] }
+
+// LabelString returns the string form of vertex v's label, or "" if the
+// vertex is unlabeled.
+func (g *Graph) LabelString(v NodeID) string {
+	l := g.labels[v]
+	if l == NoLabel || g.table == nil {
+		return ""
+	}
+	return g.table.Name(l)
+}
+
+// Neighbors returns the sorted adjacency list of v as a shared sub-slice of
+// the adjacency arena. Callers must not modify it.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// HasEdge reports whether v has u in its adjacency list, by binary search.
+func (g *Graph) HasEdge(v, u NodeID) bool {
+	ns := g.Neighbors(v)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= u })
+	return i < len(ns) && ns[i] == u
+}
+
+// HasNode reports whether v is a valid vertex ID of g.
+func (g *Graph) HasNode(v NodeID) bool {
+	return v >= 0 && int64(v) < g.NumNodes()
+}
+
+// AvgDegree returns the mean adjacency length, 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.labels) == 0 {
+		return 0
+	}
+	return float64(len(g.adj)) / float64(len(g.labels))
+}
+
+// MaxDegree returns the largest adjacency length in the graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int64(0); v < g.NumNodes(); v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// LabelFrequencies returns, for each label ID, the number of vertices that
+// carry it. The slice is indexed by LabelID and has length equal to the
+// number of interned labels.
+func (g *Graph) LabelFrequencies() []int64 {
+	n := 0
+	if g.table != nil {
+		n = g.table.Len()
+	}
+	freq := make([]int64, n)
+	for _, l := range g.labels {
+		if l != NoLabel {
+			freq[l]++
+		}
+	}
+	return freq
+}
+
+// NodesWithLabel returns all vertex IDs carrying label l, in ascending
+// order. It is a linear scan; the memory cloud keeps proper per-partition
+// string indexes for query processing, this helper exists for tooling and
+// tests.
+func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
+	var out []NodeID
+	for v, lab := range g.labels {
+		if lab == l {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants (monotone offsets, sorted adjacency,
+// neighbor IDs in range) and returns a descriptive error on the first
+// violation. Intended for tests and data-ingestion tools.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if int64(len(g.offsets)) != n+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), n+1)
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if g.offsets[n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[n], len(g.adj))
+	}
+	for v := int64(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		ns := g.Neighbors(NodeID(v))
+		for i, u := range ns {
+			if u < 0 || u >= NodeID(n) {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if i > 0 && ns[i-1] > u {
+				return fmt.Errorf("graph: adjacency of vertex %d not sorted", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a graph for logging and experiment reports.
+type Stats struct {
+	Nodes     int64
+	Edges     int64 // stored adjacency entries
+	Labels    int
+	AvgDegree float64
+	MaxDegree int
+}
+
+// ComputeStats gathers Stats in one pass.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		AvgDegree: g.AvgDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+	if g.table != nil {
+		s.Labels = g.table.Len()
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d labels=%d avg_degree=%.2f max_degree=%d",
+		s.Nodes, s.Edges, s.Labels, s.AvgDegree, s.MaxDegree)
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// paperFigure1 builds the data graph of Figure 1(a): vertices a1,a2,b1,c1,d1
+// with edges forming the example used throughout the paper.
+func paperFigure1(t *testing.T) *Graph {
+	t.Helper()
+	// 0:a1 1:a2 2:b1 3:c1 4:d1
+	g, err := FromEdges(
+		[]string{"a", "a", "b", "c", "d"},
+		[][2]int64{{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}},
+		Undirected(),
+	)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := paperFigure1(t)
+	if got, want := g.NumNodes(), int64(5); got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), int64(14); got != want { // 7 undirected edges stored twice
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Directed() {
+		t.Fatal("graph built with Undirected() reports Directed")
+	}
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	g := paperFigure1(t)
+	for v := int64(0); v < g.NumNodes(); v++ {
+		ns := g.Neighbors(NodeID(v))
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] >= ns[i] {
+				t.Fatalf("vertex %d adjacency not strictly sorted: %v", v, ns)
+			}
+		}
+		for _, u := range ns {
+			if !g.HasEdge(u, NodeID(v)) {
+				t.Fatalf("edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := paperFigure1(t)
+	cases := []struct {
+		u, v NodeID
+		want bool
+	}{
+		{0, 2, true}, {2, 0, true}, {0, 1, false}, {0, 4, false}, {3, 4, true},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := paperFigure1(t)
+	if got := g.LabelString(0); got != "a" {
+		t.Fatalf("LabelString(0) = %q, want a", got)
+	}
+	freq := g.LabelFrequencies()
+	table := g.Labels()
+	byName := map[string]int64{}
+	for id, f := range freq {
+		byName[table.Name(LabelID(id))] = f
+	}
+	want := map[string]int64{"a": 2, "b": 1, "c": 1, "d": 1}
+	if !reflect.DeepEqual(byName, want) {
+		t.Fatalf("LabelFrequencies = %v, want %v", byName, want)
+	}
+	aNodes := g.NodesWithLabel(table.MustLookup("a"))
+	if !reflect.DeepEqual(aNodes, []NodeID{0, 1}) {
+		t.Fatalf("NodesWithLabel(a) = %v", aNodes)
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	b := NewBuilder()
+	v := b.AddNode("x")
+	if err := b.AddEdge(v, v); err == nil {
+		t.Fatal("self-loop accepted without AllowSelfLoops")
+	}
+	b2 := NewBuilder(AllowSelfLoops())
+	v2 := b2.AddNode("x")
+	if err := b2.AddEdge(v2, v2); err != nil {
+		t.Fatalf("self-loop rejected with AllowSelfLoops: %v", err)
+	}
+}
+
+func TestEdgeToUnknownVertexRejected(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("x")
+	if err := b.AddEdge(0, 5); err == nil {
+		t.Fatal("edge to unknown vertex accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Fatal("edge from negative vertex accepted")
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	g, err := FromEdges(
+		[]string{"a", "b"},
+		[][2]int64{{0, 1}, {0, 1}, {1, 0}},
+		Undirected(), Dedupe(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Degree(0); got != 1 {
+		t.Fatalf("Degree(0) after dedupe = %d, want 1", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDirectedBuild(t *testing.T) {
+	g, err := FromEdges([]string{"a", "b"}, [][2]int64{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("default build should be directed")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 0 {
+		t.Fatalf("directed degrees wrong: %d, %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := paperFigure1(t)
+	s := g.ComputeStats()
+	if s.Nodes != 5 || s.Edges != 14 || s.Labels != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxDegree != 4 { // b1 and c1 have degree 4
+		t.Fatalf("MaxDegree = %d, want 4", s.MaxDegree)
+	}
+	if s.String() == "" {
+		t.Fatal("Stats.String empty")
+	}
+}
+
+func TestAddNodesBulk(t *testing.T) {
+	b := NewBuilder()
+	la := b.Labels().Intern("a")
+	lb := b.Labels().Intern("b")
+	first := b.AddNodes(10, func(i int64) LabelID {
+		if i%2 == 0 {
+			return la
+		}
+		return lb
+	})
+	if first != 0 {
+		t.Fatalf("first = %d", first)
+	}
+	g := b.Build()
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.Label(3) != lb {
+		t.Fatalf("Label(3) = %d, want %d", g.Label(3), lb)
+	}
+}
+
+// randomGraph builds a random undirected graph for property tests.
+func randomGraph(rng *rand.Rand, n, m int, labels []string) *Graph {
+	b := NewBuilder(Undirected(), Dedupe())
+	for i := 0; i < n; i++ {
+		b.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestPropertyValidateRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		g := randomGraph(rng, n, m, []string{"a", "b", "c"})
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySymmetryRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, 3*n, []string{"a", "b"})
+		for v := int64(0); v < g.NumNodes(); v++ {
+			for _, u := range g.Neighbors(NodeID(v)) {
+				if !g.HasEdge(u, NodeID(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LabelTable interns label strings to dense LabelIDs. It is safe for
+// concurrent use; interning is cheap enough to sit on graph-build hot paths.
+//
+// The zero value is not usable; call NewLabelTable.
+type LabelTable struct {
+	mu    sync.RWMutex
+	byStr map[string]LabelID
+	names []string
+}
+
+// NewLabelTable returns an empty table.
+func NewLabelTable() *LabelTable {
+	return &LabelTable{byStr: make(map[string]LabelID)}
+}
+
+// Intern returns the LabelID for name, assigning the next dense ID if the
+// label has not been seen before.
+func (t *LabelTable) Intern(name string) LabelID {
+	t.mu.RLock()
+	id, ok := t.byStr[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok = t.byStr[name]; ok {
+		return id
+	}
+	id = LabelID(len(t.names))
+	t.byStr[name] = id
+	t.names = append(t.names, name)
+	return id
+}
+
+// Lookup returns the LabelID for name and whether it exists, without
+// interning.
+func (t *LabelTable) Lookup(name string) (LabelID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.byStr[name]
+	return id, ok
+}
+
+// Name returns the string for id. It panics on an out-of-range ID, matching
+// slice-index semantics.
+func (t *LabelTable) Name(id LabelID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.names[id]
+}
+
+// Len returns the number of interned labels.
+func (t *LabelTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
+
+// Names returns a copy of all interned label strings indexed by LabelID.
+func (t *LabelTable) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Clone returns an independent copy of the table.
+func (t *LabelTable) Clone() *LabelTable {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := &LabelTable{
+		byStr: make(map[string]LabelID, len(t.byStr)),
+		names: make([]string, len(t.names)),
+	}
+	copy(c.names, t.names)
+	for k, v := range t.byStr {
+		c.byStr[k] = v
+	}
+	return c
+}
+
+// MustLookup is Lookup that panics with a descriptive message when the label
+// is unknown. Convenient in examples and tests.
+func (t *LabelTable) MustLookup(name string) LabelID {
+	id, ok := t.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown label %q", name))
+	}
+	return id
+}
+
+// SortedNames returns the interned labels in lexicographic order. Used by
+// deterministic serializers and test output.
+func (t *LabelTable) SortedNames() []string {
+	names := t.Names()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLabelTableIntern(t *testing.T) {
+	tab := NewLabelTable()
+	a := tab.Intern("a")
+	b := tab.Intern("b")
+	if a == b {
+		t.Fatal("distinct labels interned to same ID")
+	}
+	if got := tab.Intern("a"); got != a {
+		t.Fatalf("re-intern a = %d, want %d", got, a)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if tab.Name(a) != "a" || tab.Name(b) != "b" {
+		t.Fatal("Name round trip failed")
+	}
+}
+
+func TestLabelTableLookup(t *testing.T) {
+	tab := NewLabelTable()
+	tab.Intern("x")
+	if _, ok := tab.Lookup("y"); ok {
+		t.Fatal("Lookup found uninterned label")
+	}
+	if id, ok := tab.Lookup("x"); !ok || tab.Name(id) != "x" {
+		t.Fatal("Lookup x failed")
+	}
+}
+
+func TestLabelTableMustLookupPanics(t *testing.T) {
+	tab := NewLabelTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup on unknown label did not panic")
+		}
+	}()
+	tab.MustLookup("missing")
+}
+
+func TestLabelTableClone(t *testing.T) {
+	tab := NewLabelTable()
+	tab.Intern("a")
+	c := tab.Clone()
+	c.Intern("b")
+	if tab.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: orig=%d clone=%d", tab.Len(), c.Len())
+	}
+}
+
+func TestLabelTableSortedNames(t *testing.T) {
+	tab := NewLabelTable()
+	for _, s := range []string{"c", "a", "b"} {
+		tab.Intern(s)
+	}
+	got := tab.SortedNames()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedNames = %v", got)
+		}
+	}
+}
+
+func TestLabelTableConcurrentIntern(t *testing.T) {
+	tab := NewLabelTable()
+	var wg sync.WaitGroup
+	const workers = 8
+	const labels = 100
+	ids := make([][]LabelID, workers)
+	for w := 0; w < workers; w++ {
+		ids[w] = make([]LabelID, labels)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < labels; i++ {
+				ids[w][i] = tab.Intern(fmt.Sprintf("label-%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != labels {
+		t.Fatalf("Len = %d, want %d", tab.Len(), labels)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < labels; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d interned label-%d to %d, worker 0 got %d", w, i, ids[w][i], ids[0][i])
+			}
+		}
+	}
+}

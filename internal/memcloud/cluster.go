@@ -1,0 +1,298 @@
+package memcloud
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stwig/internal/graph"
+)
+
+// MaxMachines bounds the simulated cluster size; cross-label-pair machine
+// sets are stored as single-word bitmasks. The paper's clusters have 8 and
+// 12 machines.
+const MaxMachines = 64
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Machines is the cluster size, in [1, MaxMachines].
+	Machines int
+	// Partitioner overrides the default HashPartitioner.
+	Partitioner Partitioner
+	// RemoteLatency, if nonzero, is slept once per remote batch message to
+	// emulate a network round trip. Off by default so unit tests stay fast;
+	// the speed-up experiments can enable it to make communication cost
+	// visible in wall-clock time.
+	RemoteLatency time.Duration
+}
+
+func (cfg Config) validate() error {
+	if cfg.Machines < 1 || cfg.Machines > MaxMachines {
+		return fmt.Errorf("memcloud: machine count %d out of range [1,%d]", cfg.Machines, MaxMachines)
+	}
+	if cfg.Partitioner != nil && cfg.Partitioner.Machines() != cfg.Machines {
+		return fmt.Errorf("memcloud: partitioner covers %d machines, cluster has %d",
+			cfg.Partitioner.Machines(), cfg.Machines)
+	}
+	return nil
+}
+
+// Cluster is a simulated Trinity memory cloud: a set of machines plus the
+// message fabric between them. A Cluster is safe for concurrent use once
+// LoadGraph has returned.
+type Cluster struct {
+	cfg      Config
+	part     Partitioner
+	machines []*Machine
+	labels   *graph.LabelTable
+	net      netCounters
+	cross    *crossPairs
+	loaded   bool
+	upd      updateState
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	part := cfg.Partitioner
+	if part == nil {
+		part = HashPartitioner{K: cfg.Machines}
+	}
+	c := &Cluster{cfg: cfg, part: part}
+	c.machines = make([]*Machine, cfg.Machines)
+	for i := range c.machines {
+		c.machines[i] = &Machine{id: i, cluster: c}
+	}
+	return c, nil
+}
+
+// MustNewCluster is NewCluster that panics on error.
+func MustNewCluster(cfg Config) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LoadGraph partitions g across the machines, builds each machine's slab
+// store and string index, and runs the cross-label-pair preprocessing of
+// §5.3. Its duration is what Table 2 reports.
+func (c *Cluster) LoadGraph(g *graph.Graph) error {
+	if c.loaded {
+		return fmt.Errorf("memcloud: cluster already loaded")
+	}
+	n := g.NumNodes()
+	k := c.cfg.Machines
+	perMachine := n/int64(k) + 1
+
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		m := c.machines[i]
+		m.store = newStore(perMachine)
+		m.index = newStringIndex()
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			for v := int64(0); v < n; v++ {
+				id := graph.NodeID(v)
+				if c.part.Owner(id) != m.id {
+					continue
+				}
+				label := g.Label(id)
+				m.store.put(id, label, g.Neighbors(id))
+				m.index.add(id, label)
+			}
+			m.index.finalize()
+		}(m)
+	}
+	wg.Wait()
+
+	// Cross-label-pair preprocessing: for each edge (u,v), associate the
+	// label pair (T(u),T(v)) with the machine pair (owner(u),owner(v)).
+	cross := newCrossPairs(k)
+	for v := int64(0); v < n; v++ {
+		u := graph.NodeID(v)
+		i := c.part.Owner(u)
+		lu := g.Label(u)
+		for _, w := range g.Neighbors(u) {
+			j := c.part.Owner(w)
+			cross.add(i, j, lu, g.Label(w))
+		}
+	}
+	c.cross = cross
+	c.labels = g.Labels()
+	c.loaded = true
+	c.upd.nextID = graph.NodeID(n)
+	return nil
+}
+
+// NumMachines returns the cluster size.
+func (c *Cluster) NumMachines() int { return c.cfg.Machines }
+
+// NumNodes returns the total vertex count across machines, including
+// vertices added after load. Vertex IDs are dense in [0, NumNodes()).
+func (c *Cluster) NumNodes() int64 {
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	return int64(c.upd.nextID)
+}
+
+// Machine returns machine i.
+func (c *Cluster) Machine(i int) *Machine { return c.machines[i] }
+
+// Owner returns the machine index owning vertex v.
+func (c *Cluster) Owner(v graph.NodeID) int { return c.part.Owner(v) }
+
+// Labels returns the label table of the loaded graph, or nil before load.
+func (c *Cluster) Labels() *graph.LabelTable { return c.labels }
+
+// NetStats snapshots the communication counters.
+func (c *Cluster) NetStats() NetStats { return c.net.snapshot() }
+
+// ResetNetStats zeroes the communication counters; experiments call this
+// between phases.
+func (c *Cluster) ResetNetStats() { c.net.reset() }
+
+// CrossMask returns the bitmask of machines j such that the data graph
+// contains an edge from a vertex labeled la on machine i to a vertex labeled
+// lb on machine j. This is the stored label-pair information §5.3 uses to
+// build a query-specific cluster graph without touching the data graph.
+func (c *Cluster) CrossMask(i int, la, lb graph.LabelID) uint64 {
+	return c.cross.mask(i, la, lb)
+}
+
+// TotalMemoryBytes estimates resident bytes across machines (stores plus
+// string indexes). Reported in the Table 1 reproduction.
+func (c *Cluster) TotalMemoryBytes() int64 {
+	var total int64
+	for _, m := range c.machines {
+		total += m.store.memoryBytes() + m.index.memoryBytes()
+	}
+	return total
+}
+
+// StringIndexBytes estimates the total size of all machines' string
+// indexes, the only index the system builds.
+func (c *Cluster) StringIndexBytes() int64 {
+	var total int64
+	for _, m := range c.machines {
+		total += m.index.memoryBytes()
+	}
+	return total
+}
+
+// ParallelEach runs fn concurrently for every machine and waits for all to
+// finish. It is the execution primitive for the paper's "each machine
+// performs Algorithm 1 ... in parallel".
+func (c *Cluster) ParallelEach(fn func(m *Machine)) {
+	var wg sync.WaitGroup
+	for _, m := range c.machines {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			fn(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// accountRemote charges one message of the given payload words and applies
+// the configured latency.
+func (c *Cluster) accountRemote(words int) {
+	c.net.account(1, payloadSize(words))
+	if c.cfg.RemoteLatency > 0 {
+		time.Sleep(c.cfg.RemoteLatency)
+	}
+}
+
+// Load is the paper's Cloud.Load(id) as issued from machine `from`: it
+// locates the vertex wherever it lives and returns its cell. Remote loads
+// ship the neighbor list and are accounted.
+func (c *Cluster) Load(from int, id graph.NodeID) (Cell, bool) {
+	owner := c.part.Owner(id)
+	cell, ok := c.machines[owner].store.load(id)
+	if !ok {
+		return Cell{}, false
+	}
+	if owner != from {
+		// Ship a copy: remote cells must not alias another machine's arena.
+		shipped := Cell{ID: cell.ID, Label: cell.Label, Neighbors: append([]graph.NodeID(nil), cell.Neighbors...)}
+		c.accountRemote(2 + len(cell.Neighbors))
+		return shipped, true
+	}
+	return cell, true
+}
+
+// HasLabel is the paper's Index.hasLabel(id, label) as issued from machine
+// `from`. Checking a remote vertex costs one round trip ("when checking the
+// label of a child node ... we may incur network communication", §4.3).
+func (c *Cluster) HasLabel(from int, id graph.NodeID, label graph.LabelID) bool {
+	owner := c.part.Owner(id)
+	l, ok := c.machines[owner].store.labelOf(id)
+	if owner != from {
+		c.accountRemote(2)
+	}
+	return ok && l == label
+}
+
+// LabelsOfBatch resolves the labels of a batch of vertex IDs as issued from
+// machine `from`, grouping remote lookups into one message per owner
+// machine. This models Trinity's message merging / batch transmission
+// (§2.2) and is what the matcher uses on hot paths.
+func (c *Cluster) LabelsOfBatch(from int, ids []graph.NodeID, out []graph.LabelID) []graph.LabelID {
+	out = out[:0]
+	// One pass: count per-owner traffic, resolve labels directly (the
+	// simulation can read any machine's store; accounting preserves the
+	// cost structure of doing it with real messages).
+	// One word per remote ID: the request direction carries the 8-byte
+	// vertex ID and the (smaller) label response rides the full-duplex
+	// return path.
+	remoteWords := make(map[int]int)
+	for _, id := range ids {
+		owner := c.part.Owner(id)
+		l, ok := c.machines[owner].store.labelOf(id)
+		if !ok {
+			l = graph.NoLabel
+		}
+		out = append(out, l)
+		if owner != from {
+			remoteWords[owner]++
+		}
+	}
+	for _, words := range remoteWords {
+		c.accountRemote(words)
+	}
+	return out
+}
+
+// ShipWords accounts an application-level transfer of the given number of
+// 8-byte words from machine `from` to machine `to` (used by the join phase
+// when machines exchange STwig results). No-op when from == to.
+func (c *Cluster) ShipWords(from, to, words int) {
+	if from == to {
+		return
+	}
+	c.accountRemote(words)
+}
+
+// AccountProxyTransfer accounts one message of the given payload words
+// between a machine and the query proxy (which is not itself a cluster
+// machine). The exploration phase uses it for binding synchronization.
+func (c *Cluster) AccountProxyTransfer(words int) {
+	c.accountRemote(words)
+}
+
+// GlobalLabelCount sums Index.Count over machines: the number of vertices
+// in the whole graph carrying the label. Used by f-value computation
+// (§5.2); in a real deployment this per-label count is a byproduct of index
+// construction, so no communication is charged.
+func (c *Cluster) GlobalLabelCount(label graph.LabelID) int64 {
+	var total int64
+	for _, m := range c.machines {
+		total += int64(m.index.Count(label))
+	}
+	return total
+}

@@ -1,0 +1,473 @@
+package memcloud
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"stwig/internal/graph"
+	"stwig/internal/rmat"
+)
+
+// figure5Graph approximates the paper's Figure 5: a graph spread over 4
+// machines. We use a RangePartitioner so placement is predictable.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(
+		[]string{"a", "b", "c", "d", "e", "f", "a", "b"},
+		[][2]int64{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}},
+		graph.Undirected(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func loadedCluster(t *testing.T, g *graph.Graph, k int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{Machines: k, Partitioner: RangePartitioner{K: k, N: g.NumNodes()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Machines: 0}); err == nil {
+		t.Fatal("accepted 0 machines")
+	}
+	if _, err := NewCluster(Config{Machines: MaxMachines + 1}); err == nil {
+		t.Fatal("accepted too many machines")
+	}
+	if _, err := NewCluster(Config{Machines: 3, Partitioner: HashPartitioner{K: 2}}); err == nil {
+		t.Fatal("accepted mismatched partitioner")
+	}
+}
+
+func TestLoadGraphPartitionsAllNodes(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	var total int64
+	for i := 0; i < c.NumMachines(); i++ {
+		total += c.Machine(i).NumLocalNodes()
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("machines hold %d nodes, graph has %d", total, g.NumNodes())
+	}
+	if err := c.LoadGraph(g); err == nil {
+		t.Fatal("double load accepted")
+	}
+}
+
+func TestLocalIDsOnlyLocal(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	for i := 0; i < c.NumMachines(); i++ {
+		m := c.Machine(i)
+		for _, name := range g.Labels().Names() {
+			l := g.Labels().MustLookup(name)
+			for _, id := range m.LocalIDs(l) {
+				if c.Owner(id) != i {
+					t.Fatalf("machine %d string index lists non-local vertex %d", i, id)
+				}
+				if g.Label(id) != l {
+					t.Fatalf("vertex %d indexed under wrong label", id)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalIDsCoverEveryVertex(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	seen := map[graph.NodeID]bool{}
+	for i := 0; i < c.NumMachines(); i++ {
+		m := c.Machine(i)
+		for _, name := range g.Labels().Names() {
+			for _, id := range m.LocalIDs(g.Labels().MustLookup(name)) {
+				if seen[id] {
+					t.Fatalf("vertex %d indexed twice", id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+	if int64(len(seen)) != g.NumNodes() {
+		t.Fatalf("indexes cover %d vertices, graph has %d", len(seen), g.NumNodes())
+	}
+}
+
+func TestLoadReturnsCorrectCell(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	for v := int64(0); v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		cell, ok := c.Load(c.Owner(id), id)
+		if !ok {
+			t.Fatalf("Load(%d) not found", id)
+		}
+		if cell.Label != g.Label(id) {
+			t.Fatalf("Load(%d) label = %d, want %d", id, cell.Label, g.Label(id))
+		}
+		want := g.Neighbors(id)
+		if len(cell.Neighbors) != len(want) {
+			t.Fatalf("Load(%d) has %d neighbors, want %d", id, len(cell.Neighbors), len(want))
+		}
+		for i := range want {
+			if cell.Neighbors[i] != want[i] {
+				t.Fatalf("Load(%d) neighbors = %v, want %v", id, cell.Neighbors, want)
+			}
+		}
+	}
+}
+
+func TestLoadMissingVertex(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 2)
+	if _, ok := c.Load(0, graph.NodeID(10_000)); ok {
+		t.Fatal("Load of nonexistent vertex succeeded")
+	}
+}
+
+func TestRemoteLoadAccounted(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	c.ResetNetStats()
+
+	// Local load: no traffic.
+	id := graph.NodeID(0)
+	owner := c.Owner(id)
+	if _, ok := c.Load(owner, id); !ok {
+		t.Fatal("local load failed")
+	}
+	if s := c.NetStats(); s.Messages != 0 {
+		t.Fatalf("local load accounted %v", s)
+	}
+
+	// Remote load: one message with neighbors shipped.
+	other := (owner + 1) % c.NumMachines()
+	cell, ok := c.Load(other, id)
+	if !ok {
+		t.Fatal("remote load failed")
+	}
+	s := c.NetStats()
+	if s.Messages != 1 {
+		t.Fatalf("remote load messages = %d, want 1", s.Messages)
+	}
+	wantBytes := payloadSize(2 + len(cell.Neighbors))
+	if s.Bytes != wantBytes {
+		t.Fatalf("remote load bytes = %d, want %d", s.Bytes, wantBytes)
+	}
+}
+
+func TestRemoteCellIsCopy(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	id := graph.NodeID(0)
+	owner := c.Owner(id)
+	remote, _ := c.Load((owner+1)%4, id)
+	if len(remote.Neighbors) == 0 {
+		t.Skip("vertex has no neighbors")
+	}
+	remote.Neighbors[0] = graph.NodeID(999)
+	local, _ := c.Load(owner, id)
+	if local.Neighbors[0] == 999 {
+		t.Fatal("remote cell aliases owner's arena")
+	}
+}
+
+func TestHasLabel(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	la := g.Labels().MustLookup("a")
+	lb := g.Labels().MustLookup("b")
+	if !c.HasLabel(c.Owner(0), 0, la) {
+		t.Fatal("HasLabel(0, a) = false")
+	}
+	if c.HasLabel(c.Owner(0), 0, lb) {
+		t.Fatal("HasLabel(0, b) = true")
+	}
+	if c.HasLabel(0, graph.NodeID(10_000), la) {
+		t.Fatal("HasLabel on missing vertex = true")
+	}
+}
+
+func TestHasLabelRemoteAccounted(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	c.ResetNetStats()
+	id := graph.NodeID(0)
+	other := (c.Owner(id) + 1) % 4
+	c.HasLabel(other, id, g.Labels().MustLookup("a"))
+	if s := c.NetStats(); s.Messages != 1 {
+		t.Fatalf("remote HasLabel messages = %d, want 1", s.Messages)
+	}
+}
+
+func TestLabelsOfBatchCorrectAndBatched(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	c.ResetNetStats()
+	ids := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	labels := c.LabelsOfBatch(0, ids, nil)
+	for i, id := range ids {
+		if labels[i] != g.Label(id) {
+			t.Fatalf("batch label of %d = %d, want %d", id, labels[i], g.Label(id))
+		}
+	}
+	// With a range partitioner over 8 nodes and 4 machines, machine 0 owns
+	// nodes 0-1; the other 6 lookups go to 3 remote machines => 3 messages.
+	if s := c.NetStats(); s.Messages != 3 {
+		t.Fatalf("batch messages = %d, want 3 (one per remote owner)", s.Messages)
+	}
+}
+
+func TestLabelsOfBatchMissingVertex(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 2)
+	labels := c.LabelsOfBatch(0, []graph.NodeID{0, 10_000}, nil)
+	if labels[1] != graph.NoLabel {
+		t.Fatalf("missing vertex label = %d, want NoLabel", labels[1])
+	}
+}
+
+func TestShipWords(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 2)
+	c.ResetNetStats()
+	c.ShipWords(0, 0, 100) // local: free
+	if s := c.NetStats(); s.Messages != 0 {
+		t.Fatal("local ship accounted")
+	}
+	c.ShipWords(0, 1, 100)
+	s := c.NetStats()
+	if s.Messages != 1 || s.Bytes != payloadSize(100) {
+		t.Fatalf("ship stats = %v", s)
+	}
+}
+
+func TestGlobalLabelCount(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	if got := c.GlobalLabelCount(g.Labels().MustLookup("a")); got != 2 {
+		t.Fatalf("GlobalLabelCount(a) = %d, want 2", got)
+	}
+	if got := c.GlobalLabelCount(g.Labels().MustLookup("d")); got != 1 {
+		t.Fatalf("GlobalLabelCount(d) = %d, want 1", got)
+	}
+}
+
+func TestCrossMaskReflectsEdges(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	// Edge (0,1) = (a,b); owner(0)=0 owner(1)=0 under range partition of 8
+	// nodes over 4 machines (2 per machine).
+	la := g.Labels().MustLookup("a")
+	lb := g.Labels().MustLookup("b")
+	if c.CrossMask(0, la, lb)&1 == 0 {
+		t.Fatal("intra-machine (a,b) pair not recorded for machine 0")
+	}
+	// Edge (7,0): node 7 labeled b on machine 3, node 0 labeled a on machine 0.
+	if c.CrossMask(3, lb, la)&1 == 0 {
+		t.Fatal("cross-machine (b,a) pair m3->m0 not recorded")
+	}
+	if c.CrossMask(0, la, lb)&(1<<3) == 0 {
+		t.Fatal("cross-machine (a,b) pair m0->m3 not recorded")
+	}
+	// Never-adjacent label pair.
+	ld := g.Labels().MustLookup("d")
+	lf := g.Labels().MustLookup("f")
+	for i := 0; i < 4; i++ {
+		if c.CrossMask(i, ld, lf) != 0 {
+			t.Fatalf("phantom (d,f) pair on machine %d", i)
+		}
+	}
+}
+
+func TestPropertyCrossMaskSoundAndComplete(t *testing.T) {
+	// For random graphs and random partitions: CrossMask(i, la, lb) has bit
+	// j set iff some edge (u,v) with labels (la,lb) crosses (i,j).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+		labels := []string{"a", "b", "c"}
+		for _, l := range labels {
+			b.Labels().Intern(l) // every label resolvable even if unused
+		}
+		for i := 0; i < n; i++ {
+			b.AddNode(labels[rng.Intn(3)])
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		k := 2 + rng.Intn(4)
+		c := MustNewCluster(Config{Machines: k})
+		if err := c.LoadGraph(g); err != nil {
+			return false
+		}
+		// Recompute expected masks by brute force.
+		want := map[[3]uint64]uint64{}
+		for v := int64(0); v < g.NumNodes(); v++ {
+			u := graph.NodeID(v)
+			i := c.Owner(u)
+			for _, w := range g.Neighbors(u) {
+				key := [3]uint64{uint64(i), uint64(g.Label(u)), uint64(g.Label(w))}
+				want[key] |= 1 << uint(c.Owner(w))
+			}
+		}
+		for key, mask := range want {
+			if c.CrossMask(int(key[0]), graph.LabelID(key[1]), graph.LabelID(key[2])) != mask {
+				return false
+			}
+		}
+		// Soundness: no extra bits for pairs we did not see.
+		for i := 0; i < k; i++ {
+			for _, la := range []string{"a", "b", "c"} {
+				for _, lb := range []string{"a", "b", "c"} {
+					key := [3]uint64{uint64(i), uint64(g.Labels().MustLookup(la)), uint64(g.Labels().MustLookup(lb))}
+					got := c.CrossMask(i, g.Labels().MustLookup(la), g.Labels().MustLookup(lb))
+					if got != want[key] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPartitionerBalance(t *testing.T) {
+	p := HashPartitioner{K: 8}
+	counts := make([]int, 8)
+	const n = 100_000
+	for v := 0; v < n; v++ {
+		counts[p.Owner(graph.NodeID(v))]++
+	}
+	for i, got := range counts {
+		share := float64(got) / n
+		if share < 0.10 || share > 0.15 { // expect 0.125
+			t.Fatalf("machine %d share %.3f unbalanced", i, share)
+		}
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p := RangePartitioner{K: 4, N: 8}
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for v, w := range want {
+		if got := p.Owner(graph.NodeID(v)); got != w {
+			t.Fatalf("Owner(%d) = %d, want %d", v, got, w)
+		}
+	}
+	// Out-of-range IDs clamp to the last machine rather than panic.
+	if got := p.Owner(graph.NodeID(100)); got != 3 {
+		t.Fatalf("Owner(100) = %d, want 3", got)
+	}
+	if (RangePartitioner{K: 2, N: 0}).Owner(0) != 0 {
+		t.Fatal("empty-range partitioner should map to machine 0")
+	}
+}
+
+func TestParallelEachRunsAllMachines(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	seen := make([]bool, 4)
+	var mu sort.IntSlice // abuse: no, use channel instead
+	_ = mu
+	results := make(chan int, 4)
+	c.ParallelEach(func(m *Machine) { results <- m.ID() })
+	close(results)
+	for id := range results {
+		seen[id] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("machine %d did not run", i)
+		}
+	}
+}
+
+func TestLoadLargerGraphAcrossMachines(t *testing.T) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 11, AvgDegree: 8, NumLabels: 8, Seed: 5})
+	c := MustNewCluster(Config{Machines: 6})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 6; i++ {
+		total += c.Machine(i).NumLocalNodes()
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("partition total = %d, want %d", total, g.NumNodes())
+	}
+	if c.TotalMemoryBytes() <= 0 || c.StringIndexBytes() <= 0 {
+		t.Fatal("memory estimates not positive")
+	}
+	// Spot-check 100 random vertices load correctly from machine 0.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		id := graph.NodeID(rng.Int63n(g.NumNodes()))
+		cell, ok := c.Load(0, id)
+		if !ok || cell.Label != g.Label(id) || len(cell.Neighbors) != g.Degree(id) {
+			t.Fatalf("Load(%d) mismatch", id)
+		}
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	m := c.Machine(1)
+	if m.ID() != 1 || m.Cluster() != c {
+		t.Fatal("machine accessors wrong")
+	}
+	if !m.Owns(graph.NodeID(2)) || m.Owns(graph.NodeID(0)) {
+		t.Fatal("Owns wrong under range partition")
+	}
+	if _, ok := m.LoadLocal(graph.NodeID(2)); !ok {
+		t.Fatal("LoadLocal of owned vertex failed")
+	}
+	if _, ok := m.LoadLocal(graph.NodeID(0)); ok {
+		t.Fatal("LoadLocal of foreign vertex succeeded")
+	}
+	if m.LocalLabelCount(g.Labels().MustLookup("c")) != 1 {
+		t.Fatal("LocalLabelCount wrong")
+	}
+	cell, ok := m.Load(graph.NodeID(0)) // remote via machine API
+	if !ok || cell.Label != g.Label(0) {
+		t.Fatal("machine.Load remote failed")
+	}
+	if !m.HasLabel(graph.NodeID(0), g.Label(0)) {
+		t.Fatal("machine.HasLabel failed")
+	}
+	labels := m.LabelsOfBatch([]graph.NodeID{0, 2}, nil)
+	if labels[0] != g.Label(0) || labels[1] != g.Label(2) {
+		t.Fatal("machine.LabelsOfBatch wrong")
+	}
+}
+
+func TestNetStatsSub(t *testing.T) {
+	a := NetStats{Messages: 10, Bytes: 100}
+	b := NetStats{Messages: 4, Bytes: 40}
+	d := a.Sub(b)
+	if d.Messages != 6 || d.Bytes != 60 {
+		t.Fatalf("Sub = %v", d)
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,47 @@
+package memcloud
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetworkModelTransferTime(t *testing.T) {
+	m := NetworkModel{LatencyPerMessage: time.Microsecond, BytesPerSecond: 1_000_000}
+	// 10 messages, 1MB, 1 machine: 10µs + 1s.
+	got := m.TransferTime(NetStats{Messages: 10, Bytes: 1_000_000}, 1)
+	want := 10*time.Microsecond + time.Second
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	// Same traffic over 4 machines moves in parallel: quarter the time.
+	got4 := m.TransferTime(NetStats{Messages: 10, Bytes: 1_000_000}, 4)
+	if got4 >= got {
+		t.Fatalf("4-machine transfer %v not faster than 1-machine %v", got4, got)
+	}
+	if got4 < got/5 {
+		t.Fatalf("4-machine transfer %v implausibly fast vs %v", got4, got)
+	}
+}
+
+func TestNetworkModelZeroIsFree(t *testing.T) {
+	var m NetworkModel
+	if m.TransferTime(NetStats{Messages: 100, Bytes: 1 << 30}, 1) != 0 {
+		t.Fatal("zero model charged time")
+	}
+}
+
+func TestNetworkModelClampsMachines(t *testing.T) {
+	m := DefaultNetworkModel()
+	if m.TransferTime(NetStats{Messages: 10, Bytes: 1000}, 0) == 0 {
+		t.Fatal("machines=0 produced zero transfer time")
+	}
+}
+
+func TestDefaultNetworkModelIsGigE(t *testing.T) {
+	m := DefaultNetworkModel()
+	// 125 MB at 1 GigE ≈ 1 second.
+	d := m.TransferTime(NetStats{Bytes: 125_000_000}, 1)
+	if d < 900*time.Millisecond || d > 1100*time.Millisecond {
+		t.Fatalf("125MB transfer modeled as %v, want ≈1s", d)
+	}
+}

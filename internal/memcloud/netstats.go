@@ -1,0 +1,97 @@
+package memcloud
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// NetStats is a snapshot of cluster communication counters. The experiments
+// in §6 attribute performance differences to network traffic ("more network
+// traffic and synchronization cost will be incurred with more machines"), so
+// the fabric counts every simulated message and payload byte.
+type NetStats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+func (s NetStats) String() string {
+	return fmt.Sprintf("messages=%d bytes=%d", s.Messages, s.Bytes)
+}
+
+// Sub returns the delta s - earlier, for measuring a window.
+func (s NetStats) Sub(earlier NetStats) NetStats {
+	return NetStats{Messages: s.Messages - earlier.Messages, Bytes: s.Bytes - earlier.Bytes}
+}
+
+// netCounters is the live, atomically updated form.
+type netCounters struct {
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+func (c *netCounters) account(msgs, payloadBytes uint64) {
+	c.messages.Add(msgs)
+	c.bytes.Add(payloadBytes)
+}
+
+func (c *netCounters) snapshot() NetStats {
+	return NetStats{Messages: c.messages.Load(), Bytes: c.bytes.Load()}
+}
+
+func (c *netCounters) reset() {
+	c.messages.Store(0)
+	c.bytes.Store(0)
+}
+
+// Wire-size model: every message carries a fixed header plus 8 bytes per
+// vertex ID or per label word shipped. The constants only need to be
+// consistent, not exact, for the communication comparisons (load sets vs
+// all-to-all) to be meaningful.
+const (
+	msgHeaderBytes = 16
+	wordBytes      = 8
+)
+
+func payloadSize(words int) uint64 {
+	return uint64(msgHeaderBytes + words*wordBytes)
+}
+
+// NetworkModel converts message/byte counters into modeled transfer time,
+// for simulation runs on hosts without real hardware parallelism (the
+// speed-up experiments use it; see core.Options.SimulateParallel). The
+// defaults approximate the paper's GigE cluster: ~1 Gbit/s effective
+// bandwidth and a small per-message overhead reflecting Trinity's
+// aggressive message batching.
+type NetworkModel struct {
+	// LatencyPerMessage is charged once per accounted message.
+	LatencyPerMessage time.Duration
+	// BytesPerSecond divides the accounted payload bytes.
+	BytesPerSecond int64
+}
+
+// DefaultNetworkModel mirrors the paper's 1 GigE fabric.
+func DefaultNetworkModel() NetworkModel {
+	return NetworkModel{LatencyPerMessage: 2 * time.Microsecond, BytesPerSecond: 125_000_000}
+}
+
+// TransferTime models the wall time to move the given cluster-wide traffic
+// across a cluster of `machines` members. Each machine has its own NIC, so
+// symmetric traffic moves in parallel: the model divides aggregate bytes
+// and messages by the machine count (the per-machine share approximates the
+// max over machines for the exchange patterns the engine generates).
+func (m NetworkModel) TransferTime(s NetStats, machines int) time.Duration {
+	if m.BytesPerSecond <= 0 && m.LatencyPerMessage <= 0 {
+		return 0
+	}
+	if machines < 1 {
+		machines = 1
+	}
+	perMachineMsgs := s.Messages / uint64(machines)
+	perMachineBytes := s.Bytes / uint64(machines)
+	d := time.Duration(perMachineMsgs) * m.LatencyPerMessage
+	if m.BytesPerSecond > 0 {
+		d += time.Duration(float64(perMachineBytes) / float64(m.BytesPerSecond) * float64(time.Second))
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+// Package memcloud simulates the Trinity memory cloud the paper deploys
+// graphs on (§2.2): a cluster of machines whose RAM jointly holds one large
+// graph, addressed through a unified ID space. Each simulated machine owns a
+// hash partition of the vertices, stores its adjacency in a flat slab (the
+// "memory trunk" design: one arena, no per-object heap overhead), keeps a
+// local string index mapping labels to local vertex IDs, and reaches remote
+// vertices through a message fabric that accounts every message and byte.
+//
+// The package provides exactly the atomic operators the paper's Algorithm 1
+// needs — Cloud.Load, Index.getID, Index.hasLabel — plus the batch variants
+// that correspond to Trinity's message-merging network optimizations, and
+// the label-pair preprocessing that §5.3 uses to build cluster graphs.
+package memcloud
+
+import "stwig/internal/graph"
+
+// Partitioner assigns every vertex to a machine. The paper emphasizes that
+// results hold under random partitioning ("each node ... is assigned to a
+// machine by a hashing function", §4.3), which HashPartitioner implements.
+type Partitioner interface {
+	// Owner returns the machine index owning v, in [0, Machines()).
+	Owner(v graph.NodeID) int
+	// Machines returns the number of partitions.
+	Machines() int
+}
+
+// HashPartitioner spreads vertices with a Fibonacci multiplicative hash so
+// that consecutively numbered vertices (which generators emit) do not land
+// on the same machine in runs.
+type HashPartitioner struct {
+	K int
+}
+
+// Owner implements Partitioner.
+func (p HashPartitioner) Owner(v graph.NodeID) int {
+	h := uint64(v) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(p.K))
+}
+
+// Machines implements Partitioner.
+func (p HashPartitioner) Machines() int { return p.K }
+
+// BFSPartitioner assigns vertices to machines by chunked breadth-first
+// traversal: contiguous BFS regions land on the same machine, so
+// neighborhoods mostly stay machine-local. The paper deliberately avoids
+// relying on any particular partitioning ("our performance results are
+// obtained in the setting where the graph is randomly partitioned", §4.3),
+// but notes load sets profit from data distribution — this partitioner is
+// the locality end of that spectrum, used by the ablation experiments.
+//
+// Build one with NewBFSPartitioner; it precomputes the full assignment.
+type BFSPartitioner struct {
+	k      int
+	owners []uint8
+}
+
+// NewBFSPartitioner partitions g's vertices into k balanced BFS chunks.
+func NewBFSPartitioner(g *graph.Graph, k int) *BFSPartitioner {
+	n := g.NumNodes()
+	owners := make([]uint8, n)
+	per := n/int64(k) + 1
+	assigned := int64(0)
+	current := 0
+	visited := make([]bool, n)
+	var queue []graph.NodeID
+	assign := func(v graph.NodeID) {
+		owners[v] = uint8(current)
+		assigned++
+		if assigned%per == 0 && current < k-1 {
+			current++
+		}
+	}
+	for start := int64(0); start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], graph.NodeID(start))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			assign(v)
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return &BFSPartitioner{k: k, owners: owners}
+}
+
+// Owner implements Partitioner. Vertices added after construction (dynamic
+// updates) fall back to a hash placement.
+func (p *BFSPartitioner) Owner(v graph.NodeID) int {
+	if int64(v) < int64(len(p.owners)) {
+		return int(p.owners[v])
+	}
+	return HashPartitioner{K: p.k}.Owner(v)
+}
+
+// Machines implements Partitioner.
+func (p *BFSPartitioner) Machines() int { return p.k }
+
+// RangePartitioner assigns contiguous ID ranges to machines. Useful in tests
+// where partition placement must be predictable, and as a worst-case
+// contrast to hash partitioning in ablation benches.
+type RangePartitioner struct {
+	K int
+	N int64 // total vertex count
+}
+
+// Owner implements Partitioner.
+func (p RangePartitioner) Owner(v graph.NodeID) int {
+	per := (p.N + int64(p.K) - 1) / int64(p.K)
+	if per == 0 {
+		return 0
+	}
+	m := int(int64(v) / per)
+	if m >= p.K {
+		m = p.K - 1
+	}
+	return m
+}
+
+// Machines implements Partitioner.
+func (p RangePartitioner) Machines() int { return p.K }

@@ -1,0 +1,131 @@
+package memcloud
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stwig/internal/graph"
+	"stwig/internal/rmat"
+)
+
+func TestBFSPartitionerBalance(t *testing.T) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 12, AvgDegree: 8, NumLabels: 4, Seed: 2})
+	const k = 8
+	p := NewBFSPartitioner(g, k)
+	if p.Machines() != k {
+		t.Fatalf("Machines = %d", p.Machines())
+	}
+	counts := make([]int64, k)
+	for v := int64(0); v < g.NumNodes(); v++ {
+		counts[p.Owner(graph.NodeID(v))]++
+	}
+	per := g.NumNodes() / k
+	for i, c := range counts {
+		if c < per/2 || c > 2*per {
+			t.Fatalf("machine %d holds %d of %d vertices — unbalanced %v", i, c, g.NumNodes(), counts)
+		}
+	}
+}
+
+func TestBFSPartitionerImprovedLocality(t *testing.T) {
+	// On a community-structured graph, BFS partitioning must cut far fewer
+	// edges than hash partitioning.
+	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+	rng := rand.New(rand.NewSource(4))
+	const comms = 64
+	const size = 64
+	for i := 0; i < comms*size; i++ {
+		b.AddNode("x")
+	}
+	for c := 0; c < comms; c++ {
+		base := int64(c * size)
+		for i := 0; i < size*4; i++ {
+			u, v := base+rng.Int63n(size), base+rng.Int63n(size)
+			if u != v {
+				b.MustAddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+		next := int64(((c + 1) % comms) * size)
+		b.MustAddEdge(graph.NodeID(base), graph.NodeID(next))
+	}
+	g := b.Build()
+
+	cutEdges := func(p Partitioner) int64 {
+		var cut int64
+		for v := int64(0); v < g.NumNodes(); v++ {
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if graph.NodeID(v) < u && p.Owner(graph.NodeID(v)) != p.Owner(u) {
+					cut++
+				}
+			}
+		}
+		return cut
+	}
+	const k = 8
+	bfsCut := cutEdges(NewBFSPartitioner(g, k))
+	hashCut := cutEdges(HashPartitioner{K: k})
+	if bfsCut*4 > hashCut {
+		t.Fatalf("BFS cut %d not far below hash cut %d", bfsCut, hashCut)
+	}
+}
+
+func TestBFSPartitionerDynamicFallback(t *testing.T) {
+	g := graph.MustFromEdges([]string{"a", "b"}, [][2]int64{{0, 1}}, graph.Undirected())
+	p := NewBFSPartitioner(g, 4)
+	// IDs beyond the build-time range still map into [0, k).
+	for v := int64(2); v < 100; v++ {
+		o := p.Owner(graph.NodeID(v))
+		if o < 0 || o >= 4 {
+			t.Fatalf("Owner(%d) = %d out of range", v, o)
+		}
+	}
+}
+
+func TestPropertyBFSPartitionerCoversAllMachinesOrFew(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+		for i := 0; i < n; i++ {
+			b.AddNode("x")
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		k := 2 + rng.Intn(6)
+		p := NewBFSPartitioner(g, k)
+		// Every vertex assigned within range.
+		for v := int64(0); v < g.NumNodes(); v++ {
+			if o := p.Owner(graph.NodeID(v)); o < 0 || o >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterWithBFSPartitioner(t *testing.T) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 10, AvgDegree: 8, NumLabels: 4, Seed: 9})
+	c, err := NewCluster(Config{Machines: 4, Partitioner: NewBFSPartitioner(g, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 4; i++ {
+		total += c.Machine(i).NumLocalNodes()
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("partition total %d != %d", total, g.NumNodes())
+	}
+}

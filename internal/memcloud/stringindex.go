@@ -1,0 +1,55 @@
+package memcloud
+
+import (
+	"sort"
+
+	"stwig/internal/graph"
+)
+
+// StringIndex is the only index the paper allows itself (§1.1, §1.3): a
+// linear-size, linear-build-time mapping from vertex labels to vertex IDs.
+// Each machine indexes only its local vertices ("The string index in each
+// machine only maps node labels to IDs of local nodes", §4.3).
+type StringIndex struct {
+	byLabel map[graph.LabelID][]graph.NodeID
+}
+
+func newStringIndex() *StringIndex {
+	return &StringIndex{byLabel: make(map[graph.LabelID][]graph.NodeID)}
+}
+
+// add records one vertex under its label.
+func (ix *StringIndex) add(id graph.NodeID, label graph.LabelID) {
+	ix.byLabel[label] = append(ix.byLabel[label], id)
+}
+
+// finalize sorts posting lists for deterministic iteration.
+func (ix *StringIndex) finalize() {
+	for _, ids := range ix.byLabel {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+}
+
+// IDs returns the local vertices carrying label, sorted ascending. The
+// returned slice is shared; callers must not modify it. This is the paper's
+// Index.getID(label).
+func (ix *StringIndex) IDs(label graph.LabelID) []graph.NodeID {
+	return ix.byLabel[label]
+}
+
+// Count returns the number of local vertices carrying label, without
+// materializing anything. Used for selectivity estimates.
+func (ix *StringIndex) Count(label graph.LabelID) int {
+	return len(ix.byLabel[label])
+}
+
+// memoryBytes estimates the index's resident size: 8 bytes per posting plus
+// per-label map overhead. The point of Table 1's "Index Size" column is that
+// this is linear in the vertex count.
+func (ix *StringIndex) memoryBytes() int64 {
+	var total int64
+	for _, ids := range ix.byLabel {
+		total += int64(len(ids))*8 + 48
+	}
+	return total
+}

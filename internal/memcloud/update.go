@@ -1,0 +1,222 @@
+package memcloud
+
+import (
+	"fmt"
+	"sync"
+
+	"stwig/internal/graph"
+)
+
+// Dynamic updates. Table 1 lists the STwig approach's update cost as O(1):
+// because the only index is the per-machine string index, adding a vertex
+// touches one posting list, and adding an edge touches two adjacency cells
+// — no structural index to rebuild. This file implements that claim.
+//
+// Storage follows the log-structured discipline of a memory trunk: growing
+// a cell's adjacency appends a fresh copy at the arena tail and retargets
+// the directory entry; the superseded region becomes garbage that
+// CompactAll reclaims. Removals shrink in place.
+//
+// Concurrency: updates take the cluster's writer lock; the query read path
+// stays lock-free by design, so updates MUST NOT run concurrently with
+// queries (single-writer, quiesced-reader — the usual discipline for
+// epoch-style in-memory stores; a production system would wrap this in
+// epochs or shard locks). The updMu below serializes writers only.
+
+// UpdateStats counts applied mutations and storage garbage.
+type UpdateStats struct {
+	NodesAdded   uint64
+	EdgesAdded   uint64
+	EdgesRemoved uint64
+	// GarbageWords is the arena space superseded by cell relocations and
+	// reclaimable by CompactAll.
+	GarbageWords int64
+}
+
+var errNotLoaded = fmt.Errorf("memcloud: cluster not loaded")
+
+type updateState struct {
+	mu     sync.Mutex
+	nextID graph.NodeID
+	stats  UpdateStats
+}
+
+// AddNode inserts a new vertex with the given label and returns its ID.
+// The label may be new; it is interned into the cluster's label table.
+func (c *Cluster) AddNode(label string) (graph.NodeID, error) {
+	if !c.loaded {
+		return graph.InvalidNode, errNotLoaded
+	}
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	id := c.upd.nextID
+	c.upd.nextID++
+	l := c.labels.Intern(label)
+	m := c.machines[c.part.Owner(id)]
+	m.store.put(id, l, nil)
+	m.index.insertSorted(id, l)
+	c.upd.stats.NodesAdded++
+	return id, nil
+}
+
+// AddEdge inserts an undirected edge between existing vertices u and v,
+// updating both adjacency cells and the cross-label-pair table. Duplicate
+// edges and self-loops are rejected.
+func (c *Cluster) AddEdge(u, v graph.NodeID) error {
+	if !c.loaded {
+		return errNotLoaded
+	}
+	if u == v {
+		return fmt.Errorf("memcloud: self-loop (%d,%d)", u, v)
+	}
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	mu := c.machines[c.part.Owner(u)]
+	mv := c.machines[c.part.Owner(v)]
+	lu, ok := mu.store.labelOf(u)
+	if !ok {
+		return fmt.Errorf("memcloud: vertex %d does not exist", u)
+	}
+	lv, ok := mv.store.labelOf(v)
+	if !ok {
+		return fmt.Errorf("memcloud: vertex %d does not exist", v)
+	}
+	if has, _ := mu.store.hasNeighbor(u, v); has {
+		return fmt.Errorf("memcloud: edge (%d,%d) already exists", u, v)
+	}
+	c.upd.stats.GarbageWords += mu.store.insertNeighbor(u, v)
+	c.upd.stats.GarbageWords += mv.store.insertNeighbor(v, u)
+	// Cross-pair maintenance is additive-only: removing the last edge of a
+	// label pair leaves a stale bit, which only ever makes load sets larger
+	// (correctness preserved, communication slightly pessimistic).
+	c.cross.add(mu.id, mv.id, lu, lv)
+	c.cross.add(mv.id, mu.id, lv, lu)
+	c.upd.stats.EdgesAdded++
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (u, v).
+func (c *Cluster) RemoveEdge(u, v graph.NodeID) error {
+	if !c.loaded {
+		return errNotLoaded
+	}
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	mu := c.machines[c.part.Owner(u)]
+	mv := c.machines[c.part.Owner(v)]
+	has, ok := mu.store.hasNeighbor(u, v)
+	if !ok {
+		return fmt.Errorf("memcloud: vertex %d does not exist", u)
+	}
+	if !has {
+		return fmt.Errorf("memcloud: edge (%d,%d) does not exist", u, v)
+	}
+	mu.store.removeNeighbor(u, v)
+	mv.store.removeNeighbor(v, u)
+	c.upd.stats.EdgesRemoved++
+	return nil
+}
+
+// UpdateStats snapshots the mutation counters.
+func (c *Cluster) UpdateStats() UpdateStats {
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	return c.upd.stats
+}
+
+// CompactAll rewrites every machine's arena to drop garbage left by cell
+// relocations, returning the number of words reclaimed.
+func (c *Cluster) CompactAll() int64 {
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	var reclaimed int64
+	for _, m := range c.machines {
+		reclaimed += m.store.compact()
+	}
+	c.upd.stats.GarbageWords = 0
+	return reclaimed
+}
+
+// --- store-level mutation primitives ---
+
+// hasNeighbor reports whether id's adjacency contains nb; ok is false when
+// id is not stored here.
+func (s *Store) hasNeighbor(id, nb graph.NodeID) (has, ok bool) {
+	cell, found := s.load(id)
+	if !found {
+		return false, false
+	}
+	for _, x := range cell.Neighbors {
+		if x == nb {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// insertNeighbor adds nb to id's sorted adjacency, relocating the cell to
+// the arena tail. Returns the number of words turned into garbage.
+func (s *Store) insertNeighbor(id, nb graph.NodeID) int64 {
+	ref := s.dir[id]
+	old := s.arena[ref.off : ref.off+int64(ref.deg)]
+	newOff := int64(len(s.arena))
+	// Copy with sorted insertion.
+	inserted := false
+	for _, x := range old {
+		if !inserted && nb < x {
+			s.arena = append(s.arena, nb)
+			inserted = true
+		}
+		s.arena = append(s.arena, x)
+	}
+	if !inserted {
+		s.arena = append(s.arena, nb)
+	}
+	s.dir[id] = cellRef{off: newOff, deg: ref.deg + 1, label: ref.label}
+	return int64(ref.deg)
+}
+
+// removeNeighbor deletes nb from id's adjacency in place (shrinking the
+// cell without relocation).
+func (s *Store) removeNeighbor(id, nb graph.NodeID) {
+	ref := s.dir[id]
+	adj := s.arena[ref.off : ref.off+int64(ref.deg)]
+	w := 0
+	for _, x := range adj {
+		if x != nb {
+			adj[w] = x
+			w++
+		}
+	}
+	s.dir[id] = cellRef{off: ref.off, deg: int32(w), label: ref.label}
+}
+
+// compact rewrites the arena with only live cells, in directory order,
+// returning reclaimed words.
+func (s *Store) compact() int64 {
+	before := int64(len(s.arena))
+	newArena := make([]graph.NodeID, 0, len(s.arena))
+	for id, ref := range s.dir {
+		off := int64(len(newArena))
+		newArena = append(newArena, s.arena[ref.off:ref.off+int64(ref.deg)]...)
+		s.dir[id] = cellRef{off: off, deg: ref.deg, label: ref.label}
+	}
+	s.arena = newArena
+	return before - int64(len(newArena))
+}
+
+// insertSorted adds id into the label's posting list keeping it sorted.
+func (ix *StringIndex) insertSorted(id graph.NodeID, label graph.LabelID) {
+	ids := ix.byLabel[label]
+	pos := len(ids)
+	for i, x := range ids {
+		if x >= id {
+			pos = i
+			break
+		}
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	ix.byLabel[label] = ids
+}

@@ -1,0 +1,293 @@
+package memcloud
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stwig/internal/graph"
+)
+
+func updatableCluster(t *testing.T) (*Cluster, *graph.Graph) {
+	t.Helper()
+	g := testGraph(t)
+	c := loadedCluster(t, g, 4)
+	return c, g
+}
+
+func TestUpdatesRequireLoadedCluster(t *testing.T) {
+	c := MustNewCluster(Config{Machines: 2})
+	if _, err := c.AddNode("x"); err == nil {
+		t.Fatal("AddNode on unloaded cluster accepted")
+	}
+	if err := c.AddEdge(0, 1); err == nil {
+		t.Fatal("AddEdge on unloaded cluster accepted")
+	}
+	if err := c.RemoveEdge(0, 1); err == nil {
+		t.Fatal("RemoveEdge on unloaded cluster accepted")
+	}
+}
+
+func TestAddNodeAssignsFreshIDs(t *testing.T) {
+	c, g := updatableCluster(t)
+	id1, err := c.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.AddNode("newlabel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != graph.NodeID(g.NumNodes()) || id2 != id1+1 {
+		t.Fatalf("ids = %d, %d; want %d, %d", id1, id2, g.NumNodes(), g.NumNodes()+1)
+	}
+	// The new vertex is loadable and indexed on its owner machine.
+	cell, ok := c.Load(0, id2)
+	if !ok {
+		t.Fatal("new vertex not loadable")
+	}
+	if c.Labels().Name(cell.Label) != "newlabel" {
+		t.Fatalf("label = %q", c.Labels().Name(cell.Label))
+	}
+	owner := c.Machine(c.Owner(id2))
+	found := false
+	for _, x := range owner.LocalIDs(cell.Label) {
+		if x == id2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("new vertex missing from owner string index")
+	}
+	if got := c.UpdateStats().NodesAdded; got != 2 {
+		t.Fatalf("NodesAdded = %d", got)
+	}
+}
+
+func TestAddEdgeVisibleBothSides(t *testing.T) {
+	c, _ := updatableCluster(t)
+	// testGraph has no edge (0,4).
+	if err := c.AddEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	cell0, _ := c.Load(0, 0)
+	cell4, _ := c.Load(0, 4)
+	if !containsNode(cell0.Neighbors, 4) || !containsNode(cell4.Neighbors, 0) {
+		t.Fatalf("edge not visible: %v / %v", cell0.Neighbors, cell4.Neighbors)
+	}
+	// Adjacency stays sorted after insertion.
+	for i := 1; i < len(cell0.Neighbors); i++ {
+		if cell0.Neighbors[i-1] >= cell0.Neighbors[i] {
+			t.Fatalf("adjacency unsorted after insert: %v", cell0.Neighbors)
+		}
+	}
+}
+
+func TestAddEdgeRejections(t *testing.T) {
+	c, _ := updatableCluster(t)
+	if err := c.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := c.AddEdge(0, 9999); err == nil {
+		t.Fatal("edge to missing vertex accepted")
+	}
+	if err := c.AddEdge(9999, 0); err == nil {
+		t.Fatal("edge from missing vertex accepted")
+	}
+	if err := c.AddEdge(0, 1); err == nil { // exists in testGraph
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestAddEdgeUpdatesCrossPairs(t *testing.T) {
+	c, g := updatableCluster(t)
+	// Nodes 0 (label a, machine 0) and 6 (label a, machine 3): no (a,a)
+	// cross pair exists between machines 0 and 3 initially.
+	la := g.Labels().MustLookup("a")
+	if c.CrossMask(0, la, la)&(1<<3) != 0 {
+		t.Skip("pair already present; test graph changed")
+	}
+	if err := c.AddEdge(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if c.CrossMask(0, la, la)&(1<<3) == 0 {
+		t.Fatal("cross pair m0->m3 not recorded after AddEdge")
+	}
+	if c.CrossMask(3, la, la)&1 == 0 {
+		t.Fatal("cross pair m3->m0 not recorded after AddEdge")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	c, _ := updatableCluster(t)
+	if err := c.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cell0, _ := c.Load(0, 0)
+	cell1, _ := c.Load(0, 1)
+	if containsNode(cell0.Neighbors, 1) || containsNode(cell1.Neighbors, 0) {
+		t.Fatal("edge still visible after removal")
+	}
+	if err := c.RemoveEdge(0, 1); err == nil {
+		t.Fatal("double removal accepted")
+	}
+	if err := c.RemoveEdge(9999, 0); err == nil {
+		t.Fatal("removal from missing vertex accepted")
+	}
+	if got := c.UpdateStats().EdgesRemoved; got != 1 {
+		t.Fatalf("EdgesRemoved = %d", got)
+	}
+}
+
+func TestCompactReclaimsGarbage(t *testing.T) {
+	c, _ := updatableCluster(t)
+	// Each insert relocates a cell, leaving its old extent as garbage.
+	if err := c.AddEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	garbage := c.UpdateStats().GarbageWords
+	if garbage <= 0 {
+		t.Fatalf("GarbageWords = %d, want > 0", garbage)
+	}
+	reclaimed := c.CompactAll()
+	if reclaimed != garbage {
+		t.Fatalf("reclaimed %d, want %d", reclaimed, garbage)
+	}
+	if c.UpdateStats().GarbageWords != 0 {
+		t.Fatal("garbage counter not reset")
+	}
+	// All cells still intact after compaction.
+	cell0, ok := c.Load(0, 0)
+	if !ok || !containsNode(cell0.Neighbors, 4) || !containsNode(cell0.Neighbors, 6) {
+		t.Fatalf("cell damaged by compaction: %v", cell0.Neighbors)
+	}
+	if c.CompactAll() != 0 {
+		t.Fatal("second compaction reclaimed nonzero")
+	}
+}
+
+func TestPropertyUpdatesMatchRebuiltGraph(t *testing.T) {
+	// Applying random updates to a loaded cluster must leave it equivalent
+	// to a cluster loaded from the equivalently mutated graph.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		labels := []string{"a", "b", "c"}
+
+		// Base graph.
+		type edge struct{ u, v graph.NodeID }
+		nodeLabels := make([]string, n)
+		for i := range nodeLabels {
+			nodeLabels[i] = labels[rng.Intn(3)]
+		}
+		edgeSet := map[edge]bool{}
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			edgeSet[edge{u, v}] = true
+		}
+		build := func(extraLabels []string, extraEdges []edge, removed map[edge]bool) *graph.Graph {
+			b := graph.NewBuilder(graph.Undirected())
+			for _, l := range nodeLabels {
+				b.AddNode(l)
+			}
+			for _, l := range extraLabels {
+				b.AddNode(l)
+			}
+			for e := range edgeSet {
+				if !removed[e] {
+					b.MustAddEdge(e.u, e.v)
+				}
+			}
+			for _, e := range extraEdges {
+				b.MustAddEdge(e.u, e.v)
+			}
+			return b.Build()
+		}
+
+		k := 2 + rng.Intn(3)
+		c := MustNewCluster(Config{Machines: k})
+		if err := c.LoadGraph(build(nil, nil, nil)); err != nil {
+			return false
+		}
+
+		// Random updates: add 3 nodes, add 5 edges, remove up to 3.
+		var extraLabels []string
+		var extraEdges []edge
+		removed := map[edge]bool{}
+		for i := 0; i < 3; i++ {
+			l := labels[rng.Intn(3)]
+			if _, err := c.AddNode(l); err != nil {
+				return false
+			}
+			extraLabels = append(extraLabels, l)
+		}
+		total := graph.NodeID(n + 3)
+		for i := 0; i < 5; i++ {
+			u, v := graph.NodeID(rng.Intn(int(total))), graph.NodeID(rng.Intn(int(total)))
+			if u == v {
+				continue
+			}
+			if err := c.AddEdge(u, v); err != nil {
+				continue // duplicate etc.
+			}
+			extraEdges = append(extraEdges, edge{u, v})
+		}
+		for e := range edgeSet {
+			if len(removed) >= 3 {
+				break
+			}
+			if err := c.RemoveEdge(e.u, e.v); err != nil {
+				return false
+			}
+			removed[e] = true
+		}
+		if rng.Intn(2) == 0 {
+			c.CompactAll()
+		}
+
+		// Compare against a freshly loaded equivalent graph.
+		want := build(extraLabels, extraEdges, removed)
+		for v := int64(0); v < want.NumNodes(); v++ {
+			id := graph.NodeID(v)
+			cell, ok := c.Load(0, id)
+			if !ok {
+				return false
+			}
+			if c.Labels().Name(cell.Label) != want.LabelString(id) {
+				return false
+			}
+			wantN := want.Neighbors(id)
+			if len(cell.Neighbors) != len(wantN) {
+				return false
+			}
+			got := append([]graph.NodeID(nil), cell.Neighbors...)
+			for i := range wantN {
+				if got[i] != wantN[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsNode(ns []graph.NodeID, id graph.NodeID) bool {
+	for _, x := range ns {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+func TestParseSimpleChain(t *testing.T) {
+	q, err := Parse("(a:author)-(p:paper)-(v:venue)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 3 || q.NumEdges() != 2 {
+		t.Fatalf("size = (%d,%d)", q.NumVertices(), q.NumEdges())
+	}
+	if q.Label(0) != "author" || q.Label(1) != "paper" || q.Label(2) != "venue" {
+		t.Fatalf("labels = %v", q.Labels())
+	}
+	if !q.HasEdge(0, 1) || !q.HasEdge(1, 2) || q.HasEdge(0, 2) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestParseMultipleChainsAndReuse(t *testing.T) {
+	q, err := Parse("(a:x)-(b:y), (b)-(c:z), (a)-(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 3 || q.NumEdges() != 3 {
+		t.Fatalf("size = (%d,%d)", q.NumVertices(), q.NumEdges())
+	}
+	// Triangle.
+	if !q.HasEdge(0, 1) || !q.HasEdge(1, 2) || !q.HasEdge(0, 2) {
+		t.Fatal("triangle edges missing")
+	}
+}
+
+func TestParseMatchKeywordAndWhitespace(t *testing.T) {
+	q, err := Parse("  MATCH ( a : x ) - ( b : y ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumEdges() != 1 {
+		t.Fatal("keyword form failed")
+	}
+	// Case-insensitive keyword.
+	if _, err := Parse("match (a:x)-(b:y)"); err != nil {
+		t.Fatal(err)
+	}
+	// A variable legitimately named "matchstick" must not be eaten by the
+	// keyword rule (no following space).
+	if _, err := Parse("(match:x)-(b:y)"); err != nil {
+		t.Fatalf("variable named 'match' rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no label anywhere", "(a)-(b:x)"},
+		{"label conflict", "(a:x)-(b:y), (a:z)-(b)"},
+		{"unclosed paren", "(a:x-(b:y)"},
+		{"missing paren", "a:x-(b:y)"},
+		{"trailing junk", "(a:x)-(b:y) xyz"},
+		{"no edges", "(a:x)"},
+		{"disconnected", "(a:x)-(b:y), (c:z)-(d:w)"},
+		{"self loop", "(a:x)-(a)"},
+		{"duplicate edge", "(a:x)-(b:y), (b)-(a)"},
+		{"empty label", "(a:)-(b:y)"},
+		{"empty name", "(:x)-(b:y)"},
+		{"dangling dash", "(a:x)-"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.in); err == nil {
+				t.Fatalf("Parse(%q) succeeded", c.in)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	q := MustParse("(a:x)-(b:y)-(c:x), (a)-(c)")
+	s := Format(q)
+	if !strings.Contains(s, ":x") || !strings.Contains(s, ":y") {
+		t.Fatalf("Format = %q", s)
+	}
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Format output does not re-parse: %v\n%s", err, s)
+	}
+	if q2.NumVertices() != q.NumVertices() || q2.NumEdges() != q.NumEdges() {
+		t.Fatal("round trip changed query size")
+	}
+}
+
+func TestParsedQueryExecutes(t *testing.T) {
+	// End to end: pattern → engine matches on the paper's Figure 1 graph.
+	g := graph.MustFromEdges(
+		[]string{"a", "a", "b", "c", "d"},
+		[][2]int64{{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}},
+		graph.Undirected(),
+	)
+	c := memcloud.MustNewCluster(memcloud.Config{Machines: 2})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse("(x:a)-(y:b), (x)-(z:c), (y)-(w:d), (z)-(w)")
+	res, err := core.NewEngine(c, core.Options{}).Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %d, want 2", len(res.Matches))
+	}
+}
+
+func TestPropertyFormatParseRoundTrip(t *testing.T) {
+	// Any connected random query formats to a string that parses back to
+	// an isomorphic query (same size, labels, and edge multiset).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = []string{"alpha", "beta", "gamma"}[rng.Intn(3)]
+		}
+		var edges [][2]int
+		seen := map[[2]int]bool{}
+		perm := rng.Perm(n)
+		add := func(u, v int) {
+			if u == v {
+				return
+			}
+			k := [2]int{min(u, v), max(u, v)}
+			if !seen[k] {
+				seen[k] = true
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		for i := 1; i < n; i++ {
+			add(perm[i], perm[rng.Intn(i)])
+		}
+		for i := 0; i < n; i++ {
+			add(rng.Intn(n), rng.Intn(n))
+		}
+		q, err := core.NewQuery(labels, edges)
+		if err != nil {
+			return false
+		}
+		q2, err := Parse(Format(q))
+		if err != nil {
+			return false
+		}
+		if q2.NumVertices() != q.NumVertices() || q2.NumEdges() != q.NumEdges() {
+			return false
+		}
+		for v := 0; v < q.NumVertices(); v++ {
+			if q2.Label(v) != q.Label(v) {
+				return false
+			}
+		}
+		for _, e := range q.Edges() {
+			if !q2.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

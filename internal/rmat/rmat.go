@@ -1,0 +1,156 @@
+// Package rmat generates synthetic power-law graphs with the R-MAT recursive
+// model of Chakrabarti, Zhan and Faloutsos (SDM 2004), the generator the
+// paper uses for all synthetic-data experiments (§6.3).
+//
+// An R-MAT edge is placed by recursively descending a 2^scale x 2^scale
+// adjacency matrix, choosing one of four quadrants at each level with
+// probabilities (A, B, C, D). The skewed defaults produce the heavy-tailed
+// degree distributions of real web and social graphs.
+package rmat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stwig/internal/graph"
+)
+
+// Params configures a generation run.
+type Params struct {
+	// Scale is log2 of the number of vertices; NumNodes = 1 << Scale.
+	Scale int
+	// AvgDegree is the target mean degree; EdgeFactor edges are generated
+	// per vertex. (The paper sweeps average degree in Figure 10(c).)
+	AvgDegree int
+	// A, B, C are the quadrant probabilities; D = 1-A-B-C. Zero values
+	// select the conventional (0.57, 0.19, 0.19, 0.05).
+	A, B, C float64
+	// NumLabels is the size of the label alphabet. Labels are assigned
+	// uniformly at random; the paper's "label density" is
+	// 1/NumLabels of the vertex count matching each label on average
+	// (Figure 10(d) sweeps it from 1e-5 to 1e-1).
+	NumLabels int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Noise perturbs quadrant probabilities per recursion level, the
+	// standard "smoothing" that avoids staircase artifacts. Zero disables.
+	Noise float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.A == 0 && p.B == 0 && p.C == 0 {
+		p.A, p.B, p.C = 0.57, 0.19, 0.19
+	}
+	if p.AvgDegree == 0 {
+		p.AvgDegree = 8
+	}
+	if p.NumLabels == 0 {
+		p.NumLabels = 16
+	}
+	return p
+}
+
+// Validate rejects parameter combinations that would generate nonsense.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.Scale < 1 || p.Scale > 40 {
+		return fmt.Errorf("rmat: scale %d out of range [1,40]", p.Scale)
+	}
+	if p.AvgDegree < 1 {
+		return fmt.Errorf("rmat: average degree %d < 1", p.AvgDegree)
+	}
+	if p.NumLabels < 1 {
+		return fmt.Errorf("rmat: label count %d < 1", p.NumLabels)
+	}
+	if p.A < 0 || p.B < 0 || p.C < 0 || p.A+p.B+p.C >= 1 {
+		return fmt.Errorf("rmat: quadrant probabilities (%v,%v,%v) invalid", p.A, p.B, p.C)
+	}
+	return nil
+}
+
+// Generate builds an undirected labeled R-MAT graph.
+func Generate(p Params) (*graph.Graph, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := int64(1) << p.Scale
+	m := n * int64(p.AvgDegree) / 2 // undirected edges; stored twice
+
+	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+	labelIDs := make([]graph.LabelID, p.NumLabels)
+	for i := range labelIDs {
+		labelIDs[i] = b.Labels().Intern(LabelName(i))
+	}
+	b.AddNodes(n, func(int64) graph.LabelID {
+		return labelIDs[rng.Intn(p.NumLabels)]
+	})
+
+	for i := int64(0); i < m; i++ {
+		u, v := pickEdge(rng, p)
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build(), nil
+}
+
+// MustGenerate is Generate that panics on error; for benchmarks whose
+// parameters are static.
+func MustGenerate(p Params) *graph.Graph {
+	g, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// pickEdge descends the recursive quadrants once.
+func pickEdge(rng *rand.Rand, p Params) (int64, int64) {
+	var u, v int64
+	a, bb, c := p.A, p.B, p.C
+	for depth := 0; depth < p.Scale; depth++ {
+		ca, cb, cc := a, bb, c
+		if p.Noise > 0 {
+			ca = clampProb(a + (rng.Float64()*2-1)*p.Noise)
+			cb = clampProb(bb + (rng.Float64()*2-1)*p.Noise)
+			cc = clampProb(c + (rng.Float64()*2-1)*p.Noise)
+			sum := ca + cb + cc
+			if sum >= 1 {
+				scale := 0.99 / sum
+				ca, cb, cc = ca*scale, cb*scale, cc*scale
+			}
+		}
+		r := rng.Float64()
+		u <<= 1
+		v <<= 1
+		switch {
+		case r < ca:
+			// top-left quadrant: no bits set
+		case r < ca+cb:
+			v |= 1
+		case r < ca+cb+cc:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return u, v
+}
+
+func clampProb(x float64) float64 {
+	if x < 0.01 {
+		return 0.01
+	}
+	if x > 0.98 {
+		return 0.98
+	}
+	return x
+}
+
+// LabelName returns the canonical label string for label index i ("L0",
+// "L1", ...). Centralized so generators, workloads and tools agree.
+func LabelName(i int) string { return fmt.Sprintf("L%d", i) }

@@ -1,0 +1,141 @@
+package rmat
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"stwig/internal/graph"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	g, err := Generate(Params{Scale: 10, AvgDegree: 8, NumLabels: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1024 {
+		t.Fatalf("NumNodes = %d, want 1024", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Dedupe and self-loop skips shave some edges; expect at least half the
+	// nominal count and no more than the nominal count.
+	nominal := int64(1024 * 8)
+	if g.NumEdges() < nominal/2 || g.NumEdges() > nominal {
+		t.Fatalf("NumEdges = %d, outside [%d,%d]", g.NumEdges(), nominal/2, nominal)
+	}
+	if got := g.Labels().Len(); got != 4 {
+		t.Fatalf("label count = %d, want 4", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Scale: 8, AvgDegree: 6, NumLabels: 3, Seed: 42}
+	g1 := MustGenerate(p)
+	g2 := MustGenerate(p)
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for v := int64(0); v < g1.NumNodes(); v++ {
+		n1, n2 := g1.Neighbors(graph.NodeID(v)), g2.Neighbors(graph.NodeID(v))
+		if len(n1) != len(n2) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	g1 := MustGenerate(Params{Scale: 8, AvgDegree: 6, Seed: 1})
+	g2 := MustGenerate(Params{Scale: 8, AvgDegree: 6, Seed: 2})
+	same := true
+	for v := int64(0); v < g1.NumNodes() && same; v++ {
+		n1, n2 := g1.Neighbors(graph.NodeID(v)), g2.Neighbors(graph.NodeID(v))
+		if len(n1) != len(n2) {
+			same = false
+			break
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && g1.NumEdges() == g2.NumEdges() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestSkewedDegreeDistribution(t *testing.T) {
+	// The point of R-MAT: heavy-tailed degrees. Check the max degree is far
+	// above the mean, which an Erdos-Renyi graph of this size would not be.
+	g := MustGenerate(Params{Scale: 12, AvgDegree: 8, NumLabels: 2, Seed: 7})
+	avg := g.AvgDegree()
+	max := g.MaxDegree()
+	if float64(max) < 5*avg {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %.1f", max, avg)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		{Scale: 0},
+		{Scale: 41},
+		{Scale: 4, AvgDegree: -1},
+		{Scale: 4, NumLabels: -2},
+		{Scale: 4, A: 0.5, B: 0.5, C: 0.2},
+		{Scale: 4, A: -0.1, B: 0.2, C: 0.2},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted bad params", i, p)
+		}
+	}
+}
+
+func TestNoiseStillValid(t *testing.T) {
+	g := MustGenerate(Params{Scale: 9, AvgDegree: 8, NumLabels: 4, Seed: 3, Noise: 0.05})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelDistributionRoughlyUniform(t *testing.T) {
+	g := MustGenerate(Params{Scale: 12, AvgDegree: 4, NumLabels: 8, Seed: 11})
+	freq := g.LabelFrequencies()
+	n := g.NumNodes()
+	for id, f := range freq {
+		share := float64(f) / float64(n)
+		if share < 0.05 || share > 0.25 { // expected 0.125
+			t.Fatalf("label %d share %.3f far from uniform", id, share)
+		}
+	}
+}
+
+func TestPropertyGeneratedGraphsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Params{Scale: 6 + int(uint64(seed)%4), AvgDegree: 2 + int(uint64(seed)%6), NumLabels: 1 + int(uint64(seed)%5), Seed: seed}
+		g, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelName(t *testing.T) {
+	names := []string{LabelName(0), LabelName(1), LabelName(10)}
+	sort.Strings(names)
+	if names[0] != "L0" {
+		t.Fatalf("LabelName(0) = %q", LabelName(0))
+	}
+}

@@ -1,0 +1,133 @@
+// Package stats provides the small measurement helpers the experiment
+// harness and benchmarks share: duration summaries and aligned table
+// printing for paper-style result rows.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary aggregates a sample of durations.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes a Summary; the zero Summary for an empty sample.
+func Summarize(ds []time.Duration) Summary {
+	if len(ds) == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  total / time.Duration(len(sorted)),
+		P50:   pick(0.50),
+		P95:   pick(0.95),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v min=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Table accumulates rows and renders them column-aligned, the output format
+// of cmd/experiments.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	fmt.Fprintln(w, line(t.header))
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// HumanBytes renders a byte count as B/KB/MB/GB with one decimal.
+func HumanBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%cB", float64(b)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	ds := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	}
+	s := Summarize(ds)
+	if s.Count != 5 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Mean != 22*time.Millisecond {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 3*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	ds := []time.Duration{3, 1, 2}
+	Summarize(ds)
+	if ds[0] != 3 || ds[1] != 1 || ds[2] != 2 {
+		t.Fatalf("input mutated: %v", ds)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 42)
+	tb.AddRow("b", 3.14159)
+	tb.AddRow("c", 2500*time.Microsecond)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "2.5ms") {
+		t.Fatalf("duration not formatted: %s", out)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KB"},
+		{3 * 1024 * 1024, "3.0MB"},
+		{5 * 1024 * 1024 * 1024, "5.0GB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.in); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stwig/internal/graph"
+)
+
+// Synthetic stand-ins for the paper's two real datasets (§6.2). The
+// originals (US Patents from NBER, WordNet) are public downloads, which an
+// offline build cannot fetch; these generators match the characteristics
+// the experiments actually exercise — node/edge ratio, label-alphabet size,
+// and label-frequency skew — at a configurable scale. See DESIGN.md §2 for
+// the substitution rationale.
+
+// PatentsParams mirrors the US Patents citation graph: 3.77M nodes, 16.5M
+// edges (avg degree ≈ 4.4 undirected-counted-once), 418 labels (patent
+// property classes) with a skewed (Zipfian) class distribution.
+type PatentsParams struct {
+	// Nodes scales the graph; the real dataset has 3_774_768.
+	Nodes int64
+	// Seed fixes generation.
+	Seed int64
+}
+
+// SynthPatents generates the Patents stand-in: a citation-style graph where
+// each "patent" cites a handful of earlier patents with preferential
+// attachment (newer patents cite well-cited ones), giving the heavy-tailed
+// in-citation distribution of the real graph.
+func SynthPatents(p PatentsParams) (*graph.Graph, error) {
+	if p.Nodes < 10 {
+		return nil, fmt.Errorf("workload: patents graph needs ≥10 nodes, got %d", p.Nodes)
+	}
+	const numLabels = 418
+	const avgCitations = 4 // ≈ 16.5M/3.77M
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+	labelIDs := make([]graph.LabelID, numLabels)
+	for i := range labelIDs {
+		labelIDs[i] = b.Labels().Intern(fmt.Sprintf("class%03d", i))
+	}
+	zipf := newZipf(rng, numLabels, 1.1)
+	b.AddNodes(p.Nodes, func(int64) graph.LabelID {
+		return labelIDs[zipf()]
+	})
+
+	// Citations: node v cites earlier nodes; half uniform, half
+	// preferential via the "cite a random endpoint of a random prior edge"
+	// trick, which realizes preferential attachment without bookkeeping.
+	var endpoints []graph.NodeID
+	for v := int64(1); v < p.Nodes; v++ {
+		cites := 1 + rng.Intn(2*avgCitations-1) // mean ≈ avgCitations
+		for c := 0; c < cites; c++ {
+			var target graph.NodeID
+			if len(endpoints) > 0 && rng.Intn(2) == 0 {
+				target = endpoints[rng.Intn(len(endpoints))]
+			} else {
+				target = graph.NodeID(rng.Int63n(v))
+			}
+			if target == graph.NodeID(v) {
+				continue
+			}
+			b.MustAddEdge(graph.NodeID(v), target)
+			endpoints = append(endpoints, graph.NodeID(v), target)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WordNetParams mirrors the WordNet relation graph: 82,670 nodes, 133,445
+// edges, and only 5 labels (parts of speech) — the label-poor regime that
+// drives the paper's WordNet-vs-Patents contrasts.
+type WordNetParams struct {
+	// Nodes scales the graph; the real dataset has 82_670.
+	Nodes int64
+	// Seed fixes generation.
+	Seed int64
+}
+
+// SynthWordNet generates the WordNet stand-in: a sparse small-world-style
+// graph (ring lattice with rewiring plus a sprinkle of long-range edges)
+// over 5 part-of-speech labels distributed like WordNet's (nouns dominate).
+func SynthWordNet(p WordNetParams) (*graph.Graph, error) {
+	if p.Nodes < 10 {
+		return nil, fmt.Errorf("workload: wordnet graph needs ≥10 nodes, got %d", p.Nodes)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	labels := []string{"noun", "verb", "adjective", "adverb", "satellite"}
+	// Approximate WordNet part-of-speech proportions.
+	weights := []float64{0.70, 0.12, 0.09, 0.04, 0.05}
+
+	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+	labelIDs := make([]graph.LabelID, len(labels))
+	for i, l := range labels {
+		labelIDs[i] = b.Labels().Intern(l)
+	}
+	pick := func() graph.LabelID {
+		r := rng.Float64()
+		acc := 0.0
+		for i, w := range weights {
+			acc += w
+			if r < acc {
+				return labelIDs[i]
+			}
+		}
+		return labelIDs[len(labelIDs)-1]
+	}
+	b.AddNodes(p.Nodes, func(int64) graph.LabelID { return pick() })
+
+	// Ring lattice (each node to its successor) with 20% rewiring, plus
+	// ~0.6 long-range edges per node: average degree ≈ 3.2, matching the
+	// real 2*133445/82670 ≈ 3.2.
+	n := p.Nodes
+	for v := int64(0); v < n; v++ {
+		target := (v + 1) % n
+		if rng.Float64() < 0.20 {
+			target = rng.Int63n(n)
+		}
+		if target != v {
+			b.MustAddEdge(graph.NodeID(v), graph.NodeID(target))
+		}
+		if rng.Float64() < 0.6 {
+			far := rng.Int63n(n)
+			if far != v {
+				b.MustAddEdge(graph.NodeID(v), graph.NodeID(far))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// newZipf returns a sampler over [0, n) with exponent s, small-state and
+// deterministic. (math/rand's Zipf needs imax tuning; this direct inverse
+// CDF over n classes is simpler for label assignment.)
+func newZipf(rng *rand.Rand, n int, s float64) func() int {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return func() int {
+		r := rng.Float64()
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}

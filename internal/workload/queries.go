@@ -1,0 +1,177 @@
+// Package workload reimplements the paper's experimental workloads (§6.1):
+// the two query generators (DFS queries and random queries), and synthetic
+// stand-ins for the two real datasets (US Patents and WordNet) whose
+// originals are not redistributable here. Substitutions are documented in
+// DESIGN.md §2.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+)
+
+// DFSQuery generates a query by the paper's first method: "DFS traversal
+// from a randomly chosen node. The first N nodes are kept as the query
+// pattern." Edges among the kept nodes are inherited from the data graph,
+// and labels come from the traversed vertices, so the query always has at
+// least one match (its own source subgraph).
+//
+// Returns an error when the component around the chosen start has fewer
+// than n vertices after maxAttempts retries.
+func DFSQuery(g *graph.Graph, n int, rng *rand.Rand) (*core.Query, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: DFS query needs at least 2 nodes, got %d", n)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("workload: empty data graph")
+	}
+	const maxAttempts = 64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		start := graph.NodeID(rng.Int63n(g.NumNodes()))
+		kept := dfsCollect(g, start, n)
+		if len(kept) < n {
+			continue // start landed in a small component; retry
+		}
+		idx := make(map[graph.NodeID]int, n)
+		labels := make([]string, n)
+		for i, v := range kept {
+			idx[v] = i
+			labels[i] = g.LabelString(v)
+		}
+		var edges [][2]int
+		for i, v := range kept {
+			for _, u := range g.Neighbors(v) {
+				j, ok := idx[u]
+				if ok && i < j {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		q, err := core.NewQuery(labels, edges)
+		if err != nil {
+			return nil, err
+		}
+		if !q.Connected() {
+			// Cannot happen for a DFS prefix, but guard anyway.
+			continue
+		}
+		return q, nil
+	}
+	return nil, fmt.Errorf("workload: no component with %d vertices found in %d attempts", n, maxAttempts)
+}
+
+// dfsCollect returns the first n vertices of a DFS from start.
+func dfsCollect(g *graph.Graph, start graph.NodeID, n int) []graph.NodeID {
+	kept := make([]graph.NodeID, 0, n)
+	seen := map[graph.NodeID]bool{start: true}
+	stack := []graph.NodeID{start}
+	for len(stack) > 0 && len(kept) < n {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		kept = append(kept, v)
+		ns := g.Neighbors(v)
+		// Push in reverse so lower-ID neighbors are visited first.
+		for i := len(ns) - 1; i >= 0; i-- {
+			if !seen[ns[i]] {
+				seen[ns[i]] = true
+				stack = append(stack, ns[i])
+			}
+		}
+	}
+	return kept
+}
+
+// RandomQuery generates a query by the paper's second method: "randomly
+// adding E edges among N given nodes. A spanning tree is generated on the
+// generated query to guarantee it is a connected graph. The nodes of a
+// query are labelled from a given label collection." Defaults in the paper
+// are N=10, E=20.
+//
+// E counts total edges including the spanning tree; values below N-1 are
+// raised to N-1 (a tree), and values above the complete-graph capacity are
+// clamped.
+func RandomQuery(n, e int, labels []string, rng *rand.Rand) (*core.Query, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: random query needs at least 2 nodes, got %d", n)
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("workload: empty label collection")
+	}
+	maxEdges := n * (n - 1) / 2
+	if e < n-1 {
+		e = n - 1
+	}
+	if e > maxEdges {
+		e = maxEdges
+	}
+	ls := make([]string, n)
+	for i := range ls {
+		ls[i] = labels[rng.Intn(len(labels))]
+	}
+	seen := make(map[[2]int]bool, e)
+	edges := make([][2]int, 0, e)
+	add := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		edges = append(edges, [2]int{u, v})
+		return true
+	}
+	// Random spanning tree: connect each vertex (in a random order) to a
+	// random earlier vertex.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i], perm[rng.Intn(i)])
+	}
+	for len(edges) < e {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return core.NewQuery(ls, edges)
+}
+
+// QuerySet generates count queries with gen, collecting successes; the
+// experiments run 100 queries per configuration and average (§6.1).
+func QuerySet(count int, gen func() (*core.Query, error)) ([]*core.Query, error) {
+	out := make([]*core.Query, 0, count)
+	var lastErr error
+	for attempts := 0; len(out) < count && attempts < count*4; attempts++ {
+		q, err := gen()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out = append(out, q)
+	}
+	if len(out) < count {
+		return out, fmt.Errorf("workload: generated only %d of %d queries: %v", len(out), count, lastErr)
+	}
+	return out, nil
+}
+
+// GraphLabels returns the distinct label strings of a graph, for use as a
+// random-query label collection.
+func GraphLabels(g *graph.Graph) []string {
+	return g.Labels().Names()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

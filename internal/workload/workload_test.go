@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+	"stwig/internal/rmat"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return rmat.MustGenerate(rmat.Params{Scale: 10, AvgDegree: 8, NumLabels: 6, Seed: 3})
+}
+
+func TestDFSQueryShape(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 5, 8, 10} {
+		q, err := DFSQuery(g, n, rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if q.NumVertices() != n {
+			t.Fatalf("n=%d: got %d vertices", n, q.NumVertices())
+		}
+		if !q.Connected() {
+			t.Fatalf("n=%d: disconnected DFS query", n)
+		}
+		if q.NumEdges() < n-1 {
+			t.Fatalf("n=%d: only %d edges", n, q.NumEdges())
+		}
+	}
+}
+
+func TestDFSQueryAlwaysHasAMatch(t *testing.T) {
+	// A DFS query is cut out of the data graph, so matching it against the
+	// same graph must find at least one embedding.
+	g := rmat.MustGenerate(rmat.Params{Scale: 8, AvgDegree: 6, NumLabels: 8, Seed: 7})
+	c := memcloud.MustNewCluster(memcloud.Config{Machines: 3})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(c, core.Options{MatchBudget: 16})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		q, err := DFSQuery(g, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) == 0 {
+			t.Fatalf("DFS query %d has no matches in its source graph:\n%s", i, q)
+		}
+	}
+}
+
+func TestDFSQueryErrors(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := DFSQuery(g, 1, rng); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	empty := graph.NewBuilder().Build()
+	if _, err := DFSQuery(empty, 3, rng); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	// A graph of isolated vertices has no component of size 3.
+	b := graph.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode("x")
+	}
+	if _, err := DFSQuery(b.Build(), 3, rng); err == nil {
+		t.Fatal("isolated-vertex graph produced a DFS query")
+	}
+}
+
+func TestRandomQueryShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	labels := []string{"a", "b", "c"}
+	q, err := RandomQuery(10, 20, labels, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 10 || q.NumEdges() != 20 {
+		t.Fatalf("size = (%d,%d), want (10,20)", q.NumVertices(), q.NumEdges())
+	}
+	if !q.Connected() {
+		t.Fatal("random query disconnected")
+	}
+}
+
+func TestRandomQueryEdgeClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Too few edges requested: raised to spanning tree.
+	q, err := RandomQuery(5, 0, []string{"a"}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4 (spanning tree)", q.NumEdges())
+	}
+	// Too many: clamped to complete graph.
+	q2, err := RandomQuery(4, 100, []string{"a"}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6 (K4)", q2.NumEdges())
+	}
+}
+
+func TestRandomQueryErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := RandomQuery(1, 5, []string{"a"}, rng); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := RandomQuery(5, 5, nil, rng); err == nil {
+		t.Fatal("empty label collection accepted")
+	}
+}
+
+func TestPropertyRandomQueryConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		e := rng.Intn(3 * n)
+		q, err := RandomQuery(n, e, []string{"a", "b", "c", "d"}, rng)
+		if err != nil {
+			return false
+		}
+		return q.Connected() && q.NumVertices() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySet(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(5))
+	qs, err := QuerySet(10, func() (*core.Query, error) { return DFSQuery(g, 5, rng) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	// Generator that always fails propagates the error.
+	if _, err := QuerySet(3, func() (*core.Query, error) {
+		return nil, errFake
+	}); err == nil {
+		t.Fatal("always-failing generator succeeded")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestSynthPatentsCharacteristics(t *testing.T) {
+	g, err := SynthPatents(PatentsParams{Nodes: 20_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20_000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Average degree near the real dataset's ≈ 8.7 (directed 4.4, stored
+	// both ways).
+	if d := g.AvgDegree(); d < 5 || d > 13 {
+		t.Fatalf("avg degree = %.1f, want ≈ 8.7", d)
+	}
+	if got := g.Labels().Len(); got != 418 {
+		t.Fatalf("labels = %d, want 418", got)
+	}
+	// Zipf skew: the most frequent class should dominate the median class.
+	freq := g.LabelFrequencies()
+	var maxF, nonzero int64
+	for _, f := range freq {
+		if f > maxF {
+			maxF = f
+		}
+		if f > 0 {
+			nonzero++
+		}
+	}
+	if maxF < 20_000/50 {
+		t.Fatalf("top class only %d nodes; expected skew", maxF)
+	}
+	// Citation graphs are heavy-tailed.
+	if g.MaxDegree() < 5*int(g.AvgDegree()) {
+		t.Fatalf("max degree %d not heavy-tailed", g.MaxDegree())
+	}
+	if _, err := SynthPatents(PatentsParams{Nodes: 5}); err == nil {
+		t.Fatal("tiny graph accepted")
+	}
+}
+
+func TestSynthWordNetCharacteristics(t *testing.T) {
+	g, err := SynthWordNet(WordNetParams{Nodes: 20_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Labels().Len(); got != 5 {
+		t.Fatalf("labels = %d, want 5", got)
+	}
+	// Average degree near real ≈ 3.2.
+	if d := g.AvgDegree(); d < 2 || d > 5 {
+		t.Fatalf("avg degree = %.1f, want ≈ 3.2", d)
+	}
+	// Nouns dominate.
+	freq := g.LabelFrequencies()
+	nounID := g.Labels().MustLookup("noun")
+	if float64(freq[nounID])/float64(g.NumNodes()) < 0.5 {
+		t.Fatalf("noun share = %.2f, want ≈ 0.70", float64(freq[nounID])/float64(g.NumNodes()))
+	}
+	if _, err := SynthWordNet(WordNetParams{Nodes: 2}); err == nil {
+		t.Fatal("tiny graph accepted")
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, _ := SynthPatents(PatentsParams{Nodes: 2_000, Seed: 9})
+	b, _ := SynthPatents(PatentsParams{Nodes: 2_000, Seed: 9})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("patents generation not deterministic")
+	}
+	c, _ := SynthWordNet(WordNetParams{Nodes: 2_000, Seed: 9})
+	d, _ := SynthWordNet(WordNetParams{Nodes: 2_000, Seed: 9})
+	if c.NumEdges() != d.NumEdges() {
+		t.Fatal("wordnet generation not deterministic")
+	}
+}
+
+func TestGraphLabels(t *testing.T) {
+	g := testGraph(t)
+	if len(GraphLabels(g)) != 6 {
+		t.Fatalf("GraphLabels = %v", GraphLabels(g))
+	}
+}
