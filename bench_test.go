@@ -510,6 +510,57 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkRepeatedQueryPlanCache measures what the plan cache amortizes:
+// the same representative workload query issued repeatedly against one
+// engine, hot (cached plan) vs cold (caching disabled, every run re-pays
+// decomposition, join-order estimation, and load-set planning). The gap
+// between the two is the per-query planning cost the serving workload
+// saves.
+func BenchmarkRepeatedQueryPlanCache(b *testing.B) {
+	g := patentsBench(b)
+	c := benchCluster(b, g, 8)
+	rng := rand.New(rand.NewSource(benchSeed))
+	q, err := workload.DFSQuery(g, 7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		eng := core.NewEngine(c, core.Options{MatchBudget: 1024, Seed: benchSeed, PlanCacheSize: -1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Match(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hot", func(b *testing.B) {
+		eng := core.NewEngine(c, core.Options{MatchBudget: 1024, Seed: benchSeed})
+		if _, err := eng.Match(q); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Match(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := eng.PlanCacheStats(); st.Hits == 0 {
+			b.Fatal("hot path never hit the plan cache")
+		}
+	})
+	b.Run("plan-only", func(b *testing.B) {
+		// The isolated planner cost, for reference against hot/cold delta.
+		p := core.NewPlanner(c, core.Options{Seed: benchSeed})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Plan(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkBindingsBitset isolates the binding-set data structure.
 func BenchmarkBindingsBitset(b *testing.B) {
 	const n = 1 << 20

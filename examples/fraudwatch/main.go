@@ -14,8 +14,8 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"stwig/internal/core"
@@ -25,6 +25,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fraudwatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	// Base graph: accounts transacting with merchants, no fraud rings yet.
 	rng := rand.New(rand.NewSource(77))
 	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
@@ -48,7 +55,7 @@ func main() {
 
 	cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 4})
 	if err := cluster.LoadGraph(g); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("transaction graph: %v\n\n", g.ComputeStats())
 
@@ -56,24 +63,28 @@ func main() {
 		"(a1:account)-(m:mule), (a2:account)-(m), (m)-(shop:merchant)")
 	eng := core.NewEngine(cluster, core.Options{MatchBudget: 100})
 
-	sweep := func(round int) int {
+	sweep := func(round int) (int, error) {
 		count := 0
 		start := time.Now()
-		_, err := eng.MatchStream(context.Background(), motif, func(core.Match) bool {
+		stats, err := eng.MatchStream(context.Background(), motif, func(core.Match) bool {
 			count++
 			return true
 		})
 		if err != nil {
-			log.Fatal(err)
+			return 0, err
 		}
-		fmt.Printf("sweep %d: %d fraud-motif embeddings (%v)\n",
-			round, count, time.Since(start).Round(time.Microsecond))
-		return count
+		// Updates bump the cluster epoch, so each post-ingest sweep replans;
+		// quiet periods reuse the cached plan.
+		fmt.Printf("sweep %d: %d fraud-motif embeddings (%v, plan cached: %v)\n",
+			round, count, time.Since(start).Round(time.Microsecond), stats.PlanCacheHit)
+		return count, nil
 	}
 
 	// Round 0: clean graph, no mules exist.
-	if n := sweep(0); n != 0 {
-		log.Fatalf("clean graph already has %d motif matches", n)
+	if n, err := sweep(0); err != nil {
+		return err
+	} else if n != 0 {
+		return fmt.Errorf("clean graph already has %d motif matches", n)
 	}
 
 	// Rounds 1..3: fraud rings trickle in as live updates.
@@ -82,7 +93,7 @@ func main() {
 		for ring := 0; ring < round*2; ring++ {
 			mule, err := cluster.AddNode("mule")
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			// Two source accounts feed the mule; the mule pays one shop.
 			a1 := graph.NodeID(rng.Intn(accounts))
@@ -90,7 +101,7 @@ func main() {
 			shop := graph.NodeID(accounts + rng.Intn(merchants))
 			for _, e := range [][2]graph.NodeID{{a1, mule}, {a2, mule}, {mule, shop}} {
 				if err := cluster.AddEdge(e[0], e[1]); err != nil {
-					log.Fatal(err)
+					return err
 				}
 			}
 		}
@@ -98,13 +109,18 @@ func main() {
 		fmt.Printf("ingested %d rings in %v (total: %d nodes, %d edges added, %d words garbage)\n",
 			round*2, time.Since(ingestStart).Round(time.Microsecond),
 			st.NodesAdded, st.EdgesAdded, st.GarbageWords)
-		if sweep(round) == 0 {
-			log.Fatal("planted fraud rings not detected")
+		n, err := sweep(round)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("planted fraud rings not detected")
 		}
 	}
 
 	// Housekeeping: reclaim relocation garbage, verify queries unaffected.
 	reclaimed := cluster.CompactAll()
 	fmt.Printf("\ncompaction reclaimed %d words\n", reclaimed)
-	sweep(4)
+	_, err := sweep(4)
+	return err
 }

@@ -11,8 +11,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"stwig/internal/baseline"
@@ -22,10 +22,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "knowledgebase:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	g := buildKB(10_000, 7)
 	cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 4})
 	if err := cluster.LoadGraph(g); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("knowledge graph: %v\n\n", g.ComputeStats())
 
@@ -40,7 +47,7 @@ func main() {
 	start := time.Now()
 	res, err := eng.Match(q)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	engineTime := time.Since(start)
 	fmt.Printf("STwig engine: %d matches in %v\n", len(res.Matches), engineTime.Round(time.Microsecond))
@@ -55,12 +62,13 @@ func main() {
 		vf2Time := time.Since(start)
 		fmt.Printf("VF2 baseline: %d matches in %v\n", len(ref), vf2Time.Round(time.Microsecond))
 		if len(ref) != len(res.Matches) {
-			log.Fatalf("MISMATCH: engine %d vs VF2 %d", len(res.Matches), len(ref))
+			return fmt.Errorf("MISMATCH: engine %d vs VF2 %d", len(res.Matches), len(ref))
 		}
 		fmt.Println("result sets agree ✓")
 	} else {
 		fmt.Println("(budget reached; skipping exhaustive VF2 cross-check)")
 	}
+	return nil
 }
 
 // buildKB synthesizes the entity-relation graph: persons work at companies

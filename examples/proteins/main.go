@@ -15,8 +15,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"stwig/internal/core"
@@ -25,10 +25,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "proteins:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	g := buildPPI(40_000, 99)
 	cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 6})
 	if err := cluster.LoadGraph(g); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("PPI network: %v\n\n", g.ComputeStats())
 
@@ -38,28 +45,31 @@ func main() {
 		[]string{"kinase", "tf", "structural"},
 		[][2]int{{0, 1}, {1, 2}, {0, 2}},
 	)
-	report(cluster, eng, "feed-forward loop (kinase→TF→structural, closed)", feedForward)
+	if err := report(cluster, eng, "feed-forward loop (kinase→TF→structural, closed)", feedForward); err != nil {
+		return err
+	}
 
 	scaffold := core.MustNewQuery(
 		[]string{"kinase", "scaffold", "kinase"},
 		[][2]int{{0, 1}, {1, 2}},
 	)
-	report(cluster, eng, "scaffold bridge (kinase-scaffold-kinase)", scaffold)
+	return report(cluster, eng, "scaffold bridge (kinase-scaffold-kinase)", scaffold)
 }
 
-func report(cluster *memcloud.Cluster, eng *core.Engine, name string, q *core.Query) {
+func report(cluster *memcloud.Cluster, eng *core.Engine, name string, q *core.Query) error {
 	start := time.Now()
 	res, err := eng.Match(q)
 	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("%s: %w", name, err)
 	}
 	for _, m := range res.Matches {
 		if err := core.VerifyMatch(cluster, q, m); err != nil {
-			log.Fatalf("verification failed for %v: %v", m, err)
+			return fmt.Errorf("verification failed for %v: %w", m, err)
 		}
 	}
 	fmt.Printf("%s:\n  %d matches in %v (all re-verified)\n\n",
 		name, len(res.Matches), time.Since(start).Round(time.Microsecond))
+	return nil
 }
 
 // buildPPI synthesizes a protein network: complexes of 10–30 proteins with

@@ -4,7 +4,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"stwig/internal/core"
 	"stwig/internal/graph"
@@ -12,6 +12,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	// The data graph of Figure 1(a): two a-nodes, one b, one c, one d.
 	b := graph.NewBuilder(graph.Undirected())
 	a1 := b.AddNode("a")
@@ -29,7 +36,7 @@ func main() {
 	// Deploy on a 2-machine memory cloud.
 	cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 2})
 	if err := cluster.LoadGraph(g); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The query of Figure 1(b): a square a-b-d-c with the paper's answer
@@ -41,7 +48,7 @@ func main() {
 
 	res, err := core.NewEngine(cluster, core.Options{}).Match(q)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	core.SortMatches(res.Matches)
 	fmt.Printf("query decomposed into STwigs: %v\n", res.Stats.Decomposition)
@@ -49,4 +56,8 @@ func main() {
 	for _, m := range res.Matches {
 		fmt.Println(" ", m)
 	}
+	if len(res.Matches) != 2 {
+		return fmt.Errorf("expected the paper's 2 matches, got %d", len(res.Matches))
+	}
+	return nil
 }

@@ -15,7 +15,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"stwig/internal/core"
@@ -25,6 +25,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "socialnetwork:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	// A 65k-vertex power-law graph; relabel by degree so "celebrity" means
 	// high degree, as in a real social graph.
 	base := rmat.MustGenerate(rmat.Params{Scale: 16, AvgDegree: 12, NumLabels: 1, Seed: 2026})
@@ -33,7 +40,7 @@ func main() {
 	cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 8})
 	start := time.Now()
 	if err := cluster.LoadGraph(g); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("loaded %v onto 8 machines in %v\n\n", g.ComputeStats(), time.Since(start).Round(time.Millisecond))
 
@@ -43,20 +50,22 @@ func main() {
 		[]string{"celebrity", "regular", "celebrity"},
 		[][2]int{{0, 1}, {1, 2}},
 	)
-	runMotif(eng, "brokered introduction (celebrity-regular-celebrity wedge)", wedge)
+	if err := runMotif(eng, "brokered introduction (celebrity-regular-celebrity wedge)", wedge); err != nil {
+		return err
+	}
 
 	cliqueSeed := core.MustNewQuery(
 		[]string{"regular", "regular", "regular", "bot"},
 		[][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}},
 	)
-	runMotif(eng, "clique seed (regular triangle + attached bot)", cliqueSeed)
+	return runMotif(eng, "clique seed (regular triangle + attached bot)", cliqueSeed)
 }
 
-func runMotif(eng *core.Engine, name string, q *core.Query) {
+func runMotif(eng *core.Engine, name string, q *core.Query) error {
 	start := time.Now()
 	res, err := eng.Match(q)
 	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("%s: %w", name, err)
 	}
 	elapsed := time.Since(start)
 	suffix := ""
@@ -65,6 +74,7 @@ func runMotif(eng *core.Engine, name string, q *core.Query) {
 	}
 	fmt.Printf("%s:\n  %d matches in %v%s\n", name, len(res.Matches), elapsed.Round(time.Microsecond), suffix)
 	fmt.Printf("  decomposition %v, network %v\n\n", res.Stats.Decomposition, res.Stats.Net)
+	return nil
 }
 
 // relabelByDegree assigns celebrity (top ~1%), bot (bottom band), or

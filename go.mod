@@ -1,0 +1,3 @@
+module stwig
+
+go 1.24

@@ -2,20 +2,16 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"stwig/internal/graph"
 	"stwig/internal/memcloud"
 )
 
-// Options tunes query execution. The zero value is the paper's default
-// configuration with unlimited enumeration; experiments set MatchBudget to
-// 1024 to follow §6.1's protocol ("the program terminates after 1024
-// matches have been found").
+// Options tunes query planning and execution. The zero value is the paper's
+// default configuration with unlimited enumeration; experiments set
+// MatchBudget to 1024 to follow §6.1's protocol ("the program terminates
+// after 1024 matches have been found").
 type Options struct {
 	// MatchBudget bounds the total number of matches enumerated across the
 	// cluster; 0 means unlimited.
@@ -24,6 +20,10 @@ type Options struct {
 	BlockSize int
 	// Seed drives the sampling in join-order estimation.
 	Seed int64
+	// PlanCacheSize bounds the engine's plan cache, in distinct canonical
+	// query signatures (LRU). 0 selects the default (128); negative
+	// disables plan caching entirely, so every query is planned afresh.
+	PlanCacheSize int
 
 	// Ablation switches (all false in the paper's configuration):
 
@@ -57,58 +57,103 @@ type Options struct {
 	NetModel memcloud.NetworkModel
 }
 
-// Engine executes subgraph matching queries over a loaded memory cloud. An
-// Engine is stateless between queries and safe for concurrent use.
-type Engine struct {
-	cluster *memcloud.Cluster
-	opts    Options
-}
+// defaultPlanCacheSize is the plan-cache capacity when Options leaves
+// PlanCacheSize zero.
+const defaultPlanCacheSize = 128
 
-// NewEngine creates an engine over a loaded cluster.
-func NewEngine(c *memcloud.Cluster, opts Options) *Engine {
+// normalizeOptions fills defaulted fields; NewEngine, NewPlanner, and
+// NewExecutor all apply it so the layers agree regardless of how they were
+// constructed.
+func normalizeOptions(opts Options) Options {
 	if opts.BlockSize <= 0 {
 		opts.BlockSize = 256
 	}
 	if opts.SimulateParallel && opts.NetModel == (memcloud.NetworkModel{}) {
 		opts.NetModel = memcloud.DefaultNetworkModel()
 	}
-	return &Engine{cluster: c, opts: opts}
+	return opts
 }
 
-// phaseTimer accumulates modeled times across a query's parallel sections.
-type phaseTimer struct {
-	parallel time.Duration // Σ over phases of max over machines
-	serial   time.Duration // Σ over phases of Σ over machines
+// Engine answers subgraph matching queries over a loaded memory cloud. It
+// is a thin facade over the three-layer pipeline:
+//
+//	Query ──Planner──▶ Plan ──Executor──▶ matches
+//	          ▲           │
+//	          └─PlanCache─┘
+//
+// The Planner turns a query into an immutable Plan (decomposition, STwig
+// order, load sets — everything derivable from the query plus cluster
+// label statistics). The PlanCache memoizes Plans by canonical query
+// signature so a repeated pattern pays planning once. The Executor runs a
+// Plan with per-run scratch state. An Engine is stateless between queries
+// apart from the cache and safe for concurrent use.
+type Engine struct {
+	cluster  *memcloud.Cluster
+	opts     Options
+	planner  *Planner
+	executor *Executor
+	cache    *PlanCache // nil when PlanCacheSize < 0
 }
 
-// forEachMachine runs fn once per machine: concurrently in normal mode, or
-// sequentially with per-machine timing when SimulateParallel is set.
-func (e *Engine) forEachMachine(pt *phaseTimer, fn func(m *memcloud.Machine)) {
-	if !e.opts.SimulateParallel {
-		e.cluster.ParallelEach(fn)
-		return
+// NewEngine creates an engine over a loaded cluster.
+func NewEngine(c *memcloud.Cluster, opts Options) *Engine {
+	opts = normalizeOptions(opts)
+	e := &Engine{
+		cluster:  c,
+		opts:     opts,
+		planner:  NewPlanner(c, opts),
+		executor: NewExecutor(c, opts),
 	}
-	var maxD, sumD time.Duration
-	for i := 0; i < e.cluster.NumMachines(); i++ {
-		start := time.Now()
-		fn(e.cluster.Machine(i))
-		d := time.Since(start)
-		sumD += d
-		if d > maxD {
-			maxD = d
+	if opts.PlanCacheSize >= 0 {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = defaultPlanCacheSize
 		}
+		e.cache = NewPlanCache(size)
 	}
-	pt.parallel += maxD
-	pt.serial += sumD
+	return e
 }
 
 // Cluster returns the engine's cluster.
 func (e *Engine) Cluster() *memcloud.Cluster { return e.cluster }
 
+// PlanCacheStats snapshots the plan cache's counters; the zero value is
+// returned when caching is disabled.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.cache == nil {
+		return PlanCacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// planFor resolves q to a Plan, consulting the cache when enabled. The
+// returned flag reports whether the plan was served from the cache.
+func (e *Engine) planFor(q *Query) (*Plan, bool, error) {
+	if e.cache == nil {
+		plan, err := e.planner.Plan(q)
+		return plan, false, err
+	}
+	if err := validateQuery(q); err != nil {
+		return nil, false, err
+	}
+	sig := q.Signature()
+	if plan := e.cache.Get(sig, e.cluster.Epoch()); plan != nil {
+		return plan, true, nil
+	}
+	plan := e.planner.buildPlan(q, sig)
+	// Unresolvable plans are nearly free to rebuild (label resolution fails
+	// before any planning work); caching them would let typo queries evict
+	// the expensive plans the cache exists to keep.
+	if plan.Resolvable {
+		e.cache.Put(plan)
+	}
+	return plan, false, nil
+}
+
 // Match answers q per Definition 2, returning all (or MatchBudget)
 // embeddings plus execution statistics. The three phases follow §4.2/§4.3:
-// decompose and order on the proxy, explore in parallel, exchange and join
-// in parallel, union without deduplication.
+// decompose and order on the proxy (or reuse the cached plan), explore in
+// parallel, exchange and join in parallel, union without deduplication.
 func (e *Engine) Match(q *Query) (*Result, error) {
 	return e.MatchContext(context.Background(), q)
 }
@@ -137,320 +182,25 @@ func (e *Engine) MatchContext(ctx context.Context, q *Query) (*Result, error) {
 // query (Stats.Truncated is set). The pipelined join makes the first
 // matches arrive before the full result set is computed — the property the
 // paper's block-based join exists for.
+//
+// MatchStream delegates to the Planner/PlanCache for the proxy phase and
+// to the Executor for everything that touches the cluster; the returned
+// stats report whether the plan was cached (PlanCacheHit) and how long
+// resolving it took (PlanTime — a cache lookup on hits, a planner run on
+// misses).
 func (e *Engine) MatchStream(ctx context.Context, q *Query, emit func(Match) bool) (*ExecStats, error) {
-	if q.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty query")
-	}
-	if !q.Connected() {
-		return nil, fmt.Errorf("core: query graph must be connected")
-	}
-	if q.NumEdges() == 0 {
-		return nil, fmt.Errorf("core: query must have at least one edge")
-	}
-	netBefore := e.cluster.NetStats()
-
-	// Label resolution; a label absent from the data graph means zero
-	// matches without touching the cluster.
-	labels, ok := q.resolveLabels(e.cluster.Labels())
-	if !ok {
-		return &ExecStats{}, nil
-	}
-
-	// Proxy phase: decomposition + ordering (Algorithm 2), head STwig and
-	// load sets (§5.3). Broadcasting the plan costs one small message per
-	// machine.
-	dec := e.decompose(q, labels)
-	cg := BuildClusterGraph(e.cluster, q, labels)
-	dec.Head = SelectHead(cg, q, dec.Twigs)
-	var loadSets [][][]int
-	if e.opts.NoLoadSets {
-		loadSets = allToAllLoadSets(e.cluster.NumMachines(), dec)
-	} else {
-		loadSets = LoadSets(cg, q, dec)
-	}
-	planWords := 0
-	for _, t := range dec.Twigs {
-		planWords += 1 + len(t.Leaves)
-	}
-	for k := 0; k < e.cluster.NumMachines(); k++ {
-		e.cluster.AccountProxyTransfer(planWords)
-	}
-
-	pt := &phaseTimer{}
-	wallStart := time.Now()
-
-	// Exploration phase.
-	exploreStart := time.Now()
-	perTwig, err := e.explore(ctx, pt, q, dec, labels)
+	planStart := time.Now()
+	plan, hit, err := e.planFor(q)
 	if err != nil {
 		return nil, err
 	}
-	exploreTime := time.Since(exploreStart)
+	planTime := time.Since(planStart)
 
-	// Exchange + join phase.
-	joinStart := time.Now()
-	perMachine, truncated := e.exchangeAndJoin(ctx, pt, q, dec, loadSets, perTwig, emit)
-	joinTime := time.Since(joinStart)
-	if err := ctx.Err(); err != nil {
+	stats, err := e.executor.Run(ctx, plan, emit)
+	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(wallStart)
-
-	stats := &ExecStats{
-		Decomposition:     dec,
-		STwigMatchCounts:  make([]int, len(dec.Twigs)),
-		Net:               e.cluster.NetStats().Sub(netBefore),
-		ExploreTime:       exploreTime,
-		JoinTime:          joinTime,
-		Truncated:         truncated,
-		PerMachineMatches: perMachine,
-	}
-	for t := range dec.Twigs {
-		for k := 0; k < e.cluster.NumMachines(); k++ {
-			stats.STwigMatchCounts[t] += len(perTwig[t][k])
-		}
-	}
-	if e.opts.SimulateParallel {
-		// Modeled cluster wall time: serial proxy sections (wall minus the
-		// sequentialized machine time) + per-phase maxima + network.
-		netTime := e.opts.NetModel.TransferTime(stats.Net, e.cluster.NumMachines())
-		stats.ModeledParallelTime = wall - pt.serial + pt.parallel + netTime
-		stats.ModeledMachineTime = pt.serial
-		stats.ModeledNetTime = netTime
-	}
+	stats.PlanCacheHit = hit
+	stats.PlanTime = planTime
 	return stats, nil
-}
-
-// decompose runs Algorithm 2 (or the random ablation) with f-values from
-// global label frequencies.
-func (e *Engine) decompose(q *Query, labels []graph.LabelID) Decomposition {
-	if e.opts.RandomDecomposition {
-		rng := rand.New(rand.NewSource(e.opts.Seed))
-		return DecomposeRandom(q, rng)
-	}
-	freq := make([]int64, q.NumVertices())
-	for v := range freq {
-		freq[v] = e.cluster.GlobalLabelCount(labels[v])
-	}
-	return DecomposeOrdered(q, FValues(q, freq))
-}
-
-// explore runs the ordered STwig matching (§4.2 step 2): every machine
-// matches STwig t in parallel against the current bindings; the proxy then
-// merges each machine's binding contribution and broadcasts the updated
-// sets before step t+1. Returns perTwig[t][machine] factored matches.
-func (e *Engine) explore(ctx context.Context, pt *phaseTimer, q *Query, dec Decomposition, labels []graph.LabelID) ([][][]STwigMatch, error) {
-	k := e.cluster.NumMachines()
-	numNodes := e.cluster.NumNodes()
-	perTwig := make([][][]STwigMatch, len(dec.Twigs))
-	var bindings *Bindings
-	if !e.opts.NoBindings {
-		bindings = NewBindings(q.NumVertices(), numNodes)
-	}
-
-	for t, twig := range dec.Twigs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		perTwig[t] = make([][]STwigMatch, k)
-		perMachineDeltas := make([][]bindingDelta, k)
-		e.forEachMachine(pt, func(m *memcloud.Machine) {
-			ms := matchSTwigOnMachine(m, twig, labels, bindings)
-			perTwig[t][m.ID()] = ms
-			if bindings != nil {
-				deltas := collectDeltas(twig, ms, numNodes)
-				perMachineDeltas[m.ID()] = deltas
-				// Each machine ships its binding contribution to the proxy
-				// as a bitset: one bit per data vertex per covered query
-				// vertex (how the implementation actually represents H_v).
-				words := 0
-				for _, d := range deltas {
-					words += len(d.bits)
-				}
-				m.Cluster().AccountProxyTransfer(words)
-			}
-		})
-		if bindings == nil {
-			continue
-		}
-		// Proxy merge: union the per-machine contributions per query vertex
-		// (a word-parallel OR over bitsets) and replace the binding sets.
-		merged := make(map[int]bitset)
-		for _, deltas := range perMachineDeltas {
-			for _, d := range deltas {
-				if acc := merged[d.vertex]; acc == nil {
-					merged[d.vertex] = d.bits
-				} else {
-					acc.or(d.bits)
-				}
-			}
-		}
-		for v, bits := range merged {
-			bindings.setBits(v, bits)
-		}
-		// Broadcast the updated bindings to every machine, again as
-		// bitsets: only the sets updated this step need to go out.
-		words := 0
-		for _, bits := range merged {
-			words += len(bits)
-		}
-		for i := 0; i < k; i++ {
-			e.cluster.AccountProxyTransfer(words)
-		}
-	}
-	return perTwig, nil
-}
-
-// exchangeAndJoin fetches remote STwig results per the load sets, then runs
-// the pipelined join on every machine in parallel, emitting matches through
-// the serialized emit callback. Per-machine result sets are disjoint by the
-// head-STwig construction, so the union needs no deduplication.
-func (e *Engine) exchangeAndJoin(ctx context.Context, pt *phaseTimer, q *Query, dec Decomposition, loadSets [][][]int, perTwig [][][]STwigMatch, emit func(Match) bool) ([]int, bool) {
-	k := e.cluster.NumMachines()
-	var budget *atomic.Int64
-	if e.opts.MatchBudget > 0 {
-		budget = &atomic.Int64{}
-		budget.Store(int64(e.opts.MatchBudget))
-	}
-
-	// Serialize the user callback across machine goroutines; a false
-	// return (or a done context) stops every machine's join.
-	var emitMu sync.Mutex
-	var stopAll atomic.Bool
-	var truncatedFlag atomic.Bool
-	sharedEmit := func(m Match) bool {
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		if stopAll.Load() {
-			return false
-		}
-		if !emit(m) {
-			stopAll.Store(true)
-			truncatedFlag.Store(true)
-			return false
-		}
-		return true
-	}
-	aborted := func() bool {
-		if stopAll.Load() {
-			return true
-		}
-		select {
-		case <-ctx.Done():
-			return true
-		default:
-			return false
-		}
-	}
-
-	perMachineCounts := make([]int, k)
-	e.forEachMachine(pt, func(mach *memcloud.Machine) {
-		machine := mach.ID()
-		rng := rand.New(rand.NewSource(e.opts.Seed + int64(machine)))
-
-		// Assemble R_k(q_t) = G_k(q_t) ∪ ⋃_{j ∈ F_{k,t}} G_j(q_t).
-		// Matches are aliased, not copied: the join only mutates them
-		// during semi-join reduction, which deep-copies first.
-		rels := make([]*relation, 0, len(dec.Twigs))
-		totalWords := 0
-		for t, twig := range dec.Twigs {
-			matches := perTwig[t][machine]
-			if t != dec.Head {
-				// Appending into the shared per-twig slice would race
-				// with other machines; reallocate before the first
-				// remote extension.
-				extended := false
-				for _, j := range loadSets[machine][t] {
-					remote := perTwig[t][j]
-					if len(remote) == 0 {
-						continue
-					}
-					words := 0
-					for _, m := range remote {
-						words += m.words()
-					}
-					e.cluster.ShipWords(j, machine, words)
-					if !extended {
-						matches = append([]STwigMatch(nil), matches...)
-						extended = true
-					}
-					matches = append(matches, remote...)
-				}
-			}
-			rel := newRelation(twig, matches, rng)
-			totalWords += rel.totalWords()
-			rels = append(rels, rel)
-		}
-		sortRelationsDeterministic(rels)
-		// Semi-join reduction pays on selective (often cyclic) queries
-		// but is pure overhead when relations are huge and
-		// unselective; gate it by volume. It mutates leaf sets, and
-		// the match arrays are shared with other machines' concurrent
-		// joins, so it operates on a deep copy.
-		const semijoinWordCap = 30_000
-		if !e.opts.NoSemijoin && totalWords <= semijoinWordCap {
-			for _, r := range rels {
-				r.matches = copyMatches(nil, r.matches)
-				r.buildIndexes()
-			}
-			semijoinReduce(q, rels, rng)
-		}
-		rels = orderRelations(rels, !e.opts.NoJoinOrderOpt)
-
-		count := 0
-		jn := &joiner{
-			q:         q,
-			rels:      rels,
-			budget:    budget,
-			blockSize: e.opts.BlockSize,
-			abort:     aborted,
-			emit: func(m Match) bool {
-				if !sharedEmit(m) {
-					return false
-				}
-				count++
-				return true
-			},
-		}
-		jn.run()
-		if jn.budgetHit {
-			truncatedFlag.Store(true)
-		}
-		perMachineCounts[machine] = count
-	})
-	return perMachineCounts, truncatedFlag.Load()
-}
-
-// copyMatches appends deep copies of src to dst: the join phase mutates
-// leaf sets, so relations must not alias exploration results shared across
-// machines.
-func copyMatches(dst, src []STwigMatch) []STwigMatch {
-	for _, m := range src {
-		nm := STwigMatch{Root: m.Root, LeafSets: make([][]graph.NodeID, len(m.LeafSets))}
-		for i, s := range m.LeafSets {
-			nm.LeafSets[i] = append([]graph.NodeID(nil), s...)
-		}
-		dst = append(dst, nm)
-	}
-	return dst
-}
-
-// allToAllLoadSets is the NoLoadSets ablation: every machine fetches every
-// non-head STwig's matches from every other machine.
-func allToAllLoadSets(k int, dec Decomposition) [][][]int {
-	F := make([][][]int, k)
-	for machine := 0; machine < k; machine++ {
-		F[machine] = make([][]int, len(dec.Twigs))
-		for t := range dec.Twigs {
-			if t == dec.Head {
-				continue
-			}
-			for j := 0; j < k; j++ {
-				if j != machine {
-					F[machine][t] = append(F[machine][t], j)
-				}
-			}
-		}
-	}
-	return F
 }

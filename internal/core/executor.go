@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+// Executor runs Plans against a memcloud.Cluster: the exploration phase
+// (§4.2 step 2, ordered STwig matching with binding propagation), the
+// exchange governed by the plan's load sets, and the per-machine pipelined
+// join (§4.2 step 3, §4.3). All mutable per-query state — bindings,
+// relations, block buffers, phase timers — lives in a per-run execution
+// value, so one Plan can be executed by any number of goroutines
+// concurrently and an Executor is safe for concurrent use.
+type Executor struct {
+	cluster *memcloud.Cluster
+	opts    Options
+}
+
+// NewExecutor creates an executor over a loaded cluster.
+func NewExecutor(c *memcloud.Cluster, opts Options) *Executor {
+	return &Executor{cluster: c, opts: normalizeOptions(opts)}
+}
+
+// Run executes plan, calling emit once per match (from multiple goroutines
+// but never concurrently; returning false stops the run and sets
+// Stats.Truncated). Engine stamps the returned stats with plan-cache
+// provenance; Run itself fills everything execution-derived.
+func (ex *Executor) Run(ctx context.Context, plan *Plan, emit func(Match) bool) (*ExecStats, error) {
+	if !plan.Resolvable {
+		return &ExecStats{}, nil
+	}
+	r := &execution{ex: ex, plan: plan, emit: emit}
+	return r.run(ctx)
+}
+
+// execution is the scratch state of one plan run. Nothing in it outlives
+// the run, and nothing in the Plan is written by it.
+type execution struct {
+	ex   *Executor
+	plan *Plan
+	emit func(Match) bool
+	pt   phaseTimer
+}
+
+// phaseTimer accumulates modeled times across a query's parallel sections.
+type phaseTimer struct {
+	parallel time.Duration // Σ over phases of max over machines
+	serial   time.Duration // Σ over phases of Σ over machines
+}
+
+// forEachMachine runs fn once per machine: concurrently in normal mode, or
+// sequentially with per-machine timing when SimulateParallel is set.
+func (r *execution) forEachMachine(fn func(m *memcloud.Machine)) {
+	cluster := r.ex.cluster
+	if !r.ex.opts.SimulateParallel {
+		cluster.ParallelEach(fn)
+		return
+	}
+	var maxD, sumD time.Duration
+	for i := 0; i < cluster.NumMachines(); i++ {
+		start := time.Now()
+		fn(cluster.Machine(i))
+		d := time.Since(start)
+		sumD += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	r.pt.parallel += maxD
+	r.pt.serial += sumD
+}
+
+// run drives the two parallel phases and assembles the statistics. The
+// proxy phase already happened at plan time; its broadcast (one small
+// message per machine) is accounted here because every run re-pays the
+// wire cost even when the plan itself is cached.
+func (r *execution) run(ctx context.Context) (*ExecStats, error) {
+	ex := r.ex
+	plan := r.plan
+	netBefore := ex.cluster.NetStats()
+	for k := 0; k < ex.cluster.NumMachines(); k++ {
+		ex.cluster.AccountProxyTransfer(plan.planWords)
+	}
+
+	wallStart := time.Now()
+
+	// Exploration phase.
+	exploreStart := time.Now()
+	perTwig, err := r.explore(ctx)
+	if err != nil {
+		return nil, err
+	}
+	exploreTime := time.Since(exploreStart)
+
+	// Exchange + join phase.
+	joinStart := time.Now()
+	perMachine, truncated := r.exchangeAndJoin(ctx, perTwig)
+	joinTime := time.Since(joinStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(wallStart)
+
+	stats := &ExecStats{
+		// Deep-copied: ExecStats escapes to callers, and the plan (with its
+		// Twigs/Leaves slices) may be cached and shared.
+		Decomposition:     plan.Decomposition.clone(),
+		STwigMatchCounts:  make([]int, len(plan.Decomposition.Twigs)),
+		Net:               ex.cluster.NetStats().Sub(netBefore),
+		ExploreTime:       exploreTime,
+		JoinTime:          joinTime,
+		Truncated:         truncated,
+		PerMachineMatches: perMachine,
+	}
+	for t := range plan.Decomposition.Twigs {
+		for k := 0; k < ex.cluster.NumMachines(); k++ {
+			stats.STwigMatchCounts[t] += len(perTwig[t][k])
+		}
+	}
+	if ex.opts.SimulateParallel {
+		// Modeled cluster wall time: serial proxy sections (wall minus the
+		// sequentialized machine time) + per-phase maxima + network.
+		netTime := ex.opts.NetModel.TransferTime(stats.Net, ex.cluster.NumMachines())
+		stats.ModeledParallelTime = wall - r.pt.serial + r.pt.parallel + netTime
+		stats.ModeledMachineTime = r.pt.serial
+		stats.ModeledNetTime = netTime
+	}
+	return stats, nil
+}
+
+// explore runs the ordered STwig matching (§4.2 step 2): every machine
+// matches STwig t in parallel against the current bindings; the proxy then
+// merges each machine's binding contribution and broadcasts the updated
+// sets before step t+1. Returns perTwig[t][machine] factored matches.
+func (r *execution) explore(ctx context.Context) ([][][]STwigMatch, error) {
+	ex := r.ex
+	dec := r.plan.Decomposition
+	labels := r.plan.labels
+	k := ex.cluster.NumMachines()
+	numNodes := ex.cluster.NumNodes()
+	perTwig := make([][][]STwigMatch, len(dec.Twigs))
+	var bindings *Bindings
+	if !ex.opts.NoBindings {
+		bindings = NewBindings(r.plan.Query.NumVertices(), numNodes)
+	}
+
+	for t, twig := range dec.Twigs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		perTwig[t] = make([][]STwigMatch, k)
+		perMachineDeltas := make([][]bindingDelta, k)
+		r.forEachMachine(func(m *memcloud.Machine) {
+			ms := matchSTwigOnMachine(m, twig, labels, bindings)
+			perTwig[t][m.ID()] = ms
+			if bindings != nil {
+				deltas := collectDeltas(twig, ms, numNodes)
+				perMachineDeltas[m.ID()] = deltas
+				// Each machine ships its binding contribution to the proxy
+				// as a bitset: one bit per data vertex per covered query
+				// vertex (how the implementation actually represents H_v).
+				words := 0
+				for _, d := range deltas {
+					words += len(d.bits)
+				}
+				m.Cluster().AccountProxyTransfer(words)
+			}
+		})
+		if bindings == nil {
+			continue
+		}
+		// Proxy merge: union the per-machine contributions per query vertex
+		// (a word-parallel OR over bitsets) and replace the binding sets.
+		merged := make(map[int]bitset)
+		for _, deltas := range perMachineDeltas {
+			for _, d := range deltas {
+				if acc := merged[d.vertex]; acc == nil {
+					merged[d.vertex] = d.bits
+				} else {
+					acc.or(d.bits)
+				}
+			}
+		}
+		for v, bits := range merged {
+			bindings.setBits(v, bits)
+		}
+		// Broadcast the updated bindings to every machine, again as
+		// bitsets: only the sets updated this step need to go out.
+		words := 0
+		for _, bits := range merged {
+			words += len(bits)
+		}
+		for i := 0; i < k; i++ {
+			ex.cluster.AccountProxyTransfer(words)
+		}
+	}
+	return perTwig, nil
+}
+
+// exchangeAndJoin fetches remote STwig results per the plan's load sets,
+// then runs the pipelined join on every machine in parallel, emitting
+// matches through the serialized emit callback. Per-machine result sets are
+// disjoint by the head-STwig construction, so the union needs no
+// deduplication.
+func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatch) ([]int, bool) {
+	ex := r.ex
+	q := r.plan.Query
+	dec := r.plan.Decomposition
+	loadSets := r.plan.LoadSets
+	k := ex.cluster.NumMachines()
+	var budget *atomic.Int64
+	if ex.opts.MatchBudget > 0 {
+		budget = &atomic.Int64{}
+		budget.Store(int64(ex.opts.MatchBudget))
+	}
+
+	// Serialize the user callback across machine goroutines; a false
+	// return (or a done context) stops every machine's join.
+	var emitMu sync.Mutex
+	var stopAll atomic.Bool
+	var truncatedFlag atomic.Bool
+	sharedEmit := func(m Match) bool {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if stopAll.Load() {
+			return false
+		}
+		if !r.emit(m) {
+			stopAll.Store(true)
+			truncatedFlag.Store(true)
+			return false
+		}
+		return true
+	}
+	aborted := func() bool {
+		if stopAll.Load() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+
+	perMachineCounts := make([]int, k)
+	r.forEachMachine(func(mach *memcloud.Machine) {
+		machine := mach.ID()
+		rng := rand.New(rand.NewSource(ex.opts.Seed + int64(machine)))
+
+		// Assemble R_k(q_t) = G_k(q_t) ∪ ⋃_{j ∈ F_{k,t}} G_j(q_t).
+		// Matches are aliased, not copied: the join only mutates them
+		// during semi-join reduction, which deep-copies first.
+		rels := make([]*relation, 0, len(dec.Twigs))
+		totalWords := 0
+		for t, twig := range dec.Twigs {
+			matches := perTwig[t][machine]
+			if t != dec.Head {
+				// Appending into the shared per-twig slice would race
+				// with other machines; reallocate before the first
+				// remote extension.
+				extended := false
+				for _, j := range loadSets[machine][t] {
+					remote := perTwig[t][j]
+					if len(remote) == 0 {
+						continue
+					}
+					words := 0
+					for _, m := range remote {
+						words += m.words()
+					}
+					ex.cluster.ShipWords(j, machine, words)
+					if !extended {
+						matches = append([]STwigMatch(nil), matches...)
+						extended = true
+					}
+					matches = append(matches, remote...)
+				}
+			}
+			rel := newRelation(twig, matches, rng)
+			totalWords += rel.totalWords()
+			rels = append(rels, rel)
+		}
+		sortRelationsDeterministic(rels)
+		// Semi-join reduction pays on selective (often cyclic) queries
+		// but is pure overhead when relations are huge and
+		// unselective; gate it by volume. It mutates leaf sets, and
+		// the match arrays are shared with other machines' concurrent
+		// joins, so it operates on a deep copy.
+		const semijoinWordCap = 30_000
+		if !ex.opts.NoSemijoin && totalWords <= semijoinWordCap {
+			for _, rel := range rels {
+				rel.matches = copyMatches(nil, rel.matches)
+				rel.buildIndexes()
+			}
+			semijoinReduce(q, rels, rng)
+		}
+		rels = orderRelations(rels, !ex.opts.NoJoinOrderOpt)
+
+		count := 0
+		jn := &joiner{
+			q:         q,
+			rels:      rels,
+			budget:    budget,
+			blockSize: ex.opts.BlockSize,
+			abort:     aborted,
+			emit: func(m Match) bool {
+				if !sharedEmit(m) {
+					return false
+				}
+				count++
+				return true
+			},
+		}
+		jn.run()
+		if jn.budgetHit {
+			truncatedFlag.Store(true)
+		}
+		perMachineCounts[machine] = count
+	})
+	return perMachineCounts, truncatedFlag.Load()
+}
+
+// copyMatches appends deep copies of src to dst: the join phase mutates
+// leaf sets, so relations must not alias exploration results shared across
+// machines.
+func copyMatches(dst, src []STwigMatch) []STwigMatch {
+	for _, m := range src {
+		nm := STwigMatch{Root: m.Root, LeafSets: make([][]graph.NodeID, len(m.LeafSets))}
+		for i, s := range m.LeafSets {
+			nm.LeafSets[i] = append([]graph.NodeID(nil), s...)
+		}
+		dst = append(dst, nm)
+	}
+	return dst
+}

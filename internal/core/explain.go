@@ -5,80 +5,22 @@ import (
 	"strings"
 )
 
-// Plan describes how the engine would execute a query, without executing
-// it: the proxy phase's complete output (decomposition, ordering, head
-// STwig, load sets) plus per-STwig candidate estimates from the string
-// index. It is the subgraph-matching analogue of a database EXPLAIN.
-type Plan struct {
-	// Query echoes the analyzed pattern.
-	Query *Query
-	// Resolvable is false when some query label does not occur in the data
-	// graph at all; the query is then answered empty without execution and
-	// the remaining fields are zero.
-	Resolvable bool
-	// Decomposition is the ordered STwig cover with Head set.
-	Decomposition Decomposition
-	// RootCandidates[t] is the cluster-wide number of vertices carrying
-	// STwig t's root label — the size of the Index.getID scan that seeds
-	// the STwig before binding filters.
-	RootCandidates []int64
-	// FValues[v] is the selectivity score f(v) = deg(v)/freq(label(v))
-	// that guided Algorithm 2.
-	FValues []float64
-	// LoadSets[k][t] lists the machines machine k fetches STwig t's
-	// matches from (Theorem 4); empty for the head STwig.
-	LoadSets [][][]int
-	// ClusterDiameter is the largest finite pairwise distance in the
-	// query-specific cluster graph (0 for a single machine).
-	ClusterDiameter int
-}
+// EXPLAIN support: rendering a Plan (the Planner's immutable artifact,
+// declared in planner.go) for humans. Because Engine.Explain goes through
+// the same planner and plan cache as Match, the printed plan is the exact
+// cached artifact a subsequent execution of the same query will run — not a
+// parallel reconstruction that could drift.
 
-// Explain computes the execution plan for q without running the query. The
-// same proxy-phase code paths are used as in Match, so the plan is exactly
-// what execution would do.
+// Explain computes the execution plan for q without running the query,
+// consulting (and warming) the plan cache exactly as Match would. The
+// returned Plan is a defensive deep copy: mutating it cannot corrupt the
+// cached artifact that later executions run.
 func (e *Engine) Explain(q *Query) (*Plan, error) {
-	if q.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty query")
+	plan, _, err := e.planFor(q)
+	if err != nil {
+		return nil, err
 	}
-	if !q.Connected() {
-		return nil, fmt.Errorf("core: query graph must be connected")
-	}
-	if q.NumEdges() == 0 {
-		return nil, fmt.Errorf("core: query must have at least one edge")
-	}
-	plan := &Plan{Query: q}
-	labels, ok := q.resolveLabels(e.cluster.Labels())
-	if !ok {
-		return plan, nil
-	}
-	plan.Resolvable = true
-
-	freq := make([]int64, q.NumVertices())
-	for v := range freq {
-		freq[v] = e.cluster.GlobalLabelCount(labels[v])
-	}
-	plan.FValues = FValues(q, freq)
-	dec := DecomposeOrdered(q, plan.FValues)
-	cg := BuildClusterGraph(e.cluster, q, labels)
-	dec.Head = SelectHead(cg, q, dec.Twigs)
-	plan.Decomposition = dec
-	if e.opts.NoLoadSets {
-		plan.LoadSets = allToAllLoadSets(e.cluster.NumMachines(), dec)
-	} else {
-		plan.LoadSets = LoadSets(cg, q, dec)
-	}
-	plan.RootCandidates = make([]int64, len(dec.Twigs))
-	for t, twig := range dec.Twigs {
-		plan.RootCandidates[t] = freq[twig.Root]
-	}
-	for i := 0; i < e.cluster.NumMachines(); i++ {
-		for j := 0; j < e.cluster.NumMachines(); j++ {
-			if d := cg.Distance(i, j); d != Unreachable && d > plan.ClusterDiameter {
-				plan.ClusterDiameter = d
-			}
-		}
-	}
-	return plan, nil
+	return plan.clone(), nil
 }
 
 // String renders the plan in a compact, human-readable layout.
@@ -89,6 +31,8 @@ func (p *Plan) String() string {
 		b.WriteString("plan: EMPTY (some query label is absent from the data graph)\n")
 		return b.String()
 	}
+	fmt.Fprintf(&b, "plan: built in %v at cluster epoch %d, broadcast %d words/machine\n",
+		p.BuildTime, p.Epoch, p.planWords)
 	fmt.Fprintf(&b, "decomposition (%d STwigs, head=*):\n", len(p.Decomposition.Twigs))
 	for t, twig := range p.Decomposition.Twigs {
 		head := " "

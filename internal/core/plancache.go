@@ -1,0 +1,130 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PlanCache is a bounded, concurrency-safe LRU cache of Plans keyed by
+// canonical query signature. It exists for the serving workload the paper's
+// pipeline is silent about: the same pattern issued millions of times
+// should pay decomposition, join-order estimation, and load-set computation
+// once, not per query.
+//
+// Staleness is handled by cluster epoch: a Plan records the mutation epoch
+// it was built at, and Get treats an entry from an older epoch as a miss
+// (evicting it), so dynamic updates — which can add labels and shift the
+// statistics planning depends on — never serve a stale plan.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	byKey map[string]*list.Element // signature -> element whose Value is *Plan
+
+	hits, misses, evictions uint64
+}
+
+// PlanCacheStats snapshots cache effectiveness counters.
+type PlanCacheStats struct {
+	// Hits and Misses count Get outcomes; an epoch-stale entry counts as a
+	// miss.
+	Hits, Misses uint64
+	// Evictions counts entries dropped for capacity or staleness.
+	Evictions uint64
+	// Size and Capacity describe current occupancy.
+	Size, Capacity int
+}
+
+// NewPlanCache creates a cache holding at most capacity plans; capacity
+// must be positive.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		panic("core: plan cache capacity must be positive")
+	}
+	return &PlanCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached plan for the signature, provided it is not older
+// than the given cluster epoch. A strictly older entry is evicted and
+// reported as a miss; an entry from a *newer* epoch (the caller's snapshot
+// raced an update) is served — it was built against fresher statistics
+// than the caller would rebuild with, and evicting it would undo Put's
+// newer-incumbent protection.
+func (c *PlanCache) Get(signature string, epoch uint64) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[signature]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	plan := el.Value.(*Plan)
+	if plan.Epoch < epoch {
+		c.removeLocked(el)
+		c.evictions++
+		c.misses++
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return plan
+}
+
+// Put inserts (or replaces) the plan under its signature, evicting the
+// least recently used entry when over capacity. An incumbent from a newer
+// cluster epoch is kept: a slow planner that raced an update must not
+// clobber the plan someone already rebuilt against the fresher statistics.
+func (c *PlanCache) Put(plan *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[plan.Signature]; ok {
+		if el.Value.(*Plan).Epoch <= plan.Epoch {
+			el.Value = plan
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[plan.Signature] = c.ll.PushFront(plan)
+	for c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}
+
+// Purge drops every cached plan (counters are kept).
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byKey)
+}
+
+func (c *PlanCache) removeLocked(el *list.Element) {
+	plan := el.Value.(*Plan)
+	c.ll.Remove(el)
+	delete(c.byKey, plan.Signature)
+}

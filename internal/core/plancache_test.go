@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// testPlan fabricates a minimal plan for cache unit tests.
+func testPlan(sig string, epoch uint64) *Plan {
+	return &Plan{Signature: sig, Epoch: epoch, Resolvable: true}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put(testPlan("a", 0))
+	c.Put(testPlan("b", 0))
+	if c.Get("a", 0) == nil { // a becomes most recent
+		t.Fatal("a missing")
+	}
+	c.Put(testPlan("c", 0)) // must evict b, the least recently used
+	if c.Get("b", 0) != nil {
+		t.Fatal("b survived eviction despite being LRU")
+	}
+	if c.Get("a", 0) == nil || c.Get("c", 0) == nil {
+		t.Fatal("a or c wrongly evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("size/capacity = %d/%d, want 2/2", st.Size, st.Capacity)
+	}
+}
+
+func TestPlanCacheReplaceSameSignature(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put(testPlan("a", 0))
+	p2 := testPlan("a", 0)
+	c.Put(p2)
+	if c.Len() != 1 {
+		t.Fatalf("replacement grew cache to %d entries", c.Len())
+	}
+	if got := c.Get("a", 0); got != p2 {
+		t.Fatal("replacement did not take effect")
+	}
+}
+
+func TestPlanCachePutKeepsFresherIncumbent(t *testing.T) {
+	// A slow planner that raced a cluster update must not clobber a plan
+	// someone already rebuilt against the newer statistics.
+	c := NewPlanCache(2)
+	fresh := testPlan("a", 2)
+	c.Put(fresh)
+	c.Put(testPlan("a", 1)) // stale straggler
+	if got := c.Get("a", 2); got != fresh {
+		t.Fatal("stale plan overwrote a fresher incumbent")
+	}
+}
+
+func TestPlanCacheEpochStaleness(t *testing.T) {
+	c := NewPlanCache(4)
+	c.Put(testPlan("a", 1))
+	if c.Get("a", 2) != nil {
+		t.Fatal("stale-epoch plan served")
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale entry not evicted on Get")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("stats after stale get: %+v", st)
+	}
+	// The reverse race: a caller holding an outdated epoch snapshot must
+	// not evict a plan someone built against fresher statistics.
+	fresh := testPlan("b", 5)
+	c.Put(fresh)
+	if got := c.Get("b", 4); got != fresh {
+		t.Fatal("fresher-epoch plan evicted by a stale snapshot")
+	}
+}
+
+func TestPlanCachePurge(t *testing.T) {
+	c := NewPlanCache(4)
+	c.Put(testPlan("a", 0))
+	c.Put(testPlan("b", 0))
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("purge left %d entries", c.Len())
+	}
+	if c.Get("a", 0) != nil {
+		t.Fatal("purged entry served")
+	}
+}
+
+func TestPlanCacheRejectsNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	NewPlanCache(0)
+}
+
+// TestPlanCacheConcurrentAccess hammers the cache from many goroutines;
+// run under -race it checks the locking discipline.
+func TestPlanCacheConcurrentAccess(t *testing.T) {
+	c := NewPlanCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sig := fmt.Sprintf("q%d", (g+i)%16)
+				if c.Get(sig, 0) == nil {
+					c.Put(testPlan(sig, 0))
+				}
+				if i%50 == 0 {
+					c.Stats()
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSignatureCanonicalUnderEdgeReordering(t *testing.T) {
+	// The same pattern written with edges in different orders and
+	// orientations must share a signature (and hence a cached plan).
+	a := MustNewQuery([]string{"a", "b", "c", "d"},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	b := MustNewQuery([]string{"a", "b", "c", "d"},
+		[][2]int{{3, 2}, {1, 3}, {2, 0}, {1, 0}})
+	if a.Signature() != b.Signature() {
+		t.Fatalf("reordered edge literals changed signature:\n%q\n%q", a.Signature(), b.Signature())
+	}
+}
+
+func TestSignatureDistinguishesQueries(t *testing.T) {
+	base := MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	cases := map[string]*Query{
+		"different label": MustNewQuery([]string{"a", "b", "d"}, [][2]int{{0, 1}, {1, 2}}),
+		"different edges": MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {0, 2}}),
+		"extra edge":      MustNewQuery([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}, {0, 2}}),
+	}
+	for name, q := range cases {
+		if q.Signature() == base.Signature() {
+			t.Fatalf("%s: signature collision: %q", name, base.Signature())
+		}
+	}
+	// Label strings must not collide across vertex boundaries.
+	x := MustNewQuery([]string{"x", "y,z"}, [][2]int{{0, 1}})
+	y := MustNewQuery([]string{"x,y", "z"}, [][2]int{{0, 1}})
+	if x.Signature() == y.Signature() {
+		t.Fatalf("label boundary collision: %q", x.Signature())
+	}
+}
+
+func TestPlannerDeterministic(t *testing.T) {
+	g := figure1Graph()
+	c := clusterFor(t, g, 3)
+	p := NewPlanner(c, Options{Seed: 5})
+	q := figure1Query()
+	first, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := p.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Decomposition.String() != again.Decomposition.String() {
+			t.Fatalf("planner not deterministic: %v vs %v", first.Decomposition, again.Decomposition)
+		}
+		if first.Signature != again.Signature {
+			t.Fatal("signature drifted between plans")
+		}
+	}
+}
+
+func TestPlannerRecordsClusterEpoch(t *testing.T) {
+	g := figure1Graph()
+	c := clusterFor(t, g, 2)
+	p := NewPlanner(c, Options{})
+	q := figure1Query()
+	before, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Epoch != c.Epoch() {
+		t.Fatalf("plan epoch %d != cluster epoch %d", before.Epoch, c.Epoch())
+	}
+	if _, err := c.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch == before.Epoch {
+		t.Fatal("cluster update did not move the plan epoch")
+	}
+}
+
+func TestPlannerValidatesQueries(t *testing.T) {
+	c := clusterFor(t, figure1Graph(), 2)
+	p := NewPlanner(c, Options{})
+	if _, err := p.Plan(MustNewQuery([]string{"a"}, nil)); err == nil {
+		t.Fatal("edgeless query accepted")
+	}
+	if _, err := p.Plan(MustNewQuery([]string{"a", "b", "c", "d"}, [][2]int{{0, 1}, {2, 3}})); err == nil {
+		t.Fatal("disconnected query accepted")
+	}
+}
+
+func TestPlannerUnresolvableQuery(t *testing.T) {
+	c := clusterFor(t, figure1Graph(), 2)
+	p := NewPlanner(c, Options{})
+	plan, err := p.Plan(MustNewQuery([]string{"a", "nope"}, [][2]int{{0, 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Resolvable {
+		t.Fatal("unresolvable query reported resolvable")
+	}
+	if plan.Signature == "" {
+		t.Fatal("unresolvable plan must still carry a signature for caching")
+	}
+}

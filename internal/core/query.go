@@ -3,6 +3,13 @@
 // (STwigs) with Algorithm 2, matched by exploration over a memcloud.Cluster
 // with binding propagation (§4.2), and assembled by per-machine multi-way
 // joins whose communication is bounded by cluster-graph load sets (§5.3).
+//
+// The package is layered as a Planner → Plan → Executor pipeline: the
+// Planner compiles a Query into an immutable Plan (decomposition, STwig
+// order, load sets — the paper's proxy phase), the Executor runs a Plan
+// against the cluster with per-run scratch state, and Engine glues them
+// together behind a concurrent LRU PlanCache so repeated queries skip
+// planning entirely.
 package core
 
 import (
@@ -231,6 +238,25 @@ func ParseQuery(r io.Reader) (*Query, error) {
 		return nil, err
 	}
 	return NewQuery(labels, edges)
+}
+
+// Signature returns a canonical signature identifying the query up to the
+// order its edge literals were given in: vertex labels in index order
+// (length-prefixed, so label strings cannot collide across vertex
+// boundaries) followed by the edge set in sorted (u<v, ascending) order.
+// Two Query values built from the same labeled vertices with the same edge
+// set — regardless of edge listing order or endpoint orientation — share a
+// signature, and therefore share a cached plan.
+func (q *Query) Signature() string {
+	var b strings.Builder
+	for _, l := range q.labels {
+		fmt.Fprintf(&b, "%d:%s,", len(l), l)
+	}
+	b.WriteByte('|')
+	for _, e := range q.Edges() {
+		fmt.Fprintf(&b, "%d-%d;", e[0], e[1])
+	}
+	return b.String()
 }
 
 // String renders the query in the parseable text format.

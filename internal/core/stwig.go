@@ -49,6 +49,17 @@ type Decomposition struct {
 	Head int
 }
 
+// clone returns a deep copy with fresh Twigs and Leaves slices; handed out
+// through ExecStats and EXPLAIN so callers cannot mutate a cached plan's
+// decomposition through shared slices.
+func (d Decomposition) clone() Decomposition {
+	out := Decomposition{Twigs: make([]STwig, len(d.Twigs)), Head: d.Head}
+	for i, t := range d.Twigs {
+		out.Twigs[i] = STwig{Root: t.Root, Leaves: append([]int(nil), t.Leaves...)}
+	}
+	return out
+}
+
 // CoversAllEdges verifies the STwig-cover property against q: every query
 // edge appears in exactly one STwig and no STwig contains a non-edge.
 func (d Decomposition) CoversAllEdges(q *Query) error {

@@ -3,6 +3,7 @@ package memcloud
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stwig/internal/graph"
@@ -49,6 +50,7 @@ type Cluster struct {
 	cross    *crossPairs
 	loaded   bool
 	upd      updateState
+	epoch    atomic.Uint64
 }
 
 // NewCluster creates an empty cluster.
@@ -131,6 +133,13 @@ func (c *Cluster) LoadGraph(g *graph.Graph) error {
 
 // NumMachines returns the cluster size.
 func (c *Cluster) NumMachines() int { return c.cfg.Machines }
+
+// Epoch returns the cluster's mutation epoch: it increases whenever a
+// dynamic update (AddNode, AddEdge, RemoveEdge) changes the statistics a
+// query plan is derived from — label frequencies, the label table, or the
+// cross-label-pair tables. Cached plans record the epoch they were built at
+// and are invalidated when it moves.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
 
 // NumNodes returns the total vertex count across machines, including
 // vertices added after load. Vertex IDs are dense in [0, NumNodes()).

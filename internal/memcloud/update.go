@@ -56,6 +56,7 @@ func (c *Cluster) AddNode(label string) (graph.NodeID, error) {
 	m.store.put(id, l, nil)
 	m.index.insertSorted(id, l)
 	c.upd.stats.NodesAdded++
+	c.epoch.Add(1)
 	return id, nil
 }
 
@@ -92,6 +93,7 @@ func (c *Cluster) AddEdge(u, v graph.NodeID) error {
 	c.cross.add(mu.id, mv.id, lu, lv)
 	c.cross.add(mv.id, mu.id, lv, lu)
 	c.upd.stats.EdgesAdded++
+	c.epoch.Add(1)
 	return nil
 }
 
@@ -114,6 +116,7 @@ func (c *Cluster) RemoveEdge(u, v graph.NodeID) error {
 	mu.store.removeNeighbor(u, v)
 	mv.store.removeNeighbor(v, u)
 	c.upd.stats.EdgesRemoved++
+	c.epoch.Add(1)
 	return nil
 }
 
