@@ -1,0 +1,191 @@
+// Command stwigd serves subgraph matching queries over HTTP: the paper's
+// system as an online service. At startup it loads a graph file (or
+// generates an R-MAT graph in process) into a simulated memory cloud, then
+// serves streaming queries, dynamic updates, and live stats over it until
+// shut down.
+//
+// Usage:
+//
+//	stwigd -graph data.bin [-text] [-addr :7029] [-machines 8]
+//	stwigd -rmat-scale 14 -rmat-degree 8 -rmat-labels 16 [-relabel degree]
+//
+// Endpoints (see internal/server for the wire format):
+//
+//	POST /query    {"pattern": "(a:L1)-(b:L2)"}          → NDJSON match stream
+//	POST /explain  {"pattern": ...}                      → rendered plan
+//	POST /update   {"op": "add_edge", "u": 1, "v": 2}    → applied mutation
+//	GET  /stats                                          → live counters
+//	GET  /healthz                                        → liveness
+//
+// SIGINT/SIGTERM begins a graceful drain: health flips to 503, new queries
+// are refused, in-flight streams run to completion (bounded by -drain),
+// then remaining work is aborted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+	"stwig/internal/rmat"
+	"stwig/internal/server"
+	"stwig/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7029", "listen address")
+		graphPath = flag.String("graph", "", "graph file to serve (binary from mkgraph, or text with -text)")
+		textGraph = flag.Bool("text", false, "graph file is in text format")
+
+		rmatScale  = flag.Int("rmat-scale", 0, "generate an R-MAT graph with 2^scale vertices instead of loading a file")
+		rmatDegree = flag.Int("rmat-degree", 8, "R-MAT average degree")
+		rmatLabels = flag.Int("rmat-labels", 16, "R-MAT label alphabet size")
+		rmatSeed   = flag.Int64("rmat-seed", 1, "R-MAT generation seed")
+		relabel    = flag.String("relabel", "", "relabel the graph after load: 'degree' assigns celebrity/regular/bot by degree band")
+
+		machines  = flag.Int("machines", 8, "simulated cluster size")
+		planCache = flag.Int("plan-cache", 0, "plan cache capacity (0 = default 128, negative = disabled)")
+
+		maxInFlight = flag.Int("max-inflight", 16, "admission limit: concurrent queries before 429")
+		defTimeout  = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+		maxMatches  = flag.Int("max-matches", 0, "per-request match cap (0 = unlimited)")
+		maxBytes    = flag.Int64("max-bytes", 0, "per-response byte cap (0 = unlimited)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight streams")
+	)
+	flag.Parse()
+	if err := run(daemonConfig{
+		addr: *addr, graphPath: *graphPath, textGraph: *textGraph,
+		rmatScale: *rmatScale, rmatDegree: *rmatDegree, rmatLabels: *rmatLabels, rmatSeed: *rmatSeed,
+		relabel: *relabel, machines: *machines, planCache: *planCache,
+		srv: server.Config{
+			MaxInFlight:    *maxInFlight,
+			DefaultTimeout: *defTimeout,
+			MaxTimeout:     *maxTimeout,
+			MaxMatches:     *maxMatches,
+			MaxBytes:       *maxBytes,
+		},
+		drain: *drain,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "stwigd:", err)
+		os.Exit(1)
+	}
+}
+
+type daemonConfig struct {
+	addr       string
+	graphPath  string
+	textGraph  bool
+	rmatScale  int
+	rmatDegree int
+	rmatLabels int
+	rmatSeed   int64
+	relabel    string
+	machines   int
+	planCache  int
+	srv        server.Config
+	drain      time.Duration
+}
+
+func run(cfg daemonConfig) error {
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return err
+	}
+	switch cfg.relabel {
+	case "":
+	case "degree":
+		g = workload.RelabelByDegree(g, 100, 2)
+	default:
+		return fmt.Errorf("unknown -relabel mode %q (want 'degree')", cfg.relabel)
+	}
+	fmt.Printf("graph: %v\n", g.ComputeStats())
+
+	cluster, err := memcloud.NewCluster(memcloud.Config{Machines: cfg.machines})
+	if err != nil {
+		return err
+	}
+	loadStart := time.Now()
+	if err := cluster.LoadGraph(g); err != nil {
+		return err
+	}
+	fmt.Printf("loaded onto %d machines in %v\n", cfg.machines, time.Since(loadStart).Round(time.Millisecond))
+
+	eng := core.NewEngine(cluster, core.Options{PlanCacheSize: cfg.planCache})
+	svc, err := server.New(eng, cfg.srv)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: svc}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("stwigd listening on %s\n", cfg.addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+
+	// Graceful drain: stop admitting, let in-flight streams finish within
+	// the window, then abort whatever is left.
+	fmt.Println("stwigd: draining...")
+	svc.BeginDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			svc.Abort()
+			httpSrv.Close()
+			return err
+		}
+		fmt.Println("stwigd: drain window expired, aborting in-flight queries")
+		svc.Abort()
+		if cerr := httpSrv.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	fmt.Println("stwigd: stopped")
+	return nil
+}
+
+func loadGraph(cfg daemonConfig) (*graph.Graph, error) {
+	switch {
+	case cfg.graphPath != "" && cfg.rmatScale > 0:
+		return nil, fmt.Errorf("set only one of -graph and -rmat-scale")
+	case cfg.graphPath != "":
+		f, err := os.Open(cfg.graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if cfg.textGraph {
+			return graph.ReadText(f, graph.Undirected())
+		}
+		return graph.ReadBinary(f)
+	case cfg.rmatScale > 0:
+		return rmat.Generate(rmat.Params{
+			Scale:     cfg.rmatScale,
+			AvgDegree: cfg.rmatDegree,
+			NumLabels: cfg.rmatLabels,
+			Seed:      cfg.rmatSeed,
+		})
+	default:
+		return nil, fmt.Errorf("set -graph FILE or -rmat-scale N (see -help)")
+	}
+}

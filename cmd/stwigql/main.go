@@ -4,7 +4,7 @@
 // Usage:
 //
 //	stwigql -graph data.bin -query q.txt [-machines 8] [-budget 1024]
-//	        [-verify] [-show 10] [-stats]
+//	        [-timeout 30s] [-max-matches 100] [-verify] [-show 10] [-stats]
 //	stwigql -graph data.bin -pattern '(a:author)-(p:paper), (p)-(v:venue)'
 //
 // The query file uses the same line format as text graphs:
@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,19 +43,22 @@ func main() {
 		show       = flag.Int("show", 10, "matches to print (0 = none)")
 		showStats  = flag.Bool("stats", true, "print execution statistics")
 		explain    = flag.Bool("explain", false, "print the query plan instead of executing")
+		timeout    = flag.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
+		maxMatches = flag.Int("max-matches", 0, "stop after this many matches (0 = unlimited); same request cap the stwigd server applies")
 	)
 	flag.Parse()
 	if *graphPath == "" || (*queryPath == "" && *patternStr == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*graphPath, *textGraph, *queryPath, *patternStr, *machines, *budget, *verify, *show, *showStats, *explain); err != nil {
+	lim := core.Limits{Timeout: *timeout, MaxMatches: *maxMatches}
+	if err := run(*graphPath, *textGraph, *queryPath, *patternStr, *machines, *budget, *verify, *show, *showStats, *explain, lim); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, textGraph bool, queryPath, patternStr string, machines, budget int, verify bool, show int, showStats, explain bool) error {
+func run(graphPath string, textGraph bool, queryPath, patternStr string, machines, budget int, verify bool, show int, showStats, explain bool, lim core.Limits) error {
 	gf, err := os.Open(graphPath)
 	if err != nil {
 		return err
@@ -109,15 +114,32 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 		fmt.Print(plan)
 		return nil
 	}
+	// The request lifecycle — deadline plus match cap — goes through the
+	// same core.Limits plumbing stwigd applies to network queries, so the
+	// CLI and the server enforce identical semantics.
+	ctx, cancel := lim.WithContext(context.Background())
+	defer cancel()
+	sl := lim.NewStreamLimiter()
+	res := &core.Result{}
 	start := time.Now()
-	res, err := eng.Match(q)
+	stats, err := eng.MatchStream(ctx, q, sl.Wrap(func(m core.Match) bool {
+		res.Matches = append(res.Matches, m)
+		return true
+	}))
+	elapsed := time.Since(start)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("stwigql: query exceeded -timeout %v (%d matches streamed first)", lim.Timeout, sl.Count())
+		}
 		return err
 	}
-	elapsed := time.Since(start)
+	res.Stats = *stats
 
 	fmt.Printf("%d matches in %v", len(res.Matches), elapsed.Round(time.Microsecond))
-	if res.Stats.Truncated {
+	switch {
+	case sl.LimitHit():
+		fmt.Printf(" (stopped at -max-matches %d)", lim.MaxMatches)
+	case res.Stats.Truncated:
 		fmt.Printf(" (truncated at budget %d)", budget)
 	}
 	fmt.Println()

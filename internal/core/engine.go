@@ -126,6 +126,40 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 	return e.cache.Stats()
 }
 
+// EngineSnapshot is a point-in-time view of an engine and its cluster for
+// observability surfaces (the daemon's GET /stats, dashboards, tests). All
+// counters are cumulative since engine/cluster construction.
+type EngineSnapshot struct {
+	// PlanCache reports cache effectiveness; zero when caching is disabled.
+	PlanCache PlanCacheStats
+	// Epoch is the cluster's current mutation epoch.
+	Epoch uint64
+	// Machines and Nodes describe the cluster's current shape.
+	Machines int
+	Nodes    int64
+	// Net is the cumulative communication incurred by all queries so far.
+	Net memcloud.NetStats
+	// Updates counts dynamic mutations applied to the cluster.
+	Updates memcloud.UpdateStats
+	// MemoryBytes estimates resident bytes across machines.
+	MemoryBytes int64
+}
+
+// Snapshot captures the engine's observable state. It is safe to call
+// concurrently with queries and updates; the fields are individually
+// consistent snapshots, not one atomic cut.
+func (e *Engine) Snapshot() EngineSnapshot {
+	return EngineSnapshot{
+		PlanCache:   e.PlanCacheStats(),
+		Epoch:       e.cluster.Epoch(),
+		Machines:    e.cluster.NumMachines(),
+		Nodes:       e.cluster.NumNodes(),
+		Net:         e.cluster.NetStats(),
+		Updates:     e.cluster.UpdateStats(),
+		MemoryBytes: e.cluster.TotalMemoryBytes(),
+	}
+}
+
 // planFor resolves q to a Plan, consulting the cache when enabled. The
 // returned flag reports whether the plan was served from the cache.
 func (e *Engine) planFor(q *Query) (*Plan, bool, error) {

@@ -16,11 +16,19 @@ import (
 // returned Plan is a defensive deep copy: mutating it cannot corrupt the
 // cached artifact that later executions run.
 func (e *Engine) Explain(q *Query) (*Plan, error) {
-	plan, _, err := e.planFor(q)
+	plan, _, err := e.ExplainCached(q)
+	return plan, err
+}
+
+// ExplainCached is Explain, additionally reporting whether the plan was
+// served from the plan cache — i.e. whether a prior query already paid for
+// planning it. The query service's /explain endpoint surfaces this.
+func (e *Engine) ExplainCached(q *Query) (*Plan, bool, error) {
+	plan, hit, err := e.planFor(q)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return plan.clone(), nil
+	return plan.clone(), hit, nil
 }
 
 // String renders the plan in a compact, human-readable layout.

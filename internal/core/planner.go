@@ -72,6 +72,12 @@ type Plan struct {
 	planWords int
 }
 
+// ValidateQuery reports whether q is a pattern the engine accepts:
+// nonempty, connected, with at least one edge. Front ends (the CLI, the
+// query service) call it before execution so malformed requests fail fast
+// with a client error instead of surfacing mid-stream.
+func ValidateQuery(q *Query) error { return validateQuery(q) }
+
 // validateQuery applies the engine's admission rules; the error messages
 // are part of the public behavior (tests match on them).
 func validateQuery(q *Query) error {

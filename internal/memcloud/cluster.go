@@ -174,8 +174,13 @@ func (c *Cluster) CrossMask(i int, la, lb graph.LabelID) uint64 {
 }
 
 // TotalMemoryBytes estimates resident bytes across machines (stores plus
-// string indexes). Reported in the Table 1 reproduction.
+// string indexes). Reported in the Table 1 reproduction. It takes the
+// update lock: the walk iterates directory and posting-list maps that
+// dynamic updates mutate, and observability callers (Engine.Snapshot, the
+// daemon's GET /stats) run concurrently with updates.
 func (c *Cluster) TotalMemoryBytes() int64 {
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
 	var total int64
 	for _, m := range c.machines {
 		total += m.store.memoryBytes() + m.index.memoryBytes()
@@ -184,8 +189,11 @@ func (c *Cluster) TotalMemoryBytes() int64 {
 }
 
 // StringIndexBytes estimates the total size of all machines' string
-// indexes, the only index the system builds.
+// indexes, the only index the system builds. Like TotalMemoryBytes, it
+// locks out concurrent updates.
 func (c *Cluster) StringIndexBytes() int64 {
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
 	var total int64
 	for _, m := range c.machines {
 		total += m.index.memoryBytes()

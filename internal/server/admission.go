@@ -1,0 +1,43 @@
+package server
+
+import "sync/atomic"
+
+// admission is the server's query admission controller: a counting
+// semaphore sized to the configured concurrency limit, with accept/reject
+// accounting. Overload is refused immediately (429 + Retry-After at the
+// handler layer) instead of queued — under sustained saturation a queue
+// only converts overload into latency and memory growth, and the client's
+// retry policy is the right place for backoff.
+type admission struct {
+	sem      chan struct{}
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newAdmission(maxInFlight int) *admission {
+	return &admission{sem: make(chan struct{}, maxInFlight)}
+}
+
+// tryAcquire claims a slot without blocking; the caller must release() iff
+// it returns true.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return true
+	default:
+		a.rejected.Add(1)
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		MaxInFlight: cap(a.sem),
+		InFlight:    len(a.sem),
+		Admitted:    a.admitted.Load(),
+		Rejected:    a.rejected.Load(),
+	}
+}

@@ -1,0 +1,198 @@
+// Package client is the Go client for stwigd's HTTP/JSON protocol. It
+// shares the wire structs with internal/server, so client and service
+// cannot drift, and it decodes /query NDJSON streams incrementally — the
+// caller sees each match as it arrives, exactly like core.Engine.MatchStream.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"stwig/internal/server"
+)
+
+// ErrStopped is returned by Query when the caller's onMatch callback
+// stopped the stream before its terminal record, so no stats exist.
+var ErrStopped = errors.New("stwigd: stream stopped by caller")
+
+// Client talks to one stwigd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the given base address. "host:port" is promoted
+// to "http://host:port". The default http.Client (no overall timeout —
+// streams are long-lived; use contexts) is used unless SetHTTPClient
+// replaces it.
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// SetHTTPClient replaces the underlying HTTP client (tests, custom
+// transports).
+func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// StatusError is a non-2xx reply, carrying the decoded server error.
+type StatusError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("stwigd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsOverloaded reports whether err is a 429 admission rejection, the signal
+// to back off and retry.
+func IsOverloaded(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.StatusCode == http.StatusTooManyRequests
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.hc.Do(req)
+}
+
+// statusError drains a non-2xx response into a StatusError.
+func statusError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var er server.ErrorResponse
+	msg := ""
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil {
+		msg = er.Error
+	}
+	return &StatusError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Query streams the request's matches, invoking onMatch once per match
+// record in arrival order; returning false stops the stream (the rest of
+// the response is abandoned and Query returns ErrStopped). On success the
+// trailing stats record is returned; a mid-stream error record becomes an
+// error.
+func (c *Client) Query(ctx context.Context, req server.QueryRequest, onMatch func(assignment []int64) bool) (*server.StreamStats, error) {
+	resp, err := c.postJSON(ctx, "/query", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec server.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("stwigd: bad stream record: %w", err)
+		}
+		switch rec.Type {
+		case server.RecordMatch:
+			if onMatch != nil && !onMatch(rec.Assignment) {
+				return nil, ErrStopped
+			}
+		case server.RecordStats:
+			return rec.Stats, nil
+		case server.RecordError:
+			return nil, fmt.Errorf("stwigd: query failed: %s", rec.Error)
+		default:
+			return nil, fmt.Errorf("stwigd: unknown record type %q", rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("stwigd: stream ended without a terminal record")
+}
+
+// Explain returns the rendered execution plan for the request's query.
+func (c *Client) Explain(ctx context.Context, req server.QueryRequest) (*server.ExplainResponse, error) {
+	resp, err := c.postJSON(ctx, "/explain", req)
+	if err != nil {
+		return nil, err
+	}
+	var out server.ExplainResponse
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Update applies one dynamic graph mutation.
+func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.UpdateResponse, error) {
+	resp, err := c.postJSON(ctx, "/update", req)
+	if err != nil {
+		return nil, err
+	}
+	var out server.UpdateResponse
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats scrapes the server's live counters.
+func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out server.StatsResponse
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz returns nil when the server is live and accepting work.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

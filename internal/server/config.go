@@ -1,0 +1,112 @@
+// Package server is stwigd's HTTP/JSON query service over a core.Engine:
+// the production request lifecycle the library itself stays agnostic of.
+// It owns admission control (a bounded in-flight query semaphore; overload
+// is refused with 429), per-request deadlines and client-disconnect
+// cancellation (propagated through context into the Executor), per-query
+// match and byte caps, NDJSON match streaming with a trailing stats record,
+// dynamic graph updates, and live observability (GET /stats).
+//
+// Endpoints:
+//
+//	POST /query    stream matches as NDJSON (terminal "stats"/"error" record)
+//	POST /explain  render the execution plan without running the query
+//	POST /update   add_node / add_edge / remove_edge against the live graph
+//	GET  /stats    plan cache, admission, net, update, per-endpoint latency
+//	GET  /healthz  liveness (503 while draining)
+//
+// See wire.go for the request/response schema and internal/server/client
+// for the Go client.
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config tunes the service. The zero value selects production-ish defaults
+// via normalize; Validate rejects nonsense.
+type Config struct {
+	// MaxInFlight is the admission controller's concurrent query limit
+	// (default 16). Requests beyond it receive 429 with a Retry-After.
+	MaxInFlight int
+	// DefaultTimeout is the per-request deadline applied when the request
+	// does not choose one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 4× DefaultTimeout).
+	MaxTimeout time.Duration
+	// MaxMatches caps any single request's match count; 0 means unlimited.
+	// A request's own max_matches is clamped to this.
+	MaxMatches int
+	// MaxBytes caps any single response's match payload bytes; 0 means
+	// unlimited.
+	MaxBytes int64
+	// MaxRequestBytes bounds request bodies (default 1 MiB).
+	MaxRequestBytes int64
+	// RetryAfter is the Retry-After hint attached to 429 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// UpdateLockWait bounds how long an update polls for the writer lock
+	// before giving up with 503 (default 1s). Updates never park in
+	// Lock(), which would stall new queries behind the waiting writer.
+	UpdateLockWait time.Duration
+}
+
+func (cfg Config) normalize() Config {
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 16
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout == 0 {
+		cfg.MaxTimeout = 4 * cfg.DefaultTimeout
+	}
+	if cfg.MaxRequestBytes == 0 {
+		cfg.MaxRequestBytes = 1 << 20
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.UpdateLockWait == 0 {
+		cfg.UpdateLockWait = time.Second
+	}
+	return cfg
+}
+
+// Validate rejects configurations the service cannot honor.
+func (cfg Config) Validate() error {
+	cfg = cfg.normalize()
+	if cfg.MaxInFlight < 1 {
+		return fmt.Errorf("server: MaxInFlight %d < 1", cfg.MaxInFlight)
+	}
+	if cfg.DefaultTimeout < 0 || cfg.MaxTimeout < 0 {
+		return fmt.Errorf("server: negative timeout")
+	}
+	if cfg.MaxTimeout < cfg.DefaultTimeout {
+		return fmt.Errorf("server: MaxTimeout %v < DefaultTimeout %v", cfg.MaxTimeout, cfg.DefaultTimeout)
+	}
+	if cfg.MaxMatches < 0 || cfg.MaxBytes < 0 {
+		return fmt.Errorf("server: negative cap")
+	}
+	return nil
+}
+
+// effectiveLimits folds a request's asks into the server's caps.
+func (cfg Config) effectiveLimits(req QueryRequest) (timeout time.Duration, maxMatches int) {
+	timeout = cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		// Compare in milliseconds before converting: a huge timeout_ms
+		// would overflow the Duration multiplication to negative and slip
+		// past both the clamp and the deadline.
+		if int64(req.TimeoutMS) >= int64(cfg.MaxTimeout/time.Millisecond) {
+			timeout = cfg.MaxTimeout
+		} else {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+	}
+	maxMatches = cfg.MaxMatches
+	if req.MaxMatches > 0 && (maxMatches == 0 || req.MaxMatches < maxMatches) {
+		maxMatches = req.MaxMatches
+	}
+	return timeout, maxMatches
+}

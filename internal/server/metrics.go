@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the histogram bucket upper bounds, in milliseconds.
+// The final implicit bucket is +Inf.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram. One mutex per endpoint is
+// plenty: observation cost is dwarfed by the request it measures.
+type histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets [len(latencyBucketsMS) + 1]uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// quantileLocked returns a conservative (bucket upper bound) estimate of
+// the q-quantile; the caller holds h.mu.
+func (h *histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i < len(latencyBucketsMS) {
+				return latencyBucketsMS[i]
+			}
+			return float64(h.max) / float64(time.Millisecond)
+		}
+	}
+	return float64(h.max) / float64(time.Millisecond)
+}
+
+func (h *histogram) snapshot() LatencyStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := LatencyStats{
+		Count: h.count,
+		MaxMS: float64(h.max) / float64(time.Millisecond),
+		P50MS: h.quantileLocked(0.50),
+		P90MS: h.quantileLocked(0.90),
+		P99MS: h.quantileLocked(0.99),
+	}
+	if h.count > 0 {
+		s.MeanMS = float64(h.sum) / float64(h.count) / float64(time.Millisecond)
+	}
+	return s
+}
+
+// endpointMetrics accumulates one route's counters.
+type endpointMetrics struct {
+	mu       sync.Mutex
+	requests uint64
+	errors   uint64
+	lat      histogram
+}
+
+// metrics is the server's per-endpoint accounting, keyed by route.
+type metrics struct {
+	mu  sync.Mutex
+	eps map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics { return &metrics{eps: make(map[string]*endpointMetrics)} }
+
+func (m *metrics) endpoint(route string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.eps[route]
+	if ep == nil {
+		ep = &endpointMetrics{}
+		m.eps[route] = ep
+	}
+	return ep
+}
+
+// record books one finished request. isErr covers both non-2xx replies and
+// streams that ended in an error record.
+func (m *metrics) record(route string, d time.Duration, isErr bool) {
+	ep := m.endpoint(route)
+	ep.mu.Lock()
+	ep.requests++
+	if isErr {
+		ep.errors++
+	}
+	ep.mu.Unlock()
+	ep.lat.observe(d)
+}
+
+func (m *metrics) snapshot() map[string]EndpointStats {
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.eps))
+	for r := range m.eps {
+		routes = append(routes, r)
+	}
+	m.mu.Unlock()
+
+	out := make(map[string]EndpointStats, len(routes))
+	for _, r := range routes {
+		ep := m.endpoint(r)
+		ep.mu.Lock()
+		st := EndpointStats{Requests: ep.requests, Errors: ep.errors}
+		ep.mu.Unlock()
+		st.Latency = ep.lat.snapshot()
+		out[r] = st
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/pattern"
+)
+
+// ndjsonContentType is the /query stream's media type.
+const ndjsonContentType = "application/x-ndjson"
+
+// Server is the query service over one shared Engine. It implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	eng   *core.Engine
+	cfg   Config
+	adm   *admission
+	met   *metrics
+	mux   *http.ServeMux
+	start time.Time
+
+	// updMu enforces memcloud's single-writer / quiesced-reader update
+	// discipline at the service boundary: queries and explains hold the
+	// read side for their full execution, updates take the write side. A
+	// long stream therefore delays updates rather than racing them.
+	updMu sync.RWMutex
+
+	draining atomic.Bool
+	// runCtx is canceled by Abort; every request context is joined to it
+	// so a hard shutdown tears down in-flight executors.
+	runCtx context.Context
+	abort  context.CancelFunc
+}
+
+// New builds a service over eng. The engine (and its cluster) must already
+// be loaded.
+func New(eng *core.Engine, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	runCtx, abort := context.WithCancel(context.Background())
+	s := &Server{
+		eng:    eng,
+		cfg:    cfg.normalize(),
+		met:    newMetrics(),
+		start:  time.Now(),
+		runCtx: runCtx,
+		abort:  abort,
+	}
+	s.adm = newAdmission(s.cfg.MaxInFlight)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("POST /explain", s.instrument("/explain", s.handleExplain))
+	mux.HandleFunc("POST /update", s.instrument("/update", s.handleUpdate))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux = mux
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(eng *core.Engine, cfg Config) *Server {
+	s, err := New(eng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginDrain moves the server into graceful shutdown: /healthz flips to 503
+// (so load balancers stop routing here) and new queries and updates are
+// refused, while in-flight streams keep running to completion. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Abort cancels every in-flight request's context, aborting their
+// executors. It is the hard stop a daemon applies when the drain timeout
+// expires. Idempotent.
+func (s *Server) Abort() { s.abort() }
+
+// instrument wraps a handler with per-endpoint request counting and latency
+// observation; the handler reports whether the request ended in an error.
+func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		isErr := h(w, r)
+		s.met.record(route, time.Since(start), isErr)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeQueryRequest parses and compiles the body of /query and /explain.
+// On failure it returns the HTTP status the caller should send.
+func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, *core.Query, int, error) {
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return req, nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	q, err := compileQuery(req)
+	if err != nil {
+		return req, nil, http.StatusBadRequest, err
+	}
+	return req, q, 0, nil
+}
+
+// compileQuery turns a request into a validated core.Query.
+func compileQuery(req QueryRequest) (*core.Query, error) {
+	var q *core.Query
+	var err error
+	switch {
+	case req.Pattern != "" && req.Query != "", req.Pattern == "" && req.Query == "":
+		return nil, errors.New("set exactly one of \"pattern\" and \"query\"")
+	case req.Pattern != "":
+		q, err = pattern.Parse(req.Pattern)
+	default:
+		q, err = core.ParseQuery(strings.NewReader(req.Query))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ValidateQuery(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// requestContext joins the client's context to the server's run context and
+// applies the request's deadline.
+func (s *Server) requestContext(r *http.Request, lim core.Limits) (context.Context, context.CancelFunc) {
+	ctx, cancel := lim.WithContext(r.Context())
+	stopWatch := context.AfterFunc(s.runCtx, cancel)
+	return ctx, func() { stopWatch(); cancel() }
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return true
+	}
+	if !s.adm.tryAcquire() {
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "overloaded: too many in-flight queries")
+		return true
+	}
+	defer s.adm.release()
+
+	req, q, status, err := s.decodeQueryRequest(w, r)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return true
+	}
+	timeout, maxMatches := s.cfg.effectiveLimits(req)
+	lim := core.Limits{Timeout: timeout, MaxMatches: maxMatches}
+	ctx, cancel := s.requestContext(r, lim)
+	defer cancel()
+
+	s.updMu.RLock()
+	defer s.updMu.RUnlock()
+
+	// The 200 header is deferred to the first record: execution errors
+	// that precede any output can still use a proper error status.
+	sw := newStreamWriter(w, s.cfg.MaxBytes)
+	headerDone := false
+	writeHeader := func() {
+		if !headerDone {
+			w.Header().Set("Content-Type", ndjsonContentType)
+			w.Header().Set("X-Accel-Buffering", "no")
+			w.WriteHeader(http.StatusOK)
+			headerDone = true
+		}
+	}
+
+	sl := lim.NewStreamLimiter()
+	matchesSent := 0
+	emit := sl.Wrap(func(m core.Match) bool {
+		writeHeader()
+		ok := sw.writeRecord(Record{Type: RecordMatch, Assignment: assignmentInt64(m)})
+		if !sw.failed {
+			// The record reached the wire even when ok is false (byte cap
+			// hit on this very record), so the stats trailer must count it.
+			matchesSent++
+		}
+		return ok
+	})
+	start := time.Now()
+	stats, err := s.eng.MatchStream(ctx, q, emit)
+	elapsed := time.Since(start)
+	if err != nil {
+		msg := err.Error()
+		errStatus := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			msg = "deadline exceeded"
+			errStatus = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			msg = "canceled"
+			errStatus = http.StatusServiceUnavailable
+		}
+		if !headerDone {
+			writeError(w, errStatus, msg)
+			return true
+		}
+		sw.writeRecord(Record{Type: RecordError, Error: msg})
+		return true
+	}
+	writeHeader()
+	sw.writeRecord(Record{Type: RecordStats, Stats: &StreamStats{
+		Matches:       matchesSent,
+		Truncated:     stats.Truncated || sw.capHit,
+		LimitHit:      sl.LimitHit(),
+		ByteCapHit:    sw.capHit,
+		PlanCacheHit:  stats.PlanCacheHit,
+		PlanMicros:    stats.PlanTime.Microseconds(),
+		ExploreMicros: stats.ExploreTime.Microseconds(),
+		JoinMicros:    stats.JoinTime.Microseconds(),
+		ElapsedMicros: elapsed.Microseconds(),
+		NetMessages:   stats.Net.Messages,
+		NetBytes:      stats.Net.Bytes,
+	}})
+	return false
+}
+
+func assignmentInt64(m core.Match) []int64 {
+	out := make([]int64, len(m.Assignment))
+	for i, id := range m.Assignment {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return true
+	}
+	// Explain is query work: a cache miss pays full planning and holds the
+	// read lock, so it goes through the same admission gate as /query —
+	// otherwise an explain loop evades the in-flight limit and starves
+	// updates unobserved.
+	if !s.adm.tryAcquire() {
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "overloaded: too many in-flight queries")
+		return true
+	}
+	defer s.adm.release()
+	_, q, status, err := s.decodeQueryRequest(w, r)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return true
+	}
+	s.updMu.RLock()
+	plan, hit, err := s.eng.ExplainCached(q)
+	s.updMu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return true
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{Plan: plan.String(), PlanCacheHit: hit})
+	return false
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return true
+	}
+	var req UpdateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	cluster := s.eng.Cluster()
+	var resp UpdateResponse
+	if !s.acquireUpdateLock() {
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable, "update busy: in-flight queries hold the graph; retry")
+		return true
+	}
+	defer s.updMu.Unlock()
+	switch req.Op {
+	case OpAddNode:
+		if req.Label == "" {
+			writeError(w, http.StatusBadRequest, "add_node requires a label")
+			return true
+		}
+		id, err := cluster.AddNode(req.Label)
+		if err != nil {
+			writeError(w, http.StatusConflict, err.Error())
+			return true
+		}
+		resp.NodeID = int64(id)
+	case OpAddEdge:
+		if err := cluster.AddEdge(graph.NodeID(req.U), graph.NodeID(req.V)); err != nil {
+			writeError(w, http.StatusConflict, err.Error())
+			return true
+		}
+	case OpRemoveEdge:
+		if err := cluster.RemoveEdge(graph.NodeID(req.U), graph.NodeID(req.V)); err != nil {
+			writeError(w, http.StatusConflict, err.Error())
+			return true
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q (want %s, %s, or %s)",
+			req.Op, OpAddNode, OpAddEdge, OpRemoveEdge))
+		return true
+	}
+	resp.Epoch = cluster.Epoch()
+	writeJSON(w, http.StatusOK, resp)
+	return false
+}
+
+// acquireUpdateLock polls for the writer side of updMu without ever
+// parking in Lock(): sync.RWMutex blocks every new reader behind a waiting
+// writer, so one update parked behind a long stream would stall all new
+// queries while they hold admission slots — a fleet-wide 429 cascade from
+// a single mutation. Bounded polling trades writer fairness for read
+// availability; an update that cannot get in within the window surfaces as
+// 503 + Retry-After instead (see ROADMAP's update-backpressure follow-on).
+func (s *Server) acquireUpdateLock() bool {
+	deadline := time.Now().Add(s.cfg.UpdateLockWait)
+	for {
+		if s.updMu.TryLock() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
+	snap := s.eng.Snapshot()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		Graph: GraphInfo{
+			Nodes:       snap.Nodes,
+			Machines:    snap.Machines,
+			Epoch:       snap.Epoch,
+			MemoryBytes: snap.MemoryBytes,
+		},
+		PlanCache: PlanCacheInfo{
+			Hits:      snap.PlanCache.Hits,
+			Misses:    snap.PlanCache.Misses,
+			Evictions: snap.PlanCache.Evictions,
+			Size:      snap.PlanCache.Size,
+			Capacity:  snap.PlanCache.Capacity,
+		},
+		Net: NetInfo{Messages: snap.Net.Messages, Bytes: snap.Net.Bytes},
+		Updates: UpdateInfo{
+			NodesAdded:   snap.Updates.NodesAdded,
+			EdgesAdded:   snap.Updates.EdgesAdded,
+			EdgesRemoved: snap.Updates.EdgesRemoved,
+			GarbageWords: snap.Updates.GarbageWords,
+		},
+		Admission: s.adm.stats(),
+		Endpoints: s.met.snapshot(),
+	})
+	return false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return true
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return false
+}

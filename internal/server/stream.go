@@ -1,0 +1,57 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// streamWriter encodes Records as NDJSON over a ResponseWriter, flushing
+// after every record so matches reach the client as they are found, and
+// enforcing the per-response byte cap. It is not safe for concurrent use;
+// the handler serializes writes through the engine's emit callback.
+type streamWriter struct {
+	w        http.ResponseWriter
+	flusher  http.Flusher // nil when the writer cannot flush
+	enc      *json.Encoder
+	maxBytes int64
+	written  int64
+	capHit   bool
+	failed   bool
+}
+
+func newStreamWriter(w http.ResponseWriter, maxBytes int64) *streamWriter {
+	sw := &streamWriter{w: w, maxBytes: maxBytes}
+	sw.flusher, _ = w.(http.Flusher)
+	sw.enc = json.NewEncoder(sw)
+	return sw
+}
+
+// Write counts bytes and forwards to the response; json.Encoder appends the
+// NDJSON newline itself.
+func (sw *streamWriter) Write(p []byte) (int, error) {
+	n, err := sw.w.Write(p)
+	sw.written += int64(n)
+	return n, err
+}
+
+// writeRecord emits one NDJSON line. It returns false once the stream is
+// unusable for further matches: a write error (client gone) or the byte cap
+// reached. Terminal records may still be attempted after a byte-cap stop —
+// the cap bounds match payload, not the ~100-byte trailer.
+func (sw *streamWriter) writeRecord(rec Record) bool {
+	if sw.failed {
+		return false
+	}
+	if err := sw.enc.Encode(rec); err != nil {
+		sw.failed = true
+		return false
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	if sw.maxBytes > 0 && sw.written >= sw.maxBytes {
+		sw.capHit = true
+		return false
+	}
+	return true
+}

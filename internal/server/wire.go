@@ -1,0 +1,188 @@
+package server
+
+// Wire types for the stwigd HTTP/JSON protocol. The same structs are used
+// by the handlers (internal/server) and the Go client
+// (internal/server/client), so the two cannot drift. Internal stats
+// structs (core.PlanCacheStats, memcloud.NetStats, ...) are mirrored into
+// tagged wire structs here rather than embedded, so renaming a Go field
+// can never silently change the public JSON.
+
+// QueryRequest is the body of POST /query and POST /explain. Exactly one of
+// Pattern (the inline DSL of internal/pattern) or Query (the v/e text
+// format) must be set.
+type QueryRequest struct {
+	Pattern string `json:"pattern,omitempty"`
+	Query   string `json:"query,omitempty"`
+	// MaxMatches caps this request's match count. 0 selects the server's
+	// cap; a positive value is additionally clamped to the server's cap.
+	MaxMatches int `json:"max_matches,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// clamped to the server's maximum. 0 selects the default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Record is one NDJSON line of a streamed /query response. A stream is any
+// number of "match" records followed by exactly one terminal record: a
+// "stats" record on success or an "error" record on failure.
+type Record struct {
+	Type string `json:"type"` // "match", "stats", or "error"
+	// Assignment is set on "match" records: Assignment[v] is the data
+	// vertex bound to query vertex v.
+	Assignment []int64 `json:"assignment,omitempty"`
+	// Error is set on "error" records.
+	Error string `json:"error,omitempty"`
+	// Stats is set on "stats" records.
+	Stats *StreamStats `json:"stats,omitempty"`
+}
+
+// Record type tags.
+const (
+	RecordMatch = "match"
+	RecordStats = "stats"
+	RecordError = "error"
+)
+
+// StreamStats is the trailing summary of a successful query stream.
+type StreamStats struct {
+	// Matches is how many match records the server emitted.
+	Matches int `json:"matches"`
+	// Truncated reports the engine stopped enumeration early for any
+	// reason (match cap, byte cap, or engine budget).
+	Truncated bool `json:"truncated,omitempty"`
+	// LimitHit reports the per-request match cap stopped the stream.
+	LimitHit bool `json:"limit_hit,omitempty"`
+	// ByteCapHit reports the response byte cap stopped the stream.
+	ByteCapHit bool `json:"byte_cap_hit,omitempty"`
+	// PlanCacheHit reports the plan came from the engine's plan cache.
+	PlanCacheHit bool `json:"plan_cache_hit"`
+	// Phase timings, in microseconds.
+	PlanMicros    int64 `json:"plan_us"`
+	ExploreMicros int64 `json:"explore_us"`
+	JoinMicros    int64 `json:"join_us"`
+	ElapsedMicros int64 `json:"elapsed_us"`
+	// Simulated-fabric traffic attributed to this query.
+	NetMessages uint64 `json:"net_messages"`
+	NetBytes    uint64 `json:"net_bytes"`
+}
+
+// ExplainResponse is the body of a POST /explain reply.
+type ExplainResponse struct {
+	// Plan is the rendered execution plan, exactly what cmd/stwigql
+	// -explain prints.
+	Plan string `json:"plan"`
+	// PlanCacheHit reports the plan was served from the cache, meaning a
+	// prior query already paid for planning it.
+	PlanCacheHit bool `json:"plan_cache_hit"`
+}
+
+// Update operations accepted by POST /update.
+const (
+	OpAddNode    = "add_node"
+	OpAddEdge    = "add_edge"
+	OpRemoveEdge = "remove_edge"
+)
+
+// UpdateRequest is the body of POST /update.
+type UpdateRequest struct {
+	Op string `json:"op"` // one of OpAddNode, OpAddEdge, OpRemoveEdge
+	// Label is the new vertex's label (add_node).
+	Label string `json:"label,omitempty"`
+	// U and V are the edge endpoints (add_edge, remove_edge).
+	U int64 `json:"u,omitempty"`
+	V int64 `json:"v,omitempty"`
+}
+
+// UpdateResponse is the body of a successful POST /update reply.
+type UpdateResponse struct {
+	// NodeID is the new vertex's ID (add_node only).
+	NodeID int64 `json:"node_id,omitempty"`
+	// Epoch is the cluster's mutation epoch after the update; cached plans
+	// from earlier epochs are invalidated.
+	Epoch uint64 `json:"epoch"`
+}
+
+// ErrorResponse is the body of every non-streaming error reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining reports the server has begun graceful shutdown.
+	Draining bool `json:"draining,omitempty"`
+
+	Graph     GraphInfo      `json:"graph"`
+	PlanCache PlanCacheInfo  `json:"plan_cache"`
+	Net       NetInfo        `json:"net"`
+	Updates   UpdateInfo     `json:"updates"`
+	Admission AdmissionStats `json:"admission"`
+	// Endpoints maps route (e.g. "/query") to its request counters and
+	// latency histogram summary.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// GraphInfo describes the served cluster.
+type GraphInfo struct {
+	Nodes       int64  `json:"nodes"`
+	Machines    int    `json:"machines"`
+	Epoch       uint64 `json:"epoch"`
+	MemoryBytes int64  `json:"memory_bytes"`
+}
+
+// PlanCacheInfo mirrors core.PlanCacheStats.
+type PlanCacheInfo struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// NetInfo mirrors memcloud.NetStats.
+type NetInfo struct {
+	Messages uint64 `json:"messages"`
+	Bytes    uint64 `json:"bytes"`
+}
+
+// UpdateInfo mirrors memcloud.UpdateStats.
+type UpdateInfo struct {
+	NodesAdded   uint64 `json:"nodes_added"`
+	EdgesAdded   uint64 `json:"edges_added"`
+	EdgesRemoved uint64 `json:"edges_removed"`
+	GarbageWords int64  `json:"garbage_words"`
+}
+
+// AdmissionStats snapshots the admission controller.
+type AdmissionStats struct {
+	// MaxInFlight is the configured concurrency limit.
+	MaxInFlight int `json:"max_in_flight"`
+	// InFlight is the current number of admitted, unfinished queries.
+	InFlight int `json:"in_flight"`
+	// Admitted and Rejected count tryAcquire outcomes since start.
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// EndpointStats is one endpoint's request accounting.
+type EndpointStats struct {
+	// Requests counts every request routed to the endpoint, including
+	// rejected and failed ones.
+	Requests uint64 `json:"requests"`
+	// Errors counts requests that ended in a non-2xx status or a
+	// mid-stream error record.
+	Errors uint64 `json:"errors"`
+	// Latency summarizes handler wall time.
+	Latency LatencyStats `json:"latency"`
+}
+
+// LatencyStats is a bucketed-histogram summary. Percentiles are upper
+// bounds of the containing bucket, so they are conservative estimates.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}

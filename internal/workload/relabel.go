@@ -1,0 +1,31 @@
+package workload
+
+import "stwig/internal/graph"
+
+// RelabelByDegree rewrites every vertex's label by degree band — the
+// social-network labeling the motif examples and the stwigd demo graph use:
+// "celebrity" for degree ≥ celebrityMin, "bot" for degree ≤ botMax,
+// "regular" otherwise. The input graph's structure is preserved.
+func RelabelByDegree(g *graph.Graph, celebrityMin, botMax int) *graph.Graph {
+	b := graph.NewBuilder(graph.Undirected(), graph.Dedupe())
+	n := g.NumNodes()
+	for v := int64(0); v < n; v++ {
+		d := g.Degree(graph.NodeID(v))
+		switch {
+		case d >= celebrityMin:
+			b.AddNode("celebrity")
+		case d <= botMax:
+			b.AddNode("bot")
+		default:
+			b.AddNode("regular")
+		}
+	}
+	for v := int64(0); v < n; v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if graph.NodeID(v) < u {
+				b.MustAddEdge(graph.NodeID(v), u)
+			}
+		}
+	}
+	return b.Build()
+}
