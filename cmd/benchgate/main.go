@@ -1,0 +1,257 @@
+// Command benchgate turns `go test -bench` output into a JSON artifact and
+// enforces a benchmark-regression budget against a committed baseline. It
+// is the CI companion to benchstat: benchstat renders the human-readable
+// comparison, benchgate exits non-zero when a guarded benchmark's median
+// ns/op regresses beyond the threshold.
+//
+// Convert a run to JSON:
+//
+//	benchgate -in bench.txt -json BENCH.json
+//
+// Gate a run against a baseline (>15% median regression on any benchmark
+// whose name contains the -bench substring fails):
+//
+//	benchgate -baseline bench/baseline.txt -new bench.txt \
+//	    -bench BenchmarkRepeatedQueryPlanCache -threshold 15
+//
+// New benchmarks not yet in the baseline are reported and skipped, so
+// adding benchmarks never breaks the gate; refresh the baseline to start
+// guarding them (see README). The reverse is not symmetric: a guarded
+// benchmark present in the baseline but missing from the current run
+// fails the gate — a rename or crash must not hide the series the gate
+// exists to watch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark line's measurements.
+type sample struct {
+	NsPerOp     float64
+	BPerOp      float64
+	AllocsPerOp float64
+	Iters       int64
+}
+
+// benchResult aggregates one benchmark's samples across -count runs.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op_median"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMax  float64 `json:"ns_per_op_max"`
+	BPerOp      float64 `json:"b_per_op_median,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op_median,omitempty"`
+}
+
+// parseBench extracts benchmark samples from `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped so runs from machines with
+// different core counts still compare.
+func parseBench(text string) map[string][]sample {
+	out := make(map[string][]sample)
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := sample{Iters: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+				seen = true
+			case "B/op":
+				s.BPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = append(out[name], s)
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// summarize collapses samples into sorted per-benchmark medians.
+func summarize(runs map[string][]sample) []benchResult {
+	names := make([]string, 0, len(runs))
+	for name := range runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]benchResult, 0, len(names))
+	for _, name := range names {
+		ss := runs[name]
+		ns := make([]float64, len(ss))
+		bs := make([]float64, len(ss))
+		allocs := make([]float64, len(ss))
+		minNs, maxNs := ss[0].NsPerOp, ss[0].NsPerOp
+		for i, s := range ss {
+			ns[i], bs[i], allocs[i] = s.NsPerOp, s.BPerOp, s.AllocsPerOp
+			if s.NsPerOp < minNs {
+				minNs = s.NsPerOp
+			}
+			if s.NsPerOp > maxNs {
+				maxNs = s.NsPerOp
+			}
+		}
+		out = append(out, benchResult{
+			Name:        name,
+			Samples:     len(ss),
+			NsPerOp:     median(ns),
+			NsPerOpMin:  minNs,
+			NsPerOpMax:  maxNs,
+			BPerOp:      median(bs),
+			AllocsPerOp: median(allocs),
+		})
+	}
+	return out
+}
+
+// gate compares guarded benchmarks (name contains match) between baseline
+// and current, returning messages for regressions beyond thresholdPct.
+func gate(baseline, current map[string][]sample, match string, thresholdPct float64) (failures, notes []string) {
+	base := make(map[string]float64)
+	for name, ss := range baseline {
+		ns := make([]float64, len(ss))
+		for i, s := range ss {
+			ns[i] = s.NsPerOp
+		}
+		base[name] = median(ns)
+	}
+	guarded := 0
+	currentNames := make(map[string]bool, len(current))
+	for name := range current {
+		currentNames[name] = true
+	}
+	// A guarded benchmark that exists in the baseline but vanished from the
+	// current run (renamed, deleted, crashed mid-suite) must fail loudly:
+	// silently skipping it would let the exact regression the gate guards
+	// slip through unmeasured.
+	for name := range base {
+		if strings.Contains(name, match) && !currentNames[name] {
+			failures = append(failures, fmt.Sprintf(
+				"FAIL %s: in baseline but missing from the current run (renamed/removed? refresh bench/baseline.txt)", name))
+		}
+	}
+	for _, res := range summarize(current) {
+		if !strings.Contains(res.Name, match) {
+			continue
+		}
+		baseNs, ok := base[res.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("SKIP %s: not in baseline (refresh bench/baseline.txt to guard it)", res.Name))
+			continue
+		}
+		guarded++
+		delta := 100 * (res.NsPerOp - baseNs) / baseNs
+		verdict := "ok"
+		if delta > thresholdPct {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"FAIL %s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, budget +%.0f%%)",
+				res.Name, res.NsPerOp, baseNs, delta, thresholdPct))
+		}
+		notes = append(notes, fmt.Sprintf("%-4s %s: %.0f → %.0f ns/op (%+.1f%%)",
+			verdict, res.Name, baseNs, res.NsPerOp, delta))
+	}
+	if guarded == 0 {
+		failures = append(failures, fmt.Sprintf("FAIL no benchmark matching %q found in both runs — the gate guarded nothing", match))
+	}
+	return failures, notes
+}
+
+func readFile(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	return string(data)
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output to convert to JSON")
+		jsonOut   = flag.String("json", "", "write per-benchmark medians as JSON to this file")
+		baseline  = flag.String("baseline", "", "baseline bench output (gate mode)")
+		current   = flag.String("new", "", "current bench output (gate mode)")
+		benchName = flag.String("bench", "", "substring of benchmark names the gate guards")
+		threshold = flag.Float64("threshold", 15, "maximum allowed median ns/op regression, percent")
+	)
+	flag.Parse()
+
+	switch {
+	case *in != "" && *jsonOut != "":
+		runs := parseBench(readFile(*in))
+		if len(runs) == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines found in", *in)
+			os.Exit(2)
+		}
+		data, err := json.MarshalIndent(struct {
+			Benchmarks []benchResult `json:"benchmarks"`
+		}{summarize(runs)}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(runs), *jsonOut)
+
+	case *baseline != "" && *current != "" && *benchName != "":
+		failures, notes := gate(parseBench(readFile(*baseline)), parseBench(readFile(*current)), *benchName, *threshold)
+		for _, n := range notes {
+			fmt.Println("benchgate:", n)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "benchgate:", f)
+			}
+			os.Exit(1)
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: use -in FILE -json FILE, or -baseline FILE -new FILE -bench NAME [-threshold PCT]")
+		os.Exit(2)
+	}
+}

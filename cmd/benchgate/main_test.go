@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchFixture = `goos: linux
+goarch: amd64
+pkg: stwig
+BenchmarkRepeatedQueryPlanCache/cold-8         	     100	    500000 ns/op	  2048 B/op	      30 allocs/op
+BenchmarkRepeatedQueryPlanCache/cold-8         	     100	    520000 ns/op	  2048 B/op	      30 allocs/op
+BenchmarkRepeatedQueryPlanCache/cold-8         	     100	    480000 ns/op	  2048 B/op	      30 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8          	    1000	    100000 ns/op	   512 B/op	       8 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8          	    1000	    110000 ns/op	   512 B/op	       8 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8          	    1000	     90000 ns/op	   512 B/op	       8 allocs/op
+BenchmarkPatternParse-8                        	 2000000	       600 ns/op
+PASS
+ok  	stwig	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	runs := parseBench(benchFixture)
+	if len(runs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(runs), runs)
+	}
+	hot := runs["BenchmarkRepeatedQueryPlanCache/hot"]
+	if len(hot) != 3 {
+		t.Fatalf("hot samples = %d, want 3 (GOMAXPROCS suffix must be stripped)", len(hot))
+	}
+	if hot[0].NsPerOp != 100000 || hot[0].BPerOp != 512 || hot[0].AllocsPerOp != 8 {
+		t.Fatalf("hot[0] = %+v", hot[0])
+	}
+	if pp := runs["BenchmarkPatternParse"]; len(pp) != 1 || pp[0].NsPerOp != 600 {
+		t.Fatalf("PatternParse (no -benchmem columns) = %+v", pp)
+	}
+}
+
+func TestSummarizeMedian(t *testing.T) {
+	res := summarize(parseBench(benchFixture))
+	byName := map[string]benchResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+	}
+	hot := byName["BenchmarkRepeatedQueryPlanCache/hot"]
+	if hot.NsPerOp != 100000 || hot.NsPerOpMin != 90000 || hot.NsPerOpMax != 110000 || hot.Samples != 3 {
+		t.Fatalf("hot summary = %+v", hot)
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := parseBench(benchFixture)
+	// 10% slower hot path (median 110000 vs 100000): inside a 15% budget,
+	// outside a 5% budget.
+	current := parseBench(`
+BenchmarkRepeatedQueryPlanCache/cold-8	     100	    500000 ns/op	  2048 B/op	      30 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	    110000 ns/op	   512 B/op	       8 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	    121000 ns/op	   512 B/op	       8 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	     99000 ns/op	   512 B/op	       8 allocs/op
+BenchmarkPatternParse-8	 2000000	       600 ns/op
+`)
+
+	failures, _ := gate(baseline, current, "BenchmarkRepeatedQueryPlanCache", 15)
+	if len(failures) != 0 {
+		t.Fatalf("10%% regression failed a 15%% budget: %v", failures)
+	}
+	failures, _ = gate(baseline, current, "BenchmarkRepeatedQueryPlanCache", 5)
+	if len(failures) == 0 {
+		t.Fatal("10% regression passed a 5% budget")
+	}
+
+	// A guarded name missing from both runs must fail loudly, not pass
+	// vacuously.
+	failures, _ = gate(baseline, current, "BenchmarkNoSuch", 15)
+	if len(failures) == 0 {
+		t.Fatal("gate guarding nothing reported success")
+	}
+
+	// A guarded benchmark that vanished from the current run (rename,
+	// crash) must fail, not silently narrow the guard.
+	gone := parseBench(benchFixture)
+	delete(gone, "BenchmarkRepeatedQueryPlanCache/hot")
+	failures, _ = gate(baseline, gone, "BenchmarkRepeatedQueryPlanCache", 15)
+	foundGone := false
+	for _, f := range failures {
+		if strings.Contains(f, "hot") && strings.Contains(f, "missing from the current run") {
+			foundGone = true
+		}
+	}
+	if !foundGone {
+		t.Fatalf("vanished guarded benchmark did not fail the gate: %v", failures)
+	}
+
+	// Present in current but not baseline → skip note, no failure.
+	delete(baseline, "BenchmarkPatternParse")
+	failures, notes := gate(baseline, current, "Benchmark", 15)
+	if len(failures) != 0 {
+		t.Fatalf("new benchmark without baseline failed the gate: %v", failures)
+	}
+	foundSkip := false
+	for _, n := range notes {
+		if strings.Contains(n, "SKIP BenchmarkPatternParse") {
+			foundSkip = true
+		}
+	}
+	if !foundSkip {
+		t.Fatalf("missing-baseline skip not reported: %v", notes)
+	}
+}

@@ -1,21 +1,31 @@
 // Command stwigd serves subgraph matching queries over HTTP: the paper's
-// system as an online service. At startup it loads a graph file (or
-// generates an R-MAT graph in process) into a simulated memory cloud, then
-// serves streaming queries, dynamic updates, and live stats over it until
-// shut down.
+// system as an online, multi-tenant service. At startup it loads a graph
+// file (or generates an R-MAT graph in process) into a simulated memory
+// cloud for the default namespace, materializes any -ns tenants the same
+// way, then serves streaming queries, dynamic updates, runtime namespace
+// administration, and live stats until shut down.
 //
 // Usage:
 //
 //	stwigd -graph data.bin [-text] [-addr :7029] [-machines 8]
 //	stwigd -rmat-scale 14 -rmat-degree 8 -rmat-labels 16 [-relabel degree]
+//	stwigd -rmat-scale 13 -ns 'tenantA=rmat:scale=12,labels=8,inflight=4' \
+//	       -ns 'tenantB=file:/data/b.bin,machines=4'
 //
 // Endpoints (see internal/server for the wire format):
 //
-//	POST /query    {"pattern": "(a:L1)-(b:L2)"}          → NDJSON match stream
-//	POST /explain  {"pattern": ...}                      → rendered plan
-//	POST /update   {"op": "add_edge", "u": 1, "v": 2}    → applied mutation
-//	GET  /stats                                          → live counters
-//	GET  /healthz                                        → liveness
+//	POST /ns/{name}/query    {"pattern": "(a:L1)-(b:L2)"}       → NDJSON match stream
+//	POST /ns/{name}/explain  {"pattern": ...}                   → rendered plan
+//	POST /ns/{name}/update   {"op": "add_edge", "u": 1, "v": 2} → applied mutation
+//	GET  /ns/{name}/stats                                       → per-tenant counters
+//	GET  /ns                                                    → list namespaces
+//	POST /ns                 {"name": "t", "spec": "rmat:scale=10"} → create tenant
+//	DELETE /ns/{name}                                           → drop tenant
+//	GET  /healthz                                               → liveness
+//
+// The unprefixed /query, /explain, /update, and /stats routes alias the
+// "default" namespace. Server limits may also come from STWIGD_* env vars
+// (see server.Config.FromEnv); explicit flags win over the environment.
 //
 // SIGINT/SIGTERM begins a graceful drain: health flips to 503, new queries
 // are refused, in-flight streams run to completion (bounded by -drain),
@@ -33,18 +43,28 @@ import (
 	"syscall"
 	"time"
 
-	"stwig/internal/core"
-	"stwig/internal/graph"
-	"stwig/internal/memcloud"
-	"stwig/internal/rmat"
 	"stwig/internal/server"
-	"stwig/internal/workload"
 )
 
+// nsFlags collects repeated -ns name=spec flags.
+type nsFlags []string
+
+func (n *nsFlags) String() string { return fmt.Sprint([]string(*n)) }
+func (n *nsFlags) Set(v string) error {
+	*n = append(*n, v)
+	return nil
+}
+
 func main() {
+	// Environment supplies the limit defaults; explicit flags override.
+	envCfg, err := server.Config{}.FromEnv(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stwigd:", err)
+		os.Exit(1)
+	}
 	var (
 		addr      = flag.String("addr", ":7029", "listen address")
-		graphPath = flag.String("graph", "", "graph file to serve (binary from mkgraph, or text with -text)")
+		graphPath = flag.String("graph", "", "default namespace's graph file (binary from mkgraph, or text with -text)")
 		textGraph = flag.Bool("text", false, "graph file is in text format")
 
 		rmatScale  = flag.Int("rmat-scale", 0, "generate an R-MAT graph with 2^scale vertices instead of loading a file")
@@ -56,24 +76,35 @@ func main() {
 		machines  = flag.Int("machines", 8, "simulated cluster size")
 		planCache = flag.Int("plan-cache", 0, "plan cache capacity (0 = default 128, negative = disabled)")
 
-		maxInFlight = flag.Int("max-inflight", 16, "admission limit: concurrent queries before 429")
-		defTimeout  = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
-		maxMatches  = flag.Int("max-matches", 0, "per-request match cap (0 = unlimited)")
-		maxBytes    = flag.Int64("max-bytes", 0, "per-response byte cap (0 = unlimited)")
+		maxInFlight = flag.Int("max-inflight", intOr(envCfg.MaxInFlight, 16), "admission limit: concurrent queries per namespace before 429")
+		defTimeout  = flag.Duration("timeout", durOr(envCfg.DefaultTimeout, 30*time.Second), "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", durOr(envCfg.MaxTimeout, 2*time.Minute), "cap on client-requested deadlines")
+		maxMatches  = flag.Int("max-matches", envCfg.MaxMatches, "per-request match cap (0 = unlimited)")
+		maxBytes    = flag.Int64("max-bytes", envCfg.MaxBytes, "per-response byte cap (0 = unlimited)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight streams")
+		nsRoot      = flag.String("ns-root", envCfg.NamespaceRoot, "directory POST /ns may load file:/text: graphs from (empty disables runtime file sources)")
 	)
+	var namespaces nsFlags
+	flag.Var(&namespaces, "ns", "additional namespace as name=spec, e.g. 'tenantA=rmat:scale=12,labels=8,inflight=4' or 'b=file:/data/g.bin' (repeatable)")
 	flag.Parse()
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if err := run(daemonConfig{
-		addr: *addr, graphPath: *graphPath, textGraph: *textGraph,
+		explicit: explicit,
+		addr:     *addr, graphPath: *graphPath, textGraph: *textGraph,
 		rmatScale: *rmatScale, rmatDegree: *rmatDegree, rmatLabels: *rmatLabels, rmatSeed: *rmatSeed,
 		relabel: *relabel, machines: *machines, planCache: *planCache,
+		namespaces: namespaces,
 		srv: server.Config{
-			MaxInFlight:    *maxInFlight,
-			DefaultTimeout: *defTimeout,
-			MaxTimeout:     *maxTimeout,
-			MaxMatches:     *maxMatches,
-			MaxBytes:       *maxBytes,
+			MaxInFlight:     *maxInFlight,
+			DefaultTimeout:  *defTimeout,
+			MaxTimeout:      *maxTimeout,
+			MaxMatches:      *maxMatches,
+			MaxBytes:        *maxBytes,
+			MaxRequestBytes: envCfg.MaxRequestBytes,
+			RetryAfter:      envCfg.RetryAfter,
+			UpdateLockWait:  envCfg.UpdateLockWait,
+			NamespaceRoot:   *nsRoot,
 		},
 		drain: *drain,
 	}); err != nil {
@@ -82,7 +113,27 @@ func main() {
 	}
 }
 
+// intOr / durOr pick the env-supplied value when set, else the flag's
+// built-in default.
+func intOr(v, def int) int {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+func durOr(v, def time.Duration) time.Duration {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
 type daemonConfig struct {
+	// explicit records which flags were set on the command line, so flags
+	// that only shape the default namespace can be rejected (not silently
+	// dropped) in a pure -ns deployment.
+	explicit   map[string]bool
 	addr       string
 	graphPath  string
 	textGraph  bool
@@ -93,44 +144,40 @@ type daemonConfig struct {
 	relabel    string
 	machines   int
 	planCache  int
+	namespaces []string
 	srv        server.Config
 	drain      time.Duration
 }
 
 func run(cfg daemonConfig) error {
-	g, err := loadGraph(cfg)
+	svc, err := server.NewMulti(cfg.srv)
 	if err != nil {
 		return err
 	}
-	switch cfg.relabel {
-	case "":
-	case "degree":
-		g = workload.RelabelByDegree(g, 100, 2)
-	default:
-		return fmt.Errorf("unknown -relabel mode %q (want 'degree')", cfg.relabel)
-	}
-	fmt.Printf("graph: %v\n", g.ComputeStats())
 
-	cluster, err := memcloud.NewCluster(memcloud.Config{Machines: cfg.machines})
+	// Default namespace from -graph / -rmat-scale; optional when -ns
+	// tenants are given (pure multi-tenant deployments need no default).
+	// All tenants — default included — go through the same
+	// NamespaceSpec.Build path, so loading behavior cannot drift between
+	// the legacy flags and the spec grammar.
+	specs, err := bootSpecs(cfg)
 	if err != nil {
 		return err
 	}
-	loadStart := time.Now()
-	if err := cluster.LoadGraph(g); err != nil {
-		return err
-	}
-	fmt.Printf("loaded onto %d machines in %v\n", cfg.machines, time.Since(loadStart).Round(time.Millisecond))
-
-	eng := core.NewEngine(cluster, core.Options{PlanCacheSize: cfg.planCache})
-	svc, err := server.New(eng, cfg.srv)
-	if err != nil {
-		return err
+	for _, spec := range specs {
+		nsStart := time.Now()
+		if err := svc.AddNamespaceSpec(spec); err != nil {
+			return err
+		}
+		ns, _ := svc.NamespaceInfo(spec.Name)
+		fmt.Printf("namespace %q (%s): %d nodes on %d machines, ready in %v\n",
+			spec.Name, spec.Source, ns.Graph.Nodes, ns.Graph.Machines, time.Since(nsStart).Round(time.Millisecond))
 	}
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: svc}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("stwigd listening on %s\n", cfg.addr)
+		fmt.Printf("stwigd listening on %s, namespaces %v\n", cfg.addr, svc.Namespaces())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -164,28 +211,55 @@ func run(cfg daemonConfig) error {
 	return nil
 }
 
-func loadGraph(cfg daemonConfig) (*graph.Graph, error) {
+// bootSpecs maps the boot flag surface onto NamespaceSpecs: the legacy
+// -graph/-rmat-scale/-relabel/-machines/-plan-cache flags become the
+// default namespace's spec, followed by each -ns flag's spec verbatim.
+func bootSpecs(cfg daemonConfig) ([]server.NamespaceSpec, error) {
+	var specs []server.NamespaceSpec
 	switch {
 	case cfg.graphPath != "" && cfg.rmatScale > 0:
 		return nil, fmt.Errorf("set only one of -graph and -rmat-scale")
-	case cfg.graphPath != "":
-		f, err := os.Open(cfg.graphPath)
+	case cfg.graphPath != "" || cfg.rmatScale > 0:
+		if cfg.relabel != "" && cfg.relabel != "degree" {
+			return nil, fmt.Errorf("unknown -relabel mode %q (want 'degree')", cfg.relabel)
+		}
+		spec := server.NamespaceSpec{
+			Name:      server.DefaultNamespace,
+			Relabel:   cfg.relabel,
+			Machines:  cfg.machines,
+			PlanCache: cfg.planCache,
+		}
+		if cfg.graphPath != "" {
+			spec.Source = "file"
+			if cfg.textGraph {
+				spec.Source = "text"
+			}
+			spec.Path = cfg.graphPath
+		} else {
+			spec.Source = "rmat"
+			spec.Scale = cfg.rmatScale
+			spec.Degree = cfg.rmatDegree
+			spec.Labels = cfg.rmatLabels
+			spec.Seed = cfg.rmatSeed
+		}
+		specs = append(specs, spec)
+	case len(cfg.namespaces) == 0:
+		return nil, fmt.Errorf("set -graph FILE, -rmat-scale N, or at least one -ns name=spec (see -help)")
+	default:
+		// Pure -ns deployment: flags that shape the default namespace must
+		// not be silently dropped.
+		for _, name := range []string{"text", "rmat-degree", "rmat-labels", "rmat-seed", "relabel", "machines", "plan-cache"} {
+			if cfg.explicit[name] {
+				return nil, fmt.Errorf("-%s shapes the default namespace and needs -graph or -rmat-scale; use the equivalent option inside the -ns spec instead", name)
+			}
+		}
+	}
+	for _, f := range cfg.namespaces {
+		spec, err := server.ParseNamespaceFlag(f)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		if cfg.textGraph {
-			return graph.ReadText(f, graph.Undirected())
-		}
-		return graph.ReadBinary(f)
-	case cfg.rmatScale > 0:
-		return rmat.Generate(rmat.Params{
-			Scale:     cfg.rmatScale,
-			AvgDegree: cfg.rmatDegree,
-			NumLabels: cfg.rmatLabels,
-			Seed:      cfg.rmatSeed,
-		})
-	default:
-		return nil, fmt.Errorf("set -graph FILE or -rmat-scale N (see -help)")
+		specs = append(specs, spec)
 	}
+	return specs, nil
 }

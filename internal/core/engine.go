@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stwig/internal/memcloud"
@@ -93,6 +94,13 @@ type Engine struct {
 	planner  *Planner
 	executor *Executor
 	cache    *PlanCache // nil when PlanCacheSize < 0
+
+	// Per-engine workload counters. Each tenant of a multi-engine process
+	// (e.g. stwigd's namespaces) owns one Engine, so these are the natural
+	// per-tenant accounting point: queries that reached execution and
+	// matches emitted, cumulative since construction.
+	queries atomic.Uint64
+	matches atomic.Uint64
 }
 
 // NewEngine creates an engine over a loaded cluster.
@@ -143,6 +151,10 @@ type EngineSnapshot struct {
 	Updates memcloud.UpdateStats
 	// MemoryBytes estimates resident bytes across machines.
 	MemoryBytes int64
+	// Queries counts MatchStream runs that reached execution (successful
+	// or not); MatchesEmitted counts matches delivered to callers.
+	Queries        uint64
+	MatchesEmitted uint64
 }
 
 // Snapshot captures the engine's observable state. It is safe to call
@@ -150,13 +162,15 @@ type EngineSnapshot struct {
 // consistent snapshots, not one atomic cut.
 func (e *Engine) Snapshot() EngineSnapshot {
 	return EngineSnapshot{
-		PlanCache:   e.PlanCacheStats(),
-		Epoch:       e.cluster.Epoch(),
-		Machines:    e.cluster.NumMachines(),
-		Nodes:       e.cluster.NumNodes(),
-		Net:         e.cluster.NetStats(),
-		Updates:     e.cluster.UpdateStats(),
-		MemoryBytes: e.cluster.TotalMemoryBytes(),
+		PlanCache:      e.PlanCacheStats(),
+		Epoch:          e.cluster.Epoch(),
+		Machines:       e.cluster.NumMachines(),
+		Nodes:          e.cluster.NumNodes(),
+		Net:            e.cluster.NetStats(),
+		Updates:        e.cluster.UpdateStats(),
+		MemoryBytes:    e.cluster.TotalMemoryBytes(),
+		Queries:        e.queries.Load(),
+		MatchesEmitted: e.matches.Load(),
 	}
 }
 
@@ -230,7 +244,16 @@ func (e *Engine) MatchStream(ctx context.Context, q *Query, emit func(Match) boo
 	}
 	planTime := time.Since(planStart)
 
-	stats, err := e.executor.Run(ctx, plan, emit)
+	e.queries.Add(1)
+	// emit is never called concurrently (Executor serializes it), so a
+	// plain counter is safe; the atomic add below publishes it.
+	var emitted uint64
+	counted := func(m Match) bool {
+		emitted++
+		return emit(m)
+	}
+	stats, err := e.executor.Run(ctx, plan, counted)
+	e.matches.Add(emitted)
 	if err != nil {
 		return nil, err
 	}

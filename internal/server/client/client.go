@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"stwig/internal/server"
@@ -42,6 +43,68 @@ func New(base string) *Client {
 // SetHTTPClient replaces the underlying HTTP client (tests, custom
 // transports).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// Namespace returns a client scoped to one tenant: Query, Explain, Update,
+// and Stats address /ns/{name}/... instead of the default namespace's
+// legacy routes. The scoped client shares the parent's HTTP client.
+// Healthz and the namespace admin calls remain on the root client.
+func (c *Client) Namespace(name string) *Client {
+	return &Client{base: c.base + "/ns/" + url.PathEscape(name), hc: c.hc}
+}
+
+// CreateNamespace asks the server to materialize a new tenant from spec
+// (see server.NamespaceSpec for the grammar) and returns its summary.
+func (c *Client) CreateNamespace(ctx context.Context, req server.CreateNamespaceRequest) (*server.NamespaceInfo, error) {
+	resp, err := c.postJSON(ctx, "/ns", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, statusError(resp)
+	}
+	var out server.NamespaceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DropNamespace removes a tenant; its in-flight requests finish, new ones
+// 404.
+func (c *Client) DropNamespace(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/ns/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// ListNamespaces returns every tenant's summary, sorted by name.
+func (c *Client) ListNamespaces(ctx context.Context) ([]server.NamespaceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/ns", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out server.NamespaceListResponse
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, err
+	}
+	return out.Namespaces, nil
+}
 
 // StatusError is a non-2xx reply, carrying the decoded server error.
 type StatusError struct {

@@ -1,27 +1,40 @@
-// Package server is stwigd's HTTP/JSON query service over a core.Engine:
-// the production request lifecycle the library itself stays agnostic of.
-// It owns admission control (a bounded in-flight query semaphore; overload
-// is refused with 429), per-request deadlines and client-disconnect
-// cancellation (propagated through context into the Executor), per-query
-// match and byte caps, NDJSON match streaming with a trailing stats record,
-// dynamic graph updates, and live observability (GET /stats).
+// Package server is stwigd's multi-tenant HTTP/JSON query service: one
+// daemon hosting many named namespaces, each a fully isolated
+// Cluster+Engine pair — the production request lifecycle the library
+// itself stays agnostic of. Per namespace it owns admission control (a
+// bounded in-flight query semaphore; overload is refused with 429),
+// per-request deadlines and client-disconnect cancellation (propagated
+// through context into the Executor), per-query match and byte caps,
+// NDJSON match streaming with a trailing stats record, dynamic graph
+// updates behind a per-tenant writer lock, and live observability.
 //
 // Endpoints:
 //
-//	POST /query    stream matches as NDJSON (terminal "stats"/"error" record)
-//	POST /explain  render the execution plan without running the query
-//	POST /update   add_node / add_edge / remove_edge against the live graph
-//	GET  /stats    plan cache, admission, net, update, per-endpoint latency
-//	GET  /healthz  liveness (503 while draining)
+//	POST /ns/{name}/query    stream matches as NDJSON (terminal "stats"/"error" record)
+//	POST /ns/{name}/explain  render the execution plan without running the query
+//	POST /ns/{name}/update   add_node / add_edge / remove_edge against the live graph
+//	GET  /ns/{name}/stats    per-tenant plan cache, admission, net, update, latency
+//	GET  /ns                 list namespaces
+//	POST /ns                 create a namespace from a spec (file or R-MAT)
+//	DELETE /ns/{name}        drop a namespace (in-flight requests finish)
+//	GET  /healthz            liveness (503 while draining)
 //
-// See wire.go for the request/response schema and internal/server/client
-// for the Go client.
+// The legacy unprefixed routes /query, /explain, /update, and /stats alias
+// the "default" namespace. See wire.go for the request/response schema and
+// internal/server/client for the Go client.
 package server
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"time"
 )
+
+// DefaultNamespace is the tenant the legacy unprefixed routes (/query,
+// /explain, /update, /stats) resolve to.
+const DefaultNamespace = "default"
 
 // Config tunes the service. The zero value selects production-ish defaults
 // via normalize; Validate rejects nonsense.
@@ -49,6 +62,12 @@ type Config struct {
 	// before giving up with 503 (default 1s). Updates never park in
 	// Lock(), which would stall new queries behind the waiting writer.
 	UpdateLockWait time.Duration
+	// NamespaceRoot, when non-empty, permits POST /ns to create tenants
+	// from file:/text: sources confined under this directory. Empty
+	// (the default) disables file sources over the admin API entirely —
+	// a network client must never choose arbitrary server-side paths.
+	// Boot-time -ns flags are operator-controlled and unaffected.
+	NamespaceRoot string
 }
 
 func (cfg Config) normalize() Config {
@@ -89,6 +108,247 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("server: negative cap")
 	}
 	return nil
+}
+
+// FromEnv overlays STWIGD_* environment variables onto cfg and returns the
+// result. Unset variables leave the corresponding field untouched; a set
+// but unparsable variable is an error (a typo'd limit must not silently
+// select the default). lookup defaults to os.LookupEnv; tests inject their
+// own.
+//
+//	STWIGD_MAX_INFLIGHT       int       admission limit
+//	STWIGD_TIMEOUT            duration  default per-request deadline
+//	STWIGD_MAX_TIMEOUT        duration  cap on client-requested deadlines
+//	STWIGD_MAX_MATCHES        int       per-request match cap
+//	STWIGD_MAX_BYTES          int       per-response byte cap
+//	STWIGD_MAX_REQUEST_BYTES  int       request body bound
+//	STWIGD_RETRY_AFTER        duration  Retry-After hint on 429/503
+//	STWIGD_UPDATE_LOCK_WAIT   duration  writer-lock poll window
+//	STWIGD_NS_ROOT            path      root for admin-API file:/text: sources
+func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
+	if lookup == nil {
+		lookup = os.LookupEnv
+	}
+	var err error
+	envInt := func(key string, dst *int) {
+		if v, ok := lookup(key); ok && err == nil {
+			n, perr := strconv.Atoi(v)
+			if perr != nil {
+				err = fmt.Errorf("server: %s=%q: not an integer", key, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	envInt64 := func(key string, dst *int64) {
+		if v, ok := lookup(key); ok && err == nil {
+			n, perr := strconv.ParseInt(v, 10, 64)
+			if perr != nil {
+				err = fmt.Errorf("server: %s=%q: not an integer", key, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	envDur := func(key string, dst *time.Duration) {
+		if v, ok := lookup(key); ok && err == nil {
+			d, perr := time.ParseDuration(v)
+			if perr != nil {
+				err = fmt.Errorf("server: %s=%q: not a duration (want e.g. 30s)", key, v)
+				return
+			}
+			*dst = d
+		}
+	}
+	envInt("STWIGD_MAX_INFLIGHT", &cfg.MaxInFlight)
+	envDur("STWIGD_TIMEOUT", &cfg.DefaultTimeout)
+	envDur("STWIGD_MAX_TIMEOUT", &cfg.MaxTimeout)
+	envInt("STWIGD_MAX_MATCHES", &cfg.MaxMatches)
+	envInt64("STWIGD_MAX_BYTES", &cfg.MaxBytes)
+	envInt64("STWIGD_MAX_REQUEST_BYTES", &cfg.MaxRequestBytes)
+	envDur("STWIGD_RETRY_AFTER", &cfg.RetryAfter)
+	envDur("STWIGD_UPDATE_LOCK_WAIT", &cfg.UpdateLockWait)
+	if v, ok := lookup("STWIGD_NS_ROOT"); ok {
+		cfg.NamespaceRoot = v
+	}
+	if err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// ValidateNamespaceName rejects names the router and the spec grammar
+// cannot carry: empty, longer than 64 bytes, or containing anything outside
+// [a-zA-Z0-9_-]. The path separator, '=', ',' and ':' are thereby excluded,
+// so a name can never be confused with spec syntax or split a route.
+func ValidateNamespaceName(name string) error {
+	if name == "" {
+		return fmt.Errorf("server: empty namespace name")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("server: namespace name %q longer than 64 bytes", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return fmt.Errorf("server: namespace name %q: invalid character %q (want [a-zA-Z0-9_-])", name, r)
+		}
+	}
+	return nil
+}
+
+// NamespaceSpec describes how to materialize one tenant: a graph source
+// plus optional per-tenant limits. The textual form — shared by stwigd's
+// boot-time -ns flag and the POST /ns admin endpoint — is
+//
+//	rmat:scale=12,degree=8,labels=16,seed=1[,OPT...]
+//	file:/path/to/graph.bin[,OPT...]
+//	text:/path/to/graph.txt[,OPT...]
+//
+// where OPT is any of machines=N, plancache=N, relabel=degree,
+// inflight=N, maxmatches=N, maxbytes=N. inflight/maxmatches/maxbytes
+// override the server's defaults for this tenant only; the rest shape the
+// cluster the graph is loaded onto.
+type NamespaceSpec struct {
+	Name string
+
+	// Source is "rmat", "file", or "text".
+	Source string
+	// Path is the graph file for file/text sources.
+	Path string
+	// Scale, Degree, Labels, Seed parameterize the rmat source.
+	Scale  int
+	Degree int
+	Labels int
+	Seed   int64
+
+	// Relabel is "" or "degree" (celebrity/regular/bot by degree band).
+	Relabel string
+	// Machines is the simulated cluster size (default 8).
+	Machines int
+	// PlanCache is the plan-cache capacity (0 = engine default, negative =
+	// disabled).
+	PlanCache int
+
+	// Per-tenant limit overrides; 0 inherits the server's Config.
+	MaxInFlight int
+	MaxMatches  int
+	MaxBytes    int64
+}
+
+// ParseNamespaceFlag parses stwigd's -ns flag form "name=spec".
+func ParseNamespaceFlag(s string) (NamespaceSpec, error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return NamespaceSpec{}, fmt.Errorf("server: -ns %q: want name=spec", s)
+	}
+	return ParseNamespaceSpec(name, rest)
+}
+
+// ParseNamespaceSpec parses the spec grammar documented on NamespaceSpec.
+func ParseNamespaceSpec(name, spec string) (NamespaceSpec, error) {
+	if err := ValidateNamespaceName(name); err != nil {
+		return NamespaceSpec{}, err
+	}
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: spec %q: want kind:args with kind rmat, file, or text", name, spec)
+	}
+	out := NamespaceSpec{Name: name, Source: kind, Degree: 8, Labels: 16, Seed: 1, Machines: 8}
+	parts := strings.Split(rest, ",")
+	switch kind {
+	case "file", "text":
+		// The first segment is the path; options follow. (A path containing
+		// a comma cannot be expressed — documented limitation.)
+		if parts[0] == "" {
+			return NamespaceSpec{}, fmt.Errorf("server: namespace %q: %s source needs a path", name, kind)
+		}
+		out.Path = parts[0]
+		parts = parts[1:]
+	case "rmat":
+	default:
+		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: unknown source kind %q (want rmat, file, or text)", name, kind)
+	}
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return NamespaceSpec{}, fmt.Errorf("server: namespace %q: option %q: want key=value", name, p)
+		}
+		perr := func() error {
+			return fmt.Errorf("server: namespace %q: option %s=%q: not an integer", name, k, v)
+		}
+		n, nerr := strconv.ParseInt(v, 10, 64)
+		switch k {
+		case "relabel":
+			if v != "degree" {
+				return NamespaceSpec{}, fmt.Errorf("server: namespace %q: relabel=%q (only \"degree\" is supported)", name, v)
+			}
+			out.Relabel = v
+			continue
+		case "scale", "degree", "labels", "seed":
+			if kind != "rmat" {
+				return NamespaceSpec{}, fmt.Errorf("server: namespace %q: option %q only applies to rmat sources", name, k)
+			}
+			if nerr != nil {
+				return NamespaceSpec{}, perr()
+			}
+		case "machines", "plancache", "inflight", "maxmatches", "maxbytes":
+			if nerr != nil {
+				return NamespaceSpec{}, perr()
+			}
+		default:
+			return NamespaceSpec{}, fmt.Errorf("server: namespace %q: unknown option %q", name, k)
+		}
+		switch k {
+		case "scale":
+			out.Scale = int(n)
+		case "degree":
+			out.Degree = int(n)
+		case "labels":
+			out.Labels = int(n)
+		case "seed":
+			out.Seed = n
+		case "machines":
+			out.Machines = int(n)
+		case "plancache":
+			out.PlanCache = int(n)
+		case "inflight":
+			out.MaxInFlight = int(n)
+		case "maxmatches":
+			out.MaxMatches = int(n)
+		case "maxbytes":
+			out.MaxBytes = n
+		}
+	}
+	if kind == "rmat" && out.Scale <= 0 {
+		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: rmat source needs scale=N (N ≥ 1)", name)
+	}
+	if out.Machines < 1 {
+		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: machines=%d < 1", name, out.Machines)
+	}
+	if out.MaxInFlight < 0 || out.MaxMatches < 0 || out.MaxBytes < 0 {
+		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: negative limit override", name)
+	}
+	return out, nil
+}
+
+// configFor folds the spec's per-tenant overrides into the server's base
+// config.
+func (spec NamespaceSpec) configFor(base Config) Config {
+	if spec.MaxInFlight > 0 {
+		base.MaxInFlight = spec.MaxInFlight
+	}
+	if spec.MaxMatches > 0 {
+		base.MaxMatches = spec.MaxMatches
+	}
+	if spec.MaxBytes > 0 {
+		base.MaxBytes = spec.MaxBytes
+	}
+	return base
 }
 
 // effectiveLimits folds a request's asks into the server's caps.

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lookupMap adapts a map to Config.FromEnv's lookup signature.
+func lookupMap(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}
+
+func TestConfigFromEnv(t *testing.T) {
+	cfg, err := Config{}.FromEnv(lookupMap(map[string]string{
+		"STWIGD_MAX_INFLIGHT":      "32",
+		"STWIGD_TIMEOUT":           "45s",
+		"STWIGD_MAX_TIMEOUT":       "3m",
+		"STWIGD_MAX_MATCHES":       "1000",
+		"STWIGD_MAX_BYTES":         "1048576",
+		"STWIGD_MAX_REQUEST_BYTES": "2097152",
+		"STWIGD_RETRY_AFTER":       "2s",
+		"STWIGD_UPDATE_LOCK_WAIT":  "250ms",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		MaxInFlight:     32,
+		DefaultTimeout:  45 * time.Second,
+		MaxTimeout:      3 * time.Minute,
+		MaxMatches:      1000,
+		MaxBytes:        1 << 20,
+		MaxRequestBytes: 2 << 20,
+		RetryAfter:      2 * time.Second,
+		UpdateLockWait:  250 * time.Millisecond,
+	}
+	if cfg != want {
+		t.Fatalf("FromEnv = %+v, want %+v", cfg, want)
+	}
+
+	// Unset variables leave the base untouched.
+	base := Config{MaxInFlight: 7, DefaultTimeout: time.Second}
+	got, err := base.FromEnv(lookupMap(map[string]string{"STWIGD_MAX_MATCHES": "5"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxInFlight != 7 || got.DefaultTimeout != time.Second || got.MaxMatches != 5 {
+		t.Fatalf("partial overlay = %+v", got)
+	}
+
+	// A set-but-garbage variable must error, not silently default.
+	for _, env := range []map[string]string{
+		{"STWIGD_MAX_INFLIGHT": "many"},
+		{"STWIGD_TIMEOUT": "30"},    // bare number is not a duration
+		{"STWIGD_MAX_BYTES": "1MB"}, // no unit suffixes on byte counts
+		{"STWIGD_UPDATE_LOCK_WAIT": "x"},
+	} {
+		if _, err := (Config{}).FromEnv(lookupMap(env)); err == nil {
+			t.Fatalf("FromEnv(%v) accepted garbage", env)
+		}
+	}
+}
+
+func TestValidateNamespaceName(t *testing.T) {
+	for _, name := range []string{"default", "tenant2", "A-b_9", strings.Repeat("x", 64)} {
+		if err := ValidateNamespaceName(name); err != nil {
+			t.Errorf("ValidateNamespaceName(%q) = %v, want ok", name, err)
+		}
+	}
+	for _, name := range []string{"", "a/b", "a b", "a=b", "a,b", "a:b", "ns.1", "naïve", strings.Repeat("x", 65)} {
+		if err := ValidateNamespaceName(name); err == nil {
+			t.Errorf("ValidateNamespaceName(%q) accepted an invalid name", name)
+		}
+	}
+}
+
+func TestParseNamespaceSpec(t *testing.T) {
+	spec, err := ParseNamespaceSpec("t1", "rmat:scale=12,degree=6,labels=4,seed=9,machines=2,plancache=64,inflight=3,maxmatches=100,maxbytes=4096,relabel=degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NamespaceSpec{
+		Name: "t1", Source: "rmat",
+		Scale: 12, Degree: 6, Labels: 4, Seed: 9,
+		Relabel: "degree", Machines: 2, PlanCache: 64,
+		MaxInFlight: 3, MaxMatches: 100, MaxBytes: 4096,
+	}
+	if spec != want {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+
+	// rmat defaults mirror stwigd's flags: degree 8, labels 16, seed 1,
+	// machines 8.
+	spec, err = ParseNamespaceSpec("t2", "rmat:scale=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Degree != 8 || spec.Labels != 16 || spec.Seed != 1 || spec.Machines != 8 {
+		t.Fatalf("rmat defaults = %+v", spec)
+	}
+
+	// File and text sources carry a path plus trailing options.
+	spec, err = ParseNamespaceSpec("t3", "file:/data/g.bin,machines=4,inflight=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Source != "file" || spec.Path != "/data/g.bin" || spec.Machines != 4 || spec.MaxInFlight != 2 {
+		t.Fatalf("file spec = %+v", spec)
+	}
+	spec, err = ParseNamespaceSpec("t4", "text:rel/graph.txt")
+	if err != nil || spec.Source != "text" || spec.Path != "rel/graph.txt" {
+		t.Fatalf("text spec = %+v err=%v", spec, err)
+	}
+
+	for _, bad := range []struct{ name, spec string }{
+		{"bad name", "rmat:scale=10"},           // invalid name
+		{"t", "rmat"},                           // no colon
+		{"t", "zip:/g.bin"},                     // unknown kind
+		{"t", "rmat:degree=8"},                  // rmat without scale
+		{"t", "rmat:scale=0"},                   // scale must be ≥ 1
+		{"t", "rmat:scale=ten"},                 // non-integer value
+		{"t", "rmat:scale=10,flavor=hot"},       // unknown option
+		{"t", "rmat:scale=10,degree"},           // option without value
+		{"t", "rmat:scale=10,relabel=pagerank"}, // unsupported relabel mode
+		{"t", "rmat:scale=10,machines=0"},
+		{"t", "rmat:scale=10,maxbytes=-1"},
+		{"t", "file:"},                // file without path
+		{"t", "file:/g.bin,scale=10"}, // rmat-only option on a file source
+		{"t", "text:/g.txt,seed=7"},   // rmat-only option on a text source
+	} {
+		if _, err := ParseNamespaceSpec(bad.name, bad.spec); err == nil {
+			t.Errorf("ParseNamespaceSpec(%q, %q) accepted an invalid spec", bad.name, bad.spec)
+		}
+	}
+}
+
+func TestParseNamespaceFlag(t *testing.T) {
+	spec, err := ParseNamespaceFlag("tenantA=rmat:scale=8,labels=2")
+	if err != nil || spec.Name != "tenantA" || spec.Scale != 8 || spec.Labels != 2 {
+		t.Fatalf("flag spec = %+v err=%v", spec, err)
+	}
+	if _, err := ParseNamespaceFlag("just-a-name"); err == nil {
+		t.Fatal("flag without '=' accepted")
+	}
+	if _, err := ParseNamespaceFlag("=rmat:scale=8"); err == nil {
+		t.Fatal("flag without a name accepted")
+	}
+}
+
+func TestNamespaceSpecConfigFor(t *testing.T) {
+	base := Config{MaxInFlight: 16, MaxMatches: 500, MaxBytes: 1 << 20, DefaultTimeout: time.Second}
+	got := NamespaceSpec{MaxInFlight: 2, MaxBytes: 4096}.configFor(base)
+	if got.MaxInFlight != 2 || got.MaxBytes != 4096 {
+		t.Fatalf("overrides not applied: %+v", got)
+	}
+	if got.MaxMatches != 500 || got.DefaultTimeout != time.Second {
+		t.Fatalf("inherited fields clobbered: %+v", got)
+	}
+	// No overrides → the base config verbatim.
+	if got := (NamespaceSpec{}).configFor(base); got != base {
+		t.Fatalf("zero spec changed the base: %+v", got)
+	}
+}
+
+// TestRegistryDuplicateAndRemove covers the registry invariants the admin
+// API leans on: duplicate adds fail, remove is idempotent-observable.
+func TestRegistryDuplicateAndRemove(t *testing.T) {
+	r := newRegistry()
+	if err := r.add(newNamespace("a", nil, Config{}), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.add(newNamespace("a", nil, Config{}), 0); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	// The ceiling is enforced atomically at add time; 0 means uncapped.
+	if err := r.add(newNamespace("b", nil, Config{}), 1); !errors.Is(err, ErrNamespaceCapacity) {
+		t.Fatalf("add beyond ceiling: err = %v, want ErrNamespaceCapacity", err)
+	}
+	if err := r.add(newNamespace("b", nil, Config{}), 2); err != nil {
+		t.Fatalf("add within ceiling: %v", err)
+	}
+	if _, ok := r.get("a"); !ok {
+		t.Fatal("get after add failed")
+	}
+	if _, ok := r.remove("a"); !ok {
+		t.Fatal("remove of existing namespace reported absent")
+	}
+	if _, ok := r.remove("a"); ok {
+		t.Fatal("second remove reported present")
+	}
+	// Only "b" (admitted within the ceiling above) remains.
+	if names := r.list(); len(names) != 1 || names[0].name != "b" {
+		t.Fatalf("list after removing %q = %d entries, want just %q", "a", len(names), "b")
+	}
+}

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+	"stwig/internal/rmat"
+	"stwig/internal/workload"
+)
+
+// namespace is one tenant's complete serving state: its own engine (and
+// therefore cluster, plan cache, and counters), its own admission gate and
+// limits, its own endpoint metrics, and its own single-writer update lock.
+// Nothing here is shared across tenants, which is the isolation property
+// the multi-tenant tests pin: a tenant saturating its admission budget or
+// parking a writer cannot touch another tenant's traffic.
+type namespace struct {
+	name    string
+	eng     *core.Engine
+	cfg     Config // normalized per-tenant limits
+	adm     *admission
+	met     *metrics
+	created time.Time
+
+	// updMu enforces memcloud's single-writer / quiesced-reader update
+	// discipline at the service boundary for this tenant only: queries and
+	// explains hold the read side for their full execution, updates take
+	// the write side.
+	updMu sync.RWMutex
+}
+
+func newNamespace(name string, eng *core.Engine, cfg Config) *namespace {
+	cfg = cfg.normalize()
+	return &namespace{
+		name:    name,
+		eng:     eng,
+		cfg:     cfg,
+		adm:     newAdmission(cfg.MaxInFlight),
+		met:     newMetrics(),
+		created: time.Now(),
+	}
+}
+
+// acquireUpdateLock polls for the writer side of updMu without ever
+// parking in Lock(): sync.RWMutex blocks every new reader behind a waiting
+// writer, so one update parked behind a long stream would stall all new
+// queries while they hold admission slots — a fleet-wide 429 cascade from
+// a single mutation. Bounded polling trades writer fairness for read
+// availability; an update that cannot get in within the window surfaces as
+// 503 + Retry-After instead (see ROADMAP's update-backpressure follow-on).
+func (ns *namespace) acquireUpdateLock() bool {
+	deadline := time.Now().Add(ns.cfg.UpdateLockWait)
+	for {
+		if ns.updMu.TryLock() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// info snapshots the namespace for the admin surfaces.
+func (ns *namespace) info() NamespaceInfo {
+	snap := ns.eng.Snapshot()
+	return NamespaceInfo{
+		Name:       ns.name,
+		AgeSeconds: time.Since(ns.created).Seconds(),
+		Graph: GraphInfo{
+			Nodes:       snap.Nodes,
+			Machines:    snap.Machines,
+			Epoch:       snap.Epoch,
+			MemoryBytes: snap.MemoryBytes,
+		},
+		Admission: ns.adm.stats(),
+		Limits: NamespaceLimits{
+			MaxInFlight: ns.cfg.MaxInFlight,
+			MaxMatches:  ns.cfg.MaxMatches,
+			MaxBytes:    ns.cfg.MaxBytes,
+		},
+	}
+}
+
+// registry is the server's live name → namespace map. Reads (every routed
+// request) take the read lock only; create/drop take the write lock. A
+// dropped namespace's in-flight requests keep their *namespace and finish
+// normally — only new lookups see the 404.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]*namespace
+}
+
+func newRegistry() *registry { return &registry{m: make(map[string]*namespace)} }
+
+func (r *registry) get(name string) (*namespace, bool) {
+	r.mu.RLock()
+	ns, ok := r.m[name]
+	r.mu.RUnlock()
+	return ns, ok
+}
+
+// ErrNamespaceExists reports a create colliding with a live namespace;
+// the admin endpoint maps it to 409.
+var ErrNamespaceExists = errors.New("namespace already exists")
+
+// add registers ns. A positive maxTotal enforces the registry ceiling
+// atomically under the write lock (runtime creates); 0 is uncapped (boot).
+func (r *registry) add(ns *namespace, maxTotal int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[ns.name]; dup {
+		return fmt.Errorf("server: namespace %q: %w", ns.name, ErrNamespaceExists)
+	}
+	if maxTotal > 0 && len(r.m) >= maxTotal {
+		return fmt.Errorf("server: %w (%d live; drop one first)", ErrNamespaceCapacity, maxTotal)
+	}
+	r.m[ns.name] = ns
+	return nil
+}
+
+func (r *registry) remove(name string) (*namespace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ns, ok := r.m[name]
+	if ok {
+		delete(r.m, name)
+	}
+	return ns, ok
+}
+
+func (r *registry) size() int {
+	r.mu.RLock()
+	n := len(r.m)
+	r.mu.RUnlock()
+	return n
+}
+
+func (r *registry) list() []*namespace {
+	r.mu.RLock()
+	out := make([]*namespace, 0, len(r.m))
+	for _, ns := range r.m {
+		out = append(out, ns)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Build materializes the spec: load or generate its graph, optionally
+// relabel, load it onto a fresh simulated cluster, and wrap an engine
+// around it. This is the expensive part of namespace creation and runs
+// without any registry lock held.
+func (spec NamespaceSpec) Build() (*core.Engine, error) {
+	var g *graph.Graph
+	var err error
+	switch spec.Source {
+	case "rmat":
+		g, err = rmat.Generate(rmat.Params{
+			Scale:     spec.Scale,
+			AvgDegree: spec.Degree,
+			NumLabels: spec.Labels,
+			Seed:      spec.Seed,
+		})
+	case "file", "text":
+		var f *os.File
+		f, err = os.Open(spec.Path)
+		if err != nil {
+			break
+		}
+		if spec.Source == "text" {
+			g, err = graph.ReadText(f, graph.Undirected())
+		} else {
+			g, err = graph.ReadBinary(f)
+		}
+		f.Close()
+	default:
+		err = fmt.Errorf("server: namespace %q: unknown source kind %q", spec.Name, spec.Source)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: namespace %q: %w", spec.Name, err)
+	}
+	if spec.Relabel == "degree" {
+		g = workload.RelabelByDegree(g, 100, 2)
+	}
+	cluster, err := memcloud.NewCluster(memcloud.Config{Machines: spec.Machines})
+	if err != nil {
+		return nil, fmt.Errorf("server: namespace %q: %w", spec.Name, err)
+	}
+	if err := cluster.LoadGraph(g); err != nil {
+		return nil, fmt.Errorf("server: namespace %q: %w", spec.Name, err)
+	}
+	return core.NewEngine(cluster, core.Options{PlanCacheSize: spec.PlanCache}), nil
+}
+
+// Guardrails for namespaces created over the network (POST /ns). Boot-time
+// -ns flags and programmatic AddNamespaceSpec are operator-controlled and
+// not subject to them.
+const (
+	// maxRuntimeRMATScale caps runtime R-MAT generation at 2^20 ≈ 1M
+	// nodes: one unauthenticated create must not be able to OOM the
+	// process and take every tenant down with it.
+	maxRuntimeRMATScale = 20
+	// maxRuntimeRMATDegree bounds the edge count of a runtime graph.
+	maxRuntimeRMATDegree = 32
+	// maxRuntimeMachines bounds per-tenant simulated cluster size.
+	maxRuntimeMachines = 64
+	// maxRuntimeRMATLabels bounds the label alphabet: label arrays and the
+	// string index scale with it, so it is memory like scale is.
+	maxRuntimeRMATLabels = 4096
+	// maxRuntimeInFlight bounds a runtime tenant's admission budget: an
+	// unauthenticated create must not be able to grant itself effectively
+	// unlimited concurrency and defeat admission control process-wide.
+	maxRuntimeInFlight = 64
+	// maxRuntimePlanCache bounds a runtime tenant's plan-cache capacity.
+	maxRuntimePlanCache = 1024
+	// maxRuntimeNamespaces bounds the registry for runtime creates: each
+	// tenant holds a whole graph, so per-create caps alone still let a
+	// loop of creates exhaust memory. Only POST /ns is refused at the
+	// ceiling; boot-time tenants are always admitted but do consume the
+	// runtime headroom (the registry size is one shared ledger).
+	maxRuntimeNamespaces = 64
+)
+
+// ErrNamespaceCapacity reports the runtime namespace ceiling; the admin
+// endpoint maps it to 429.
+var ErrNamespaceCapacity = errors.New("namespace capacity reached")
+
+// checkRuntimeSpec enforces the runtime-creation guardrails: bounded R-MAT
+// size, bounded cluster size, and file/text sources confined to the
+// operator-configured NamespaceRoot (disabled entirely when no root is
+// set), so a network client can neither exhaust memory nor probe the
+// daemon's filesystem.
+func (s *Server) checkRuntimeSpec(spec NamespaceSpec) error {
+	// Fast-fail before paying for a build; registry.add re-checks the
+	// ceiling atomically under its lock, so concurrent creates that both
+	// pass here still cannot exceed it.
+	if s.reg.size() >= maxRuntimeNamespaces {
+		return fmt.Errorf("server: %w (%d live; drop one first)", ErrNamespaceCapacity, maxRuntimeNamespaces)
+	}
+	if spec.Machines > maxRuntimeMachines {
+		return fmt.Errorf("server: namespace %q: machines=%d exceeds the runtime-create cap %d", spec.Name, spec.Machines, maxRuntimeMachines)
+	}
+	if spec.MaxInFlight > maxRuntimeInFlight {
+		return fmt.Errorf("server: namespace %q: inflight=%d exceeds the runtime-create cap %d", spec.Name, spec.MaxInFlight, maxRuntimeInFlight)
+	}
+	if spec.PlanCache > maxRuntimePlanCache {
+		return fmt.Errorf("server: namespace %q: plancache=%d exceeds the runtime-create cap %d", spec.Name, spec.PlanCache, maxRuntimePlanCache)
+	}
+	// Override caps may only tighten the operator's server-wide limits,
+	// never loosen them (a zero server cap means unlimited and stays open).
+	if s.cfg.MaxMatches > 0 && spec.MaxMatches > s.cfg.MaxMatches {
+		return fmt.Errorf("server: namespace %q: maxmatches=%d exceeds the server cap %d", spec.Name, spec.MaxMatches, s.cfg.MaxMatches)
+	}
+	if s.cfg.MaxBytes > 0 && spec.MaxBytes > s.cfg.MaxBytes {
+		return fmt.Errorf("server: namespace %q: maxbytes=%d exceeds the server cap %d", spec.Name, spec.MaxBytes, s.cfg.MaxBytes)
+	}
+	switch spec.Source {
+	case "rmat":
+		if spec.Scale > maxRuntimeRMATScale {
+			return fmt.Errorf("server: namespace %q: scale=%d exceeds the runtime-create cap %d", spec.Name, spec.Scale, maxRuntimeRMATScale)
+		}
+		if spec.Degree > maxRuntimeRMATDegree {
+			return fmt.Errorf("server: namespace %q: degree=%d exceeds the runtime-create cap %d", spec.Name, spec.Degree, maxRuntimeRMATDegree)
+		}
+		if spec.Labels > maxRuntimeRMATLabels {
+			return fmt.Errorf("server: namespace %q: labels=%d exceeds the runtime-create cap %d", spec.Name, spec.Labels, maxRuntimeRMATLabels)
+		}
+		return nil
+	default: // file, text
+		if s.cfg.NamespaceRoot == "" {
+			return fmt.Errorf("server: namespace %q: file/text sources are disabled over the admin API (start stwigd with -ns-root DIR to enable them)", spec.Name)
+		}
+		root, err := filepath.Abs(s.cfg.NamespaceRoot)
+		if err != nil {
+			return fmt.Errorf("server: namespace root: %w", err)
+		}
+		p, err := filepath.Abs(spec.Path)
+		if err != nil {
+			return fmt.Errorf("server: namespace %q: %w", spec.Name, err)
+		}
+		// Lexical confinement (Abs implies Clean, so ".." is resolved);
+		// symlinks inside the root are the operator's choice.
+		if p != root && !strings.HasPrefix(p, root+string(filepath.Separator)) {
+			return fmt.Errorf("server: namespace %q: path %q is outside the namespace root", spec.Name, spec.Path)
+		}
+		return nil
+	}
+}
+
+// AddNamespace registers eng under name. cfg overrides the server's limits
+// for this tenant; nil inherits them. The engine (and its cluster) must
+// already be loaded. Safe to call while the server is handling requests.
+func (s *Server) AddNamespace(name string, eng *core.Engine, cfg *Config) error {
+	if err := ValidateNamespaceName(name); err != nil {
+		return err
+	}
+	nsCfg := s.cfg
+	if cfg != nil {
+		nsCfg = *cfg
+		if err := nsCfg.Validate(); err != nil {
+			return err
+		}
+	}
+	return s.reg.add(newNamespace(name, eng, nsCfg), 0)
+}
+
+// AddNamespaceSpec materializes spec (possibly loading a graph file or
+// generating an R-MAT graph) and registers the result. The build happens
+// outside the registry lock, so live traffic on other tenants is never
+// stalled by a slow creation.
+func (s *Server) AddNamespaceSpec(spec NamespaceSpec) error {
+	return s.addNamespaceSpec(spec, 0)
+}
+
+// addNamespaceSpec is AddNamespaceSpec with an optional registry ceiling
+// (positive maxTotal), enforced atomically at add time — the runtime admin
+// path passes maxRuntimeNamespaces, boot paths pass 0.
+func (s *Server) addNamespaceSpec(spec NamespaceSpec, maxTotal int) error {
+	if err := ValidateNamespaceName(spec.Name); err != nil {
+		return err
+	}
+	// Fail fast on an obvious duplicate before paying for the build; the
+	// add below re-checks under the lock, so a concurrent create of the
+	// same name still resolves to exactly one winner.
+	if _, exists := s.reg.get(spec.Name); exists {
+		return fmt.Errorf("server: namespace %q: %w", spec.Name, ErrNamespaceExists)
+	}
+	eng, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	return s.reg.add(newNamespace(spec.Name, eng, spec.configFor(s.cfg)), maxTotal)
+}
+
+// DropNamespace removes name from the registry. In-flight requests against
+// it finish normally; subsequent requests 404. It reports whether the
+// namespace existed.
+func (s *Server) DropNamespace(name string) bool {
+	_, ok := s.reg.remove(name)
+	return ok
+}
+
+// NamespaceInfo returns the named tenant's summary, or false if it does
+// not exist.
+func (s *Server) NamespaceInfo(name string) (NamespaceInfo, bool) {
+	ns, ok := s.reg.get(name)
+	if !ok {
+		return NamespaceInfo{}, false
+	}
+	return ns.info(), true
+}
+
+// Namespaces returns the registered namespace names, sorted.
+func (s *Server) Namespaces() []string {
+	list := s.reg.list()
+	names := make([]string, len(list))
+	for i, ns := range list {
+		names[i] = ns.name
+	}
+	return names
+}

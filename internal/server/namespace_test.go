@@ -1,0 +1,420 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stwig/internal/graph"
+	"stwig/internal/rmat"
+	"stwig/internal/server"
+	"stwig/internal/server/client"
+)
+
+// TestTwoTenantIsolation is the multi-tenant acceptance test: tenant A is
+// saturated at its own admission limit (429s) while tenant B's queries and
+// updates complete untouched, and the two tenants' /ns/{name}/stats
+// counters stay fully independent.
+func TestTwoTenantIsolation(t *testing.T) {
+	svc, err := server.NewMulti(server.Config{UpdateLockWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant A gets the heavy single-label graph and a budget of 2; tenant
+	// B a small graph with the default budget.
+	aCfg := server.Config{MaxInFlight: 2, UpdateLockWait: 50 * time.Millisecond}
+	if err := svc.AddNamespace("a", heavyEngine(), &aCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddNamespace("b", newEngine(t, 9, 8, 4, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, svc)
+	root := client.New(ts.URL)
+	ca, cb := root.Namespace("a"), root.Namespace("b")
+	tr := &http.Transport{}
+	hc := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	// Saturate A: two admitted streams pinned mid-flight (their clients
+	// stop reading; the remaining output exceeds socket buffering).
+	for i := 0; i < 2; i++ {
+		cancel, typ := startStream(t, ts.URL+"/ns/a", hc)
+		defer cancel()
+		if typ != server.RecordMatch {
+			t.Fatalf("tenant A stream %d: first record %q, want a match", i, typ)
+		}
+	}
+	// A is now over budget…
+	_, err = ca.Query(context.Background(), server.QueryRequest{Pattern: heavyPattern}, nil)
+	if !client.IsOverloaded(err) {
+		t.Fatalf("tenant A beyond budget: err = %v, want 429", err)
+	}
+	// …and A's writer cannot get in behind its own streams…
+	_, err = ca.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "blocked"})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tenant A update behind streams: err = %v, want 503", err)
+	}
+	// …while B's queries and updates complete as if A did not exist.
+	stats, err := cb.Query(context.Background(), server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 5}, nil)
+	if err != nil || stats.Matches == 0 {
+		t.Fatalf("tenant B query during A's saturation: stats=%+v err=%v", stats, err)
+	}
+	if _, err := cb.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "fresh"}); err != nil {
+		t.Fatalf("tenant B update during A's saturation: %v", err)
+	}
+
+	// Counters are per-tenant: A saw 2 admissions and 1 rejection, B saw 1
+	// admission and none; B's node add never shows up under A.
+	sa, err := ca.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := cb.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Namespace != "a" || sb.Namespace != "b" {
+		t.Fatalf("stats namespaces = %q, %q", sa.Namespace, sb.Namespace)
+	}
+	if sa.Admission.MaxInFlight != 2 || sa.Admission.Admitted != 2 || sa.Admission.Rejected != 1 {
+		t.Fatalf("tenant A admission = %+v, want max 2, admitted 2, rejected 1", sa.Admission)
+	}
+	if sb.Admission.Rejected != 0 || sb.Admission.Admitted != 1 {
+		t.Fatalf("tenant B admission = %+v, want admitted 1, rejected 0", sb.Admission)
+	}
+	if sa.Updates.NodesAdded != 0 || sb.Updates.NodesAdded != 1 {
+		t.Fatalf("updates leaked across tenants: A=%+v B=%+v", sa.Updates, sb.Updates)
+	}
+	if sb.Engine.Queries != 1 || sb.Engine.MatchesEmitted == 0 {
+		t.Fatalf("tenant B engine counters = %+v, want 1 query with matches", sb.Engine)
+	}
+	// The two pinned streams have not returned yet, so A's per-endpoint
+	// ledger shows only the completed 429; B's shows its one clean query.
+	if sa.Endpoints["/query"].Requests != 1 || sa.Endpoints["/query"].Errors != 1 {
+		t.Fatalf("tenant A /query = %+v, want the lone 429", sa.Endpoints["/query"])
+	}
+	if sb.Endpoints["/query"].Requests != 1 || sb.Endpoints["/query"].Errors != 0 {
+		t.Fatalf("tenant B /query = %+v, want 1 clean request", sb.Endpoints["/query"])
+	}
+}
+
+// newHTTPServer wraps an already-built Server in an httptest listener.
+func newHTTPServer(t testing.TB, svc *server.Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestNamespaceAdminLifecycle drives the runtime admin API end to end:
+// create from an R-MAT spec, list, query the new tenant, duplicate and
+// invalid creations, drop, and 404 after the drop.
+func TestNamespaceAdminLifecycle(t *testing.T) {
+	eng := newEngine(t, 8, 8, 4, 2)
+	svc, _, c := newTestServer(t, eng, server.Config{})
+	ctx := context.Background()
+
+	info, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{
+		Name: "tenant2", Spec: "rmat:scale=8,degree=8,labels=4,seed=7,machines=2,inflight=3",
+	})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if info.Name != "tenant2" || info.Graph.Nodes == 0 || info.Limits.MaxInFlight != 3 {
+		t.Fatalf("created info = %+v, want a loaded tenant2 with inflight 3", info)
+	}
+
+	list, err := c.ListNamespaces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Name != "default" || list[1].Name != "tenant2" {
+		t.Fatalf("list = %+v, want [default tenant2]", list)
+	}
+
+	stats, err := c.Namespace("tenant2").Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 3}, nil)
+	if err != nil || stats.Matches == 0 {
+		t.Fatalf("query new tenant: stats=%+v err=%v", stats, err)
+	}
+
+	// Duplicates conflict; bad names and bad specs are rejected up front.
+	_, err = c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "tenant2", Spec: "rmat:scale=6"})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: err = %v, want 409", err)
+	}
+	for _, req := range []server.CreateNamespaceRequest{
+		{Name: "bad/name", Spec: "rmat:scale=6"},
+		{Name: "", Spec: "rmat:scale=6"},
+		{Name: "ok", Spec: "rmat:degree=8"},                   // missing scale
+		{Name: "ok", Spec: "carrier-pigeon:coo"},              // unknown kind
+		{Name: "ok", Spec: "rmat:scale=24"},                   // beyond the runtime scale cap
+		{Name: "ok", Spec: "rmat:scale=10,degree=64"},         // beyond the runtime degree cap
+		{Name: "ok", Spec: "rmat:scale=10,labels=100000"},     // beyond the runtime labels cap
+		{Name: "ok", Spec: "rmat:scale=10,machines=128"},      // beyond the runtime machines cap
+		{Name: "ok", Spec: "rmat:scale=10,inflight=1000000"},  // beyond the runtime admission cap
+		{Name: "ok", Spec: "rmat:scale=10,plancache=1000000"}, // beyond the runtime plan-cache cap
+		{Name: "ok", Spec: "file:/no/such/file.bin"},          // file sources disabled without a -ns-root
+	} {
+		_, err := c.CreateNamespace(ctx, req)
+		if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest {
+			t.Fatalf("create %+v: err = %v, want 400", req, err)
+		}
+	}
+
+	if err := c.DropNamespace(ctx, "tenant2"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	_, err = c.Namespace("tenant2").Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)"}, nil)
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusNotFound {
+		t.Fatalf("query dropped tenant: err = %v, want 404", err)
+	}
+	err = c.DropNamespace(ctx, "tenant2")
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusNotFound {
+		t.Fatalf("double drop: err = %v, want 404", err)
+	}
+
+	// Namespace mutations are refused during drain, like all other writes.
+	svc.BeginDrain()
+	_, err = c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "late", Spec: "rmat:scale=6"})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: err = %v, want 503", err)
+	}
+	err = c.DropNamespace(ctx, "default")
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drop while draining: err = %v, want 503", err)
+	}
+}
+
+// TestRuntimeFileSourceConfinement pins the admin API's filesystem
+// guardrail: with a namespace root configured, file: specs resolve only
+// inside it — paths outside are refused before any open(2), so a network
+// client cannot probe the daemon's filesystem — and a real graph file
+// inside the root materializes into a live tenant.
+func TestRuntimeFileSourceConfinement(t *testing.T) {
+	root := t.TempDir()
+	g := rmat.MustGenerate(rmat.Params{Scale: 7, AvgDegree: 4, NumLabels: 2, Seed: 3})
+	f, err := os.Create(filepath.Join(root, "g.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := newEngine(t, 8, 8, 4, 2)
+	svc, err := server.NewMulti(server.Config{NamespaceRoot: root, MaxMatches: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddNamespace(server.DefaultNamespace, eng, nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, svc)
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	for _, spec := range []string{
+		"file:/etc/hosts",                     // absolute path outside the root
+		"file:" + root + "/../escape.bin",     // dot-dot escape
+		"text:" + filepath.Dir(root) + "/x.t", // sibling of the root
+	} {
+		_, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "probe", Spec: spec})
+		se, ok := err.(*client.StatusError)
+		if !ok || se.StatusCode != http.StatusBadRequest || !strings.Contains(se.Message, "outside the namespace root") {
+			t.Fatalf("create %q: err = %v, want 400 naming the root confinement", spec, err)
+		}
+	}
+
+	// A typo'd filename inside the root is the client's mistake (400), not
+	// a server fault.
+	_, err = c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "typo", Spec: "file:" + filepath.Join(root, "nope.bin")})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing file inside root: err = %v, want 400", err)
+	}
+
+	// Runtime overrides may only tighten the operator's server-wide caps.
+	_, err = c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "loose", Spec: "rmat:scale=8,maxmatches=200"})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest || !strings.Contains(se.Message, "exceeds the server cap") {
+		t.Fatalf("loosening maxmatches: err = %v, want 400 naming the server cap", err)
+	}
+
+	info, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{
+		Name: "filetenant", Spec: "file:" + filepath.Join(root, "g.bin") + ",machines=2",
+	})
+	if err != nil {
+		t.Fatalf("create from file inside root: %v", err)
+	}
+	if info.Graph.Nodes != g.NumNodes() {
+		t.Fatalf("file tenant nodes = %d, want %d", info.Graph.Nodes, g.NumNodes())
+	}
+	if stats, err := c.Namespace("filetenant").Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 1}, nil); err != nil || stats.Matches == 0 {
+		t.Fatalf("query file tenant: stats=%+v err=%v", stats, err)
+	}
+}
+
+// TestRuntimeNamespaceCeiling fills the registry to the runtime cap and
+// requires the next create to be refused with 429 — per-create size caps
+// alone would still let a create loop exhaust memory.
+func TestRuntimeNamespaceCeiling(t *testing.T) {
+	eng := newEngine(t, 8, 8, 4, 2)
+	_, _, c := newTestServer(t, eng, server.Config{})
+	ctx := context.Background()
+
+	created := 0
+	var capErr error
+	for i := 0; i < 100; i++ { // cap is 64; 100 bounds a regression runaway
+		_, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{
+			Name: fmt.Sprintf("fill%d", i), Spec: "rmat:scale=4,degree=2,labels=2,machines=1",
+		})
+		if err != nil {
+			capErr = err
+			break
+		}
+		created++
+	}
+	se, ok := capErr.(*client.StatusError)
+	if !ok || se.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("after %d creates: err = %v, want 429 at the ceiling", created, capErr)
+	}
+	// default + created == the ceiling.
+	list, err := c.ListNamespaces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != created+1 || len(list) != 64 {
+		t.Fatalf("registry holds %d namespaces after hitting the cap (created %d), want 64", len(list), created)
+	}
+	// Dropping one frees a slot.
+	if err := c.DropNamespace(ctx, "fill0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{
+		Name: "afterdrop", Spec: "rmat:scale=4,degree=2,labels=2,machines=1",
+	}); err != nil {
+		t.Fatalf("create after drop: %v", err)
+	}
+}
+
+// TestLegacyRoutesAliasDefault pins the compatibility contract: the
+// unprefixed routes and /ns/default/... are one namespace — same counters,
+// same plan cache.
+func TestLegacyRoutesAliasDefault(t *testing.T) {
+	eng := newEngine(t, 8, 8, 4, 2)
+	_, _, c := newTestServer(t, eng, server.Config{})
+	ctx := context.Background()
+	req := server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 1}
+
+	if _, err := c.Query(ctx, req, nil); err != nil { // legacy route
+		t.Fatal(err)
+	}
+	stats, err := c.Namespace("default").Query(ctx, req, nil) // routed form
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.PlanCacheHit {
+		t.Fatal("routed query did not hit the plan cache warmed via the legacy route")
+	}
+	legacy, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := c.Namespace("default").Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Namespace != "default" || routed.Namespace != "default" {
+		t.Fatalf("namespaces = %q, %q, want default twice", legacy.Namespace, routed.Namespace)
+	}
+	if legacy.Admission.Admitted != 2 || routed.Admission.Admitted != 2 {
+		t.Fatalf("admitted = %d (legacy), %d (routed), want 2 on both", legacy.Admission.Admitted, routed.Admission.Admitted)
+	}
+}
+
+// TestConcurrentCreateDropUnderLiveQueries churns a tenant through
+// create → query → drop cycles while other goroutines hammer the default
+// namespace; every default query must succeed (no 404s, no stalls) and the
+// run must be race-clean.
+func TestConcurrentCreateDropUnderLiveQueries(t *testing.T) {
+	eng := newEngine(t, 8, 8, 4, 2)
+	_, _, c := newTestServer(t, eng, server.Config{MaxInFlight: 64})
+	ctx := context.Background()
+
+	const churners = 2 // both churn the SAME name, forcing create/create and create/drop collisions
+	const churns = 6
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, churners*churns+readers*16)
+
+	isStatus := func(err error, code int) bool {
+		se, ok := err.(*client.StatusError)
+		return ok && se.StatusCode == code
+	}
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < churns; i++ {
+				// The twin churner may have won the create (409), dropped
+				// the namespace mid-query (404), or beaten us to the drop
+				// (404) — all legal outcomes; anything else is a bug.
+				_, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{
+					Name: "churn", Spec: "rmat:scale=6,degree=4,labels=2,machines=2",
+				})
+				if err != nil && !isStatus(err, http.StatusConflict) {
+					errs <- fmt.Errorf("create churn: %w", err)
+					return
+				}
+				_, err = c.Namespace("churn").Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 1}, nil)
+				if err != nil && !isStatus(err, http.StatusNotFound) {
+					errs <- fmt.Errorf("query churn: %w", err)
+					return
+				}
+				if err := c.DropNamespace(ctx, "churn"); err != nil && !isStatus(err, http.StatusNotFound) {
+					errs <- fmt.Errorf("drop churn: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if _, err := c.Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 2}, nil); err != nil {
+					errs <- fmt.Errorf("default query: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the churn at most the twins' last create survives; clean it up
+	// and the registry holds exactly the default namespace.
+	if err := c.DropNamespace(ctx, "churn"); err != nil && !isStatus(err, http.StatusNotFound) {
+		t.Fatal(err)
+	}
+	list, err := c.ListNamespaces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "default" {
+		t.Fatalf("final namespaces = %+v, want [default]", list)
+	}
+}

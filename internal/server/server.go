@@ -5,10 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,21 +20,25 @@ import (
 // ndjsonContentType is the /query stream's media type.
 const ndjsonContentType = "application/x-ndjson"
 
-// Server is the query service over one shared Engine. It implements
-// http.Handler and is safe for concurrent use.
+// Server is the multi-tenant query service: a registry of named
+// namespaces, each a fully isolated Cluster+Engine pair with its own
+// admission gate, limits, writer lock, and counters. It implements
+// http.Handler and is safe for concurrent use, including namespace
+// creation and removal under live traffic.
+//
+// Tenant routes are /ns/{name}/query|explain|update|stats; the legacy
+// unprefixed routes alias the "default" namespace. Admin routes GET/POST
+// /ns and DELETE /ns/{name} list, create, and drop namespaces at runtime.
 type Server struct {
-	eng   *core.Engine
-	cfg   Config
-	adm   *admission
-	met   *metrics
+	cfg   Config // per-tenant defaults; each namespace may override limits
+	reg   *registry
+	met   *metrics // non-tenant routes: /healthz and the /ns admin API
 	mux   *http.ServeMux
 	start time.Time
-
-	// updMu enforces memcloud's single-writer / quiesced-reader update
-	// discipline at the service boundary: queries and explains hold the
-	// read side for their full execution, updates take the write side. A
-	// long stream therefore delays updates rather than racing them.
-	updMu sync.RWMutex
+	// buildSem bounds concurrent POST /ns builds: graph generation and
+	// loading are CPU- and memory-hungry, so unbounded concurrent creates
+	// are a denial-of-service on every live tenant. Excess creates get 429.
+	buildSem chan struct{}
 
 	draining atomic.Bool
 	// runCtx is canceled by Abort; every request context is joined to it
@@ -43,27 +47,52 @@ type Server struct {
 	abort  context.CancelFunc
 }
 
-// New builds a service over eng. The engine (and its cluster) must already
-// be loaded.
+// New builds a service serving eng as the "default" namespace — the
+// single-tenant constructor every existing caller uses. The engine (and
+// its cluster) must already be loaded.
 func New(eng *core.Engine, cfg Config) (*Server, error) {
+	s, err := NewMulti(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AddNamespace(DefaultNamespace, eng, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewMulti builds a service with an empty namespace registry; cfg supplies
+// the per-tenant limit defaults. Register tenants with AddNamespace /
+// AddNamespaceSpec (boot) or POST /ns (runtime).
+func NewMulti(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	runCtx, abort := context.WithCancel(context.Background())
 	s := &Server{
-		eng:    eng,
-		cfg:    cfg.normalize(),
-		met:    newMetrics(),
-		start:  time.Now(),
-		runCtx: runCtx,
-		abort:  abort,
+		cfg:      cfg.normalize(),
+		reg:      newRegistry(),
+		met:      newMetrics(),
+		start:    time.Now(),
+		buildSem: make(chan struct{}, 2),
+		runCtx:   runCtx,
+		abort:    abort,
 	}
-	s.adm = newAdmission(s.cfg.MaxInFlight)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
-	mux.HandleFunc("POST /explain", s.instrument("/explain", s.handleExplain))
-	mux.HandleFunc("POST /update", s.instrument("/update", s.handleUpdate))
-	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	// Legacy unprefixed routes alias the default namespace…
+	mux.HandleFunc("POST /query", s.nsRoute("/query", s.handleQuery))
+	mux.HandleFunc("POST /explain", s.nsRoute("/explain", s.handleExplain))
+	mux.HandleFunc("POST /update", s.nsRoute("/update", s.handleUpdate))
+	mux.HandleFunc("GET /stats", s.nsRoute("/stats", s.handleStats))
+	// …and the routed forms address any tenant.
+	mux.HandleFunc("POST /ns/{ns}/query", s.nsRoute("/query", s.handleQuery))
+	mux.HandleFunc("POST /ns/{ns}/explain", s.nsRoute("/explain", s.handleExplain))
+	mux.HandleFunc("POST /ns/{ns}/update", s.nsRoute("/update", s.handleUpdate))
+	mux.HandleFunc("GET /ns/{ns}/stats", s.nsRoute("/stats", s.handleStats))
+	// Admin: list, create, drop.
+	mux.HandleFunc("GET /ns", s.instrument("/ns", s.handleListNamespaces))
+	mux.HandleFunc("POST /ns", s.instrument("/ns", s.handleCreateNamespace))
+	mux.HandleFunc("DELETE /ns/{ns}", s.instrument("/ns", s.handleDropNamespace))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux = mux
 	return s, nil
@@ -81,8 +110,9 @@ func MustNew(eng *core.Engine, cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // BeginDrain moves the server into graceful shutdown: /healthz flips to 503
-// (so load balancers stop routing here) and new queries and updates are
-// refused, while in-flight streams keep running to completion. Idempotent.
+// (so load balancers stop routing here) and new queries, updates, and
+// namespace mutations are refused, while in-flight streams keep running to
+// completion. Idempotent.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain has been called.
@@ -93,13 +123,38 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // expires. Idempotent.
 func (s *Server) Abort() { s.abort() }
 
-// instrument wraps a handler with per-endpoint request counting and latency
+// instrument wraps a non-tenant handler with request counting and latency
 // observation; the handler reports whether the request ended in an error.
 func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		isErr := h(w, r)
 		s.met.record(route, time.Since(start), isErr)
+	}
+}
+
+// nsRoute resolves the request's namespace ({ns} path segment, or
+// "default" on the legacy unprefixed routes) and dispatches to h. Metrics
+// are recorded against the tenant's own counters under the logical
+// endpoint name, so /query and /ns/default/query share one series.
+func (s *Server) nsRoute(endpoint string, h func(*namespace, http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		name := r.PathValue("ns")
+		if name == "" {
+			name = DefaultNamespace
+		}
+		ns, ok := s.reg.get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown namespace %q", name))
+			// A dedicated key: these requests belong to no tenant, so they
+			// must not collide with (or hide behind) any namespace's own
+			// endpoint series in the default tenant's stats fold.
+			s.met.record("/ns/{unknown}", time.Since(start), true)
+			return
+		}
+		isErr := h(ns, w, r)
+		ns.met.record(endpoint, time.Since(start), isErr)
 	}
 }
 
@@ -114,11 +169,24 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
+// setRetryAfter attaches the Retry-After hint, rounded up to whole seconds.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int((d + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// rejectOverloaded sends the 429 admission refusal with a Retry-After hint.
+func (s *Server) rejectOverloaded(w http.ResponseWriter, ns *namespace) {
+	setRetryAfter(w, ns.cfg.RetryAfter)
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("overloaded: namespace %q has too many in-flight queries", ns.name))
+}
+
 // decodeQueryRequest parses and compiles the body of /query and /explain.
 // On failure it returns the HTTP status the caller should send.
-func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, *core.Query, int, error) {
+func (s *Server) decodeQueryRequest(ns *namespace, w http.ResponseWriter, r *http.Request) (QueryRequest, *core.Query, int, error) {
 	var req QueryRequest
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, ns.cfg.MaxRequestBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return req, nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
@@ -158,35 +226,33 @@ func (s *Server) requestContext(r *http.Request, lim core.Limits) (context.Conte
 	return ctx, func() { stopWatch(); cancel() }
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
 	}
-	if !s.adm.tryAcquire() {
-		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, "overloaded: too many in-flight queries")
+	if !ns.adm.tryAcquire() {
+		s.rejectOverloaded(w, ns)
 		return true
 	}
-	defer s.adm.release()
+	defer ns.adm.release()
 
-	req, q, status, err := s.decodeQueryRequest(w, r)
+	req, q, status, err := s.decodeQueryRequest(ns, w, r)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return true
 	}
-	timeout, maxMatches := s.cfg.effectiveLimits(req)
+	timeout, maxMatches := ns.cfg.effectiveLimits(req)
 	lim := core.Limits{Timeout: timeout, MaxMatches: maxMatches}
 	ctx, cancel := s.requestContext(r, lim)
 	defer cancel()
 
-	s.updMu.RLock()
-	defer s.updMu.RUnlock()
+	ns.updMu.RLock()
+	defer ns.updMu.RUnlock()
 
 	// The 200 header is deferred to the first record: execution errors
 	// that precede any output can still use a proper error status.
-	sw := newStreamWriter(w, s.cfg.MaxBytes)
+	sw := newStreamWriter(w, ns.cfg.MaxBytes)
 	headerDone := false
 	writeHeader := func() {
 		if !headerDone {
@@ -210,7 +276,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) bool {
 		return ok
 	})
 	start := time.Now()
-	stats, err := s.eng.MatchStream(ctx, q, emit)
+	stats, err := ns.eng.MatchStream(ctx, q, emit)
 	elapsed := time.Since(start)
 	if err != nil {
 		msg := err.Error()
@@ -255,7 +321,7 @@ func assignmentInt64(m core.Match) []int64 {
 	return out
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleExplain(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
@@ -264,21 +330,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) bool {
 	// read lock, so it goes through the same admission gate as /query —
 	// otherwise an explain loop evades the in-flight limit and starves
 	// updates unobserved.
-	if !s.adm.tryAcquire() {
-		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, "overloaded: too many in-flight queries")
+	if !ns.adm.tryAcquire() {
+		s.rejectOverloaded(w, ns)
 		return true
 	}
-	defer s.adm.release()
-	_, q, status, err := s.decodeQueryRequest(w, r)
+	defer ns.adm.release()
+	_, q, status, err := s.decodeQueryRequest(ns, w, r)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return true
 	}
-	s.updMu.RLock()
-	plan, hit, err := s.eng.ExplainCached(q)
-	s.updMu.RUnlock()
+	ns.updMu.RLock()
+	plan, hit, err := ns.eng.ExplainCached(q)
+	ns.updMu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return true
@@ -287,26 +351,25 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleUpdate(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
 	}
 	var req UpdateRequest
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, ns.cfg.MaxRequestBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return true
 	}
-	cluster := s.eng.Cluster()
+	cluster := ns.eng.Cluster()
 	var resp UpdateResponse
-	if !s.acquireUpdateLock() {
-		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	if !ns.acquireUpdateLock() {
+		setRetryAfter(w, ns.cfg.RetryAfter)
 		writeError(w, http.StatusServiceUnavailable, "update busy: in-flight queries hold the graph; retry")
 		return true
 	}
-	defer s.updMu.Unlock()
+	defer ns.updMu.Unlock()
 	switch req.Op {
 	case OpAddNode:
 		if req.Label == "" {
@@ -339,29 +402,20 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// acquireUpdateLock polls for the writer side of updMu without ever
-// parking in Lock(): sync.RWMutex blocks every new reader behind a waiting
-// writer, so one update parked behind a long stream would stall all new
-// queries while they hold admission slots — a fleet-wide 429 cascade from
-// a single mutation. Bounded polling trades writer fairness for read
-// availability; an update that cannot get in within the window surfaces as
-// 503 + Retry-After instead (see ROADMAP's update-backpressure follow-on).
-func (s *Server) acquireUpdateLock() bool {
-	deadline := time.Now().Add(s.cfg.UpdateLockWait)
-	for {
-		if s.updMu.TryLock() {
-			return true
+func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
+	snap := ns.eng.Snapshot()
+	endpoints := ns.met.snapshot()
+	if ns.name == DefaultNamespace {
+		// The default tenant's stats double as the server's legacy /stats
+		// surface, so fold in the non-tenant routes (healthz, admin).
+		for route, st := range s.met.snapshot() {
+			if _, taken := endpoints[route]; !taken {
+				endpoints[route] = st
+			}
 		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(2 * time.Millisecond)
 	}
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
-	snap := s.eng.Snapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Namespace:     ns.name,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
 		Graph: GraphInfo{
@@ -369,6 +423,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
 			Machines:    snap.Machines,
 			Epoch:       snap.Epoch,
 			MemoryBytes: snap.MemoryBytes,
+		},
+		Engine: EngineInfo{
+			Queries:        snap.Queries,
+			MatchesEmitted: snap.MatchesEmitted,
 		},
 		PlanCache: PlanCacheInfo{
 			Hits:      snap.PlanCache.Hits,
@@ -384,9 +442,95 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
 			EdgesRemoved: snap.Updates.EdgesRemoved,
 			GarbageWords: snap.Updates.GarbageWords,
 		},
-		Admission: s.adm.stats(),
-		Endpoints: s.met.snapshot(),
+		Admission: ns.adm.stats(),
+		Endpoints: endpoints,
 	})
+	return false
+}
+
+func (s *Server) handleListNamespaces(w http.ResponseWriter, r *http.Request) bool {
+	list := s.reg.list()
+	resp := NamespaceListResponse{Namespaces: make([]NamespaceInfo, len(list))}
+	for i, ns := range list {
+		resp.Namespaces[i] = ns.info()
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return false
+}
+
+func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return true
+	}
+	var req CreateNamespaceRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	spec, err := ParseNamespaceSpec(req.Name, req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return true
+	}
+	if err := s.checkRuntimeSpec(spec); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrNamespaceCapacity) {
+			status = http.StatusTooManyRequests
+			setRetryAfter(w, s.cfg.RetryAfter)
+		}
+		writeError(w, status, err.Error())
+		return true
+	}
+	select {
+	case s.buildSem <- struct{}{}:
+		defer func() { <-s.buildSem }()
+	default:
+		setRetryAfter(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusTooManyRequests, "overloaded: too many namespace builds in progress")
+		return true
+	}
+	if err := s.addNamespaceSpec(spec, maxRuntimeNamespaces); err != nil {
+		// Past parsing and the runtime guardrails, rmat failures can only
+		// be client-chosen parameters (400). A missing file is a client
+		// typo inside the root (400); any other file/text failure is
+		// server-side filesystem state under the operator's root (500).
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrNamespaceExists):
+			status = http.StatusConflict
+		case errors.Is(err, ErrNamespaceCapacity):
+			status = http.StatusTooManyRequests
+			setRetryAfter(w, s.cfg.RetryAfter)
+		case spec.Source != "rmat" && !errors.Is(err, fs.ErrNotExist):
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err.Error())
+		return true
+	}
+	ns, _ := s.reg.get(spec.Name)
+	if ns == nil {
+		// Created then immediately dropped by a concurrent DELETE; report
+		// the create anyway.
+		writeJSON(w, http.StatusCreated, NamespaceInfo{Name: spec.Name})
+		return false
+	}
+	writeJSON(w, http.StatusCreated, ns.info())
+	return false
+}
+
+func (s *Server) handleDropNamespace(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return true
+	}
+	name := r.PathValue("ns")
+	if !s.DropNamespace(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown namespace %q", name))
+		return true
+	}
+	writeJSON(w, http.StatusOK, DropNamespaceResponse{Dropped: name})
 	return false
 }
 

@@ -91,13 +91,13 @@ func TestQueryBadRequests(t *testing.T) {
 	_, ts, c := newTestServer(t, eng, server.Config{})
 
 	cases := []server.QueryRequest{
-		{},                                 // neither form
-		{Pattern: "(a:L0)", Query: "v 0"},  // both forms
-		{Pattern: "(a:L0"},                 // syntax error
-		{Pattern: "(a:L0)-(b:L1"},          // syntax error
-		{Query: "v 0 L0\nv 1 L1\n"},        // no edges
-		{Query: "v 0 L0\ne 0 5\n"},         // out-of-range edge
-		{Pattern: "(a:L0)-(a)"},            // self loop
+		{},                                         // neither form
+		{Pattern: "(a:L0)", Query: "v 0"},          // both forms
+		{Pattern: "(a:L0"},                         // syntax error
+		{Pattern: "(a:L0)-(b:L1"},                  // syntax error
+		{Query: "v 0 L0\nv 1 L1\n"},                // no edges
+		{Query: "v 0 L0\ne 0 5\n"},                 // out-of-range edge
+		{Pattern: "(a:L0)-(a)"},                    // self loop
 		{Query: "v 0 L0\nv 1 L1\nv 2 L2\ne 0 1\n"}, // disconnected
 	}
 	for i, req := range cases {

@@ -106,13 +106,20 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// StatsResponse is the body of GET /stats.
+// StatsResponse is the body of GET /stats and GET /ns/{name}/stats. All
+// graph, engine, plan-cache, net, update, admission, and endpoint counters
+// are scoped to the one namespace named by Namespace; only UptimeSeconds
+// and Draining are process-wide.
 type StatsResponse struct {
+	// Namespace is the tenant these counters belong to ("default" on the
+	// legacy unprefixed route).
+	Namespace     string  `json:"namespace"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Draining reports the server has begun graceful shutdown.
 	Draining bool `json:"draining,omitempty"`
 
 	Graph     GraphInfo      `json:"graph"`
+	Engine    EngineInfo     `json:"engine"`
 	PlanCache PlanCacheInfo  `json:"plan_cache"`
 	Net       NetInfo        `json:"net"`
 	Updates   UpdateInfo     `json:"updates"`
@@ -128,6 +135,16 @@ type GraphInfo struct {
 	Machines    int    `json:"machines"`
 	Epoch       uint64 `json:"epoch"`
 	MemoryBytes int64  `json:"memory_bytes"`
+}
+
+// EngineInfo is the namespace engine's cumulative workload accounting.
+type EngineInfo struct {
+	// Queries counts query executions (successful or not) this tenant's
+	// engine has run.
+	Queries uint64 `json:"queries"`
+	// MatchesEmitted counts matches the engine delivered across all of
+	// those queries.
+	MatchesEmitted uint64 `json:"matches_emitted"`
 }
 
 // PlanCacheInfo mirrors core.PlanCacheStats.
@@ -162,6 +179,40 @@ type AdmissionStats struct {
 	// Admitted and Rejected count tryAcquire outcomes since start.
 	Admitted uint64 `json:"admitted"`
 	Rejected uint64 `json:"rejected"`
+}
+
+// CreateNamespaceRequest is the body of POST /ns. Spec uses the grammar
+// documented on NamespaceSpec, e.g. "rmat:scale=12,degree=8,labels=8" or
+// "file:/data/g.bin,inflight=4".
+type CreateNamespaceRequest struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+}
+
+// NamespaceLimits is the per-tenant slice of the server configuration.
+type NamespaceLimits struct {
+	MaxInFlight int   `json:"max_in_flight"`
+	MaxMatches  int   `json:"max_matches,omitempty"`
+	MaxBytes    int64 `json:"max_bytes,omitempty"`
+}
+
+// NamespaceInfo is one tenant's summary, returned by GET /ns and POST /ns.
+type NamespaceInfo struct {
+	Name       string          `json:"name"`
+	AgeSeconds float64         `json:"age_seconds"`
+	Graph      GraphInfo       `json:"graph"`
+	Admission  AdmissionStats  `json:"admission"`
+	Limits     NamespaceLimits `json:"limits"`
+}
+
+// NamespaceListResponse is the body of GET /ns, sorted by name.
+type NamespaceListResponse struct {
+	Namespaces []NamespaceInfo `json:"namespaces"`
+}
+
+// DropNamespaceResponse is the body of a successful DELETE /ns/{name}.
+type DropNamespaceResponse struct {
+	Dropped string `json:"dropped"`
 }
 
 // EndpointStats is one endpoint's request accounting.
