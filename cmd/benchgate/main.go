@@ -1,8 +1,8 @@
 // Command benchgate turns `go test -bench` output into a JSON artifact and
-// enforces a benchmark-regression budget against a committed baseline. It
-// is the CI companion to benchstat: benchstat renders the human-readable
-// comparison, benchgate exits non-zero when a guarded benchmark's median
-// ns/op regresses beyond the threshold.
+// enforces a benchmark-regression budget against a baseline. It is the CI
+// companion to benchstat: benchstat renders the human-readable comparison,
+// benchgate exits non-zero when a guarded benchmark's median regresses
+// beyond the threshold.
 //
 // Convert a run to JSON:
 //
@@ -12,7 +12,20 @@
 // whose name contains the -bench substring fails):
 //
 //	benchgate -baseline bench/baseline.txt -new bench.txt \
-//	    -bench BenchmarkRepeatedQueryPlanCache -threshold 15
+//	    -bench BenchmarkRepeatedQueryPlanCache -threshold 15 -metrics allocs,bytes
+//
+// -metrics picks which measurements the gate enforces: ns (ns/op), allocs
+// (allocs/op), bytes (B/op), comma-separated. ns/op only compares
+// meaningfully between runs on the same machine — CI runner hardware
+// varies, so an absolute-time gate against a committed baseline flakes on
+// slow runners and masks regressions on fast ones. The intended split is
+// allocs,bytes (hardware-independent) against a committed baseline, and ns
+// only when baseline and candidate ran back-to-back on one runner. When ns
+// is not gated its delta is still printed as an informational note.
+//
+// A baseline median that cannot be real — ns/op ≤ 0, or a negative count —
+// fails the gate as corrupt rather than silently passing through a NaN
+// comparison.
 //
 // New benchmarks not yet in the baseline are reported and skipped, so
 // adding benchmarks never breaks the gate; refresh the baseline to start
@@ -145,17 +158,55 @@ func summarize(runs map[string][]sample) []benchResult {
 	return out
 }
 
-// gate compares guarded benchmarks (name contains match) between baseline
-// and current, returning messages for regressions beyond thresholdPct.
-func gate(baseline, current map[string][]sample, match string, thresholdPct float64) (failures, notes []string) {
-	base := make(map[string]float64)
-	for name, ss := range baseline {
-		ns := make([]float64, len(ss))
-		for i, s := range ss {
-			ns[i] = s.NsPerOp
+// gateMetric is one measurement the gate can enforce.
+type gateMetric struct {
+	name string // flag spelling: ns, allocs, bytes
+	unit string // go test unit suffix, for messages
+	get  func(sample) float64
+}
+
+var gateMetrics = []gateMetric{
+	{"ns", "ns/op", func(s sample) float64 { return s.NsPerOp }},
+	{"allocs", "allocs/op", func(s sample) float64 { return s.AllocsPerOp }},
+	{"bytes", "B/op", func(s sample) float64 { return s.BPerOp }},
+}
+
+// parseMetrics resolves a comma-separated -metrics value.
+func parseMetrics(spec string) ([]gateMetric, error) {
+	var out []gateMetric
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, m := range gateMetrics {
+			if m.name == name {
+				out = append(out, m)
+				found = true
+				break
+			}
 		}
-		base[name] = median(ns)
+		if !found {
+			return nil, fmt.Errorf("unknown metric %q (want ns, allocs, or bytes)", name)
+		}
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -metrics")
+	}
+	return out, nil
+}
+
+func medianOf(ss []sample, get func(sample) float64) float64 {
+	xs := make([]float64, len(ss))
+	for i, s := range ss {
+		xs[i] = get(s)
+	}
+	return median(xs)
+}
+
+// gate compares guarded benchmarks (name contains match) between baseline
+// and current on each requested metric, returning messages for regressions
+// beyond thresholdPct. ns/op is reported informationally even when not
+// among the gated metrics.
+func gate(baseline, current map[string][]sample, match string, thresholdPct float64, metrics []gateMetric) (failures, notes []string) {
 	guarded := 0
 	currentNames := make(map[string]bool, len(current))
 	for name := range current {
@@ -165,32 +216,65 @@ func gate(baseline, current map[string][]sample, match string, thresholdPct floa
 	// current run (renamed, deleted, crashed mid-suite) must fail loudly:
 	// silently skipping it would let the exact regression the gate guards
 	// slip through unmeasured.
-	for name := range base {
+	for name := range baseline {
 		if strings.Contains(name, match) && !currentNames[name] {
 			failures = append(failures, fmt.Sprintf(
 				"FAIL %s: in baseline but missing from the current run (renamed/removed? refresh bench/baseline.txt)", name))
 		}
 	}
+	nsGated := false
+	for _, m := range metrics {
+		nsGated = nsGated || m.name == "ns"
+	}
 	for _, res := range summarize(current) {
 		if !strings.Contains(res.Name, match) {
 			continue
 		}
-		baseNs, ok := base[res.Name]
+		base, ok := baseline[res.Name]
 		if !ok {
 			notes = append(notes, fmt.Sprintf("SKIP %s: not in baseline (refresh bench/baseline.txt to guard it)", res.Name))
 			continue
 		}
 		guarded++
-		delta := 100 * (res.NsPerOp - baseNs) / baseNs
-		verdict := "ok"
-		if delta > thresholdPct {
-			verdict = "FAIL"
-			failures = append(failures, fmt.Sprintf(
-				"FAIL %s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, budget +%.0f%%)",
-				res.Name, res.NsPerOp, baseNs, delta, thresholdPct))
+		cur := current[res.Name]
+		for _, m := range metrics {
+			baseV, curV := medianOf(base, m.get), medianOf(cur, m.get)
+			switch {
+			case baseV < 0 || (m.name == "ns" && baseV == 0):
+				// A benchmark cannot take 0 ns/op: such a baseline can only
+				// be corrupt or hand-mangled, and dividing by it would make
+				// the comparison NaN — which never exceeds the threshold, so
+				// the corruption would silently pass the gate.
+				failures = append(failures, fmt.Sprintf(
+					"FAIL %s: corrupt baseline median %g %s (refresh bench/baseline.txt)", res.Name, baseV, m.unit))
+				continue
+			case baseV == 0 && curV == 0:
+				// Alloc-free stayed alloc-free; nothing to divide, nothing
+				// to flag.
+				notes = append(notes, fmt.Sprintf("ok   %s: 0 → 0 %s", res.Name, m.unit))
+				continue
+			case baseV == 0:
+				failures = append(failures, fmt.Sprintf(
+					"FAIL %s: %g %s vs baseline 0 (regressed from none)", res.Name, curV, m.unit))
+				continue
+			}
+			delta := 100 * (curV - baseV) / baseV
+			verdict := "ok"
+			if delta > thresholdPct {
+				verdict = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"FAIL %s: %.0f %s vs baseline %.0f %s (%+.1f%%, budget +%.0f%%)",
+					res.Name, curV, m.unit, baseV, m.unit, delta, thresholdPct))
+			}
+			notes = append(notes, fmt.Sprintf("%-4s %s: %.0f → %.0f %s (%+.1f%%)",
+				verdict, res.Name, baseV, curV, m.unit, delta))
 		}
-		notes = append(notes, fmt.Sprintf("%-4s %s: %.0f → %.0f ns/op (%+.1f%%)",
-			verdict, res.Name, baseNs, res.NsPerOp, delta))
+		if !nsGated {
+			if baseNs := medianOf(base, func(s sample) float64 { return s.NsPerOp }); baseNs > 0 {
+				notes = append(notes, fmt.Sprintf("info %s: %.0f → %.0f ns/op (%+.1f%%, informational — not comparable across machines)",
+					res.Name, baseNs, res.NsPerOp, 100*(res.NsPerOp-baseNs)/baseNs))
+			}
+		}
 	}
 	if guarded == 0 {
 		failures = append(failures, fmt.Sprintf("FAIL no benchmark matching %q found in both runs — the gate guarded nothing", match))
@@ -214,7 +298,8 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline bench output (gate mode)")
 		current   = flag.String("new", "", "current bench output (gate mode)")
 		benchName = flag.String("bench", "", "substring of benchmark names the gate guards")
-		threshold = flag.Float64("threshold", 15, "maximum allowed median ns/op regression, percent")
+		threshold = flag.Float64("threshold", 15, "maximum allowed median regression, percent")
+		metrics   = flag.String("metrics", "ns", "comma-separated metrics the gate enforces: ns, allocs, bytes (ns only compares within one machine)")
 	)
 	flag.Parse()
 
@@ -239,7 +324,12 @@ func main() {
 		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(runs), *jsonOut)
 
 	case *baseline != "" && *current != "" && *benchName != "":
-		failures, notes := gate(parseBench(readFile(*baseline)), parseBench(readFile(*current)), *benchName, *threshold)
+		ms, err := parseMetrics(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		failures, notes := gate(parseBench(readFile(*baseline)), parseBench(readFile(*current)), *benchName, *threshold, ms)
 		for _, n := range notes {
 			fmt.Println("benchgate:", n)
 		}

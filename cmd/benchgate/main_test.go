@@ -48,6 +48,16 @@ func TestSummarizeMedian(t *testing.T) {
 	}
 }
 
+// metricsFor resolves -metrics specs in tests, failing fast on typos.
+func metricsFor(t *testing.T, spec string) []gateMetric {
+	t.Helper()
+	ms, err := parseMetrics(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
 func TestGate(t *testing.T) {
 	baseline := parseBench(benchFixture)
 	// 10% slower hot path (median 110000 vs 100000): inside a 15% budget,
@@ -60,18 +70,19 @@ BenchmarkRepeatedQueryPlanCache/hot-8	    1000	     99000 ns/op	   512 B/op	    
 BenchmarkPatternParse-8	 2000000	       600 ns/op
 `)
 
-	failures, _ := gate(baseline, current, "BenchmarkRepeatedQueryPlanCache", 15)
+	ns := metricsFor(t, "ns")
+	failures, _ := gate(baseline, current, "BenchmarkRepeatedQueryPlanCache", 15, ns)
 	if len(failures) != 0 {
 		t.Fatalf("10%% regression failed a 15%% budget: %v", failures)
 	}
-	failures, _ = gate(baseline, current, "BenchmarkRepeatedQueryPlanCache", 5)
+	failures, _ = gate(baseline, current, "BenchmarkRepeatedQueryPlanCache", 5, ns)
 	if len(failures) == 0 {
 		t.Fatal("10% regression passed a 5% budget")
 	}
 
 	// A guarded name missing from both runs must fail loudly, not pass
 	// vacuously.
-	failures, _ = gate(baseline, current, "BenchmarkNoSuch", 15)
+	failures, _ = gate(baseline, current, "BenchmarkNoSuch", 15, ns)
 	if len(failures) == 0 {
 		t.Fatal("gate guarding nothing reported success")
 	}
@@ -80,7 +91,7 @@ BenchmarkPatternParse-8	 2000000	       600 ns/op
 	// crash) must fail, not silently narrow the guard.
 	gone := parseBench(benchFixture)
 	delete(gone, "BenchmarkRepeatedQueryPlanCache/hot")
-	failures, _ = gate(baseline, gone, "BenchmarkRepeatedQueryPlanCache", 15)
+	failures, _ = gate(baseline, gone, "BenchmarkRepeatedQueryPlanCache", 15, ns)
 	foundGone := false
 	for _, f := range failures {
 		if strings.Contains(f, "hot") && strings.Contains(f, "missing from the current run") {
@@ -93,7 +104,7 @@ BenchmarkPatternParse-8	 2000000	       600 ns/op
 
 	// Present in current but not baseline → skip note, no failure.
 	delete(baseline, "BenchmarkPatternParse")
-	failures, notes := gate(baseline, current, "Benchmark", 15)
+	failures, notes := gate(baseline, current, "Benchmark", 15, ns)
 	if len(failures) != 0 {
 		t.Fatalf("new benchmark without baseline failed the gate: %v", failures)
 	}
@@ -105,5 +116,88 @@ BenchmarkPatternParse-8	 2000000	       600 ns/op
 	}
 	if !foundSkip {
 		t.Fatalf("missing-baseline skip not reported: %v", notes)
+	}
+}
+
+// TestGateAllocMetrics pins the allocs/bytes gate CI relies on:
+// allocation regressions fail regardless of how fast the runner is, while
+// ns/op differences become informational notes instead of verdicts.
+func TestGateAllocMetrics(t *testing.T) {
+	baseline := parseBench(benchFixture)
+	// 3× slower (different machine) but identical allocations: the
+	// hardware-independent gate must pass and only mention ns as info.
+	slowSameAllocs := parseBench(`
+BenchmarkRepeatedQueryPlanCache/cold-8	     100	   1500000 ns/op	  2048 B/op	      30 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	    300000 ns/op	   512 B/op	       8 allocs/op
+`)
+	allocs := metricsFor(t, "allocs,bytes")
+	failures, notes := gate(baseline, slowSameAllocs, "BenchmarkRepeatedQueryPlanCache", 15, allocs)
+	if len(failures) != 0 {
+		t.Fatalf("slower runner with identical allocs failed the alloc gate: %v", failures)
+	}
+	foundInfo := false
+	for _, n := range notes {
+		if strings.Contains(n, "info ") && strings.Contains(n, "ns/op") {
+			foundInfo = true
+		}
+	}
+	if !foundInfo {
+		t.Fatalf("ungated ns/op delta not reported informationally: %v", notes)
+	}
+	// More allocations on the same graph is a real regression whatever the
+	// clock says.
+	moreAllocs := parseBench(`
+BenchmarkRepeatedQueryPlanCache/cold-8	     100	    400000 ns/op	  2048 B/op	      40 allocs/op
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	     90000 ns/op	   512 B/op	       8 allocs/op
+`)
+	failures, _ = gate(baseline, moreAllocs, "BenchmarkRepeatedQueryPlanCache", 15, allocs)
+	if len(failures) == 0 {
+		t.Fatal("33% allocs/op regression passed the alloc gate")
+	}
+}
+
+// TestGateCorruptBaseline pins the divide-by-zero guard: a baseline median
+// that cannot be real (0 ns/op) must fail the gate as corrupt instead of
+// producing a NaN delta that silently passes.
+func TestGateCorruptBaseline(t *testing.T) {
+	corrupt := parseBench(`
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	     0 ns/op	   512 B/op	       8 allocs/op
+`)
+	current := parseBench(`
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	    100000 ns/op	   512 B/op	       8 allocs/op
+`)
+	failures, _ := gate(corrupt, current, "BenchmarkRepeatedQueryPlanCache", 15, metricsFor(t, "ns"))
+	found := false
+	for _, f := range failures {
+		if strings.Contains(f, "corrupt baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("0 ns/op baseline did not fail as corrupt: %v", failures)
+	}
+	// For count metrics zero is legitimate — alloc-free staying alloc-free
+	// passes, gaining allocations over a zero baseline fails.
+	zeroAllocs := parseBench(`
+BenchmarkRepeatedQueryPlanCache/hot-8	    1000	    100000 ns/op	   0 B/op	       0 allocs/op
+`)
+	allocs := metricsFor(t, "allocs,bytes")
+	if failures, _ := gate(zeroAllocs, zeroAllocs, "BenchmarkRepeatedQueryPlanCache", 15, allocs); len(failures) != 0 {
+		t.Fatalf("alloc-free → alloc-free failed: %v", failures)
+	}
+	if failures, _ := gate(zeroAllocs, current, "BenchmarkRepeatedQueryPlanCache", 15, allocs); len(failures) == 0 {
+		t.Fatal("regression from zero allocations passed")
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	ms, err := parseMetrics("allocs, bytes")
+	if err != nil || len(ms) != 2 || ms[0].name != "allocs" || ms[1].name != "bytes" {
+		t.Fatalf("parseMetrics = %v, %v", ms, err)
+	}
+	for _, bad := range []string{"", "latency", "ns,"} {
+		if _, err := parseMetrics(bad); err == nil {
+			t.Errorf("parseMetrics(%q) accepted garbage", bad)
+		}
 	}
 }

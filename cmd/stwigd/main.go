@@ -23,6 +23,10 @@
 //	DELETE /ns/{name}                                           → drop tenant
 //	GET  /healthz                                               → liveness
 //
+// POST /ns and DELETE /ns/{name} require the -admin-token (or
+// STWIGD_ADMIN_TOKEN) bearer token and are disabled when none is set —
+// the admin surface shares the listener with untrusted tenant traffic.
+//
 // The unprefixed /query, /explain, /update, and /stats routes alias the
 // "default" namespace. Server limits may also come from STWIGD_* env vars
 // (see server.Config.FromEnv); explicit flags win over the environment.
@@ -83,6 +87,7 @@ func main() {
 		maxBytes    = flag.Int64("max-bytes", envCfg.MaxBytes, "per-response byte cap (0 = unlimited)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight streams")
 		nsRoot      = flag.String("ns-root", envCfg.NamespaceRoot, "directory POST /ns may load file:/text: graphs from (empty disables runtime file sources)")
+		adminToken  = flag.String("admin-token", envCfg.AdminToken, "bearer token required by POST /ns and DELETE /ns/{name} (empty disables namespace mutation over HTTP)")
 	)
 	var namespaces nsFlags
 	flag.Var(&namespaces, "ns", "additional namespace as name=spec, e.g. 'tenantA=rmat:scale=12,labels=8,inflight=4' or 'b=file:/data/g.bin' (repeatable)")
@@ -105,6 +110,7 @@ func main() {
 			RetryAfter:      envCfg.RetryAfter,
 			UpdateLockWait:  envCfg.UpdateLockWait,
 			NamespaceRoot:   *nsRoot,
+			AdminToken:      *adminToken,
 		},
 		drain: *drain,
 	}); err != nil {

@@ -25,8 +25,9 @@ var ErrStopped = errors.New("stwigd: stream stopped by caller")
 
 // Client talks to one stwigd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	adminToken string
 }
 
 // New builds a client for the given base address. "host:port" is promoted
@@ -44,18 +45,31 @@ func New(base string) *Client {
 // transports).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
 
+// SetAdminToken sets the bearer token CreateNamespace and DropNamespace
+// send; the server refuses namespace mutation without it (see
+// server.Config.AdminToken). The token is attached only to those admin
+// calls, never to tenant traffic.
+func (c *Client) SetAdminToken(token string) { c.adminToken = token }
+
+// authorize attaches the admin bearer token, if one is set.
+func (c *Client) authorize(req *http.Request) {
+	if c.adminToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.adminToken)
+	}
+}
+
 // Namespace returns a client scoped to one tenant: Query, Explain, Update,
 // and Stats address /ns/{name}/... instead of the default namespace's
 // legacy routes. The scoped client shares the parent's HTTP client.
 // Healthz and the namespace admin calls remain on the root client.
 func (c *Client) Namespace(name string) *Client {
-	return &Client{base: c.base + "/ns/" + url.PathEscape(name), hc: c.hc}
+	return &Client{base: c.base + "/ns/" + url.PathEscape(name), hc: c.hc, adminToken: c.adminToken}
 }
 
 // CreateNamespace asks the server to materialize a new tenant from spec
 // (see server.NamespaceSpec for the grammar) and returns its summary.
 func (c *Client) CreateNamespace(ctx context.Context, req server.CreateNamespaceRequest) (*server.NamespaceInfo, error) {
-	resp, err := c.postJSON(ctx, "/ns", req)
+	resp, err := c.postJSON(ctx, "/ns", req, c.authorize)
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +91,7 @@ func (c *Client) DropNamespace(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -123,7 +138,9 @@ func IsOverloaded(err error) bool {
 	return ok && se.StatusCode == http.StatusTooManyRequests
 }
 
-func (c *Client) postJSON(ctx context.Context, path string, body any) (*http.Response, error) {
+// postJSON sends body as a JSON POST; mutators (e.g. authorize) adjust the
+// request before it is issued.
+func (c *Client) postJSON(ctx context.Context, path string, body any, mutate ...func(*http.Request)) (*http.Response, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
@@ -133,6 +150,9 @@ func (c *Client) postJSON(ctx context.Context, path string, body any) (*http.Res
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for _, m := range mutate {
+		m(req)
+	}
 	return c.hc.Do(req)
 }
 

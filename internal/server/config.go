@@ -15,8 +15,8 @@
 //	POST /ns/{name}/update   add_node / add_edge / remove_edge against the live graph
 //	GET  /ns/{name}/stats    per-tenant plan cache, admission, net, update, latency
 //	GET  /ns                 list namespaces
-//	POST /ns                 create a namespace from a spec (file or R-MAT)
-//	DELETE /ns/{name}        drop a namespace (in-flight requests finish)
+//	POST /ns                 create a namespace from a spec (file or R-MAT); needs AdminToken
+//	DELETE /ns/{name}        drop a namespace (in-flight requests finish); needs AdminToken
 //	GET  /healthz            liveness (503 while draining)
 //
 // The legacy unprefixed routes /query, /explain, /update, and /stats alias
@@ -68,6 +68,14 @@ type Config struct {
 	// a network client must never choose arbitrary server-side paths.
 	// Boot-time -ns flags are operator-controlled and unaffected.
 	NamespaceRoot string
+	// AdminToken, when non-empty, is the bearer token POST /ns and
+	// DELETE /ns/{name} require (Authorization: Bearer <token>). Empty
+	// (the default) disables namespace mutation over HTTP entirely, the
+	// same opt-in posture as NamespaceRoot: creating and destroying
+	// tenants is operator business, and the admin surface shares the
+	// listener with untrusted tenant traffic. GET /ns and the tenant
+	// routes are unaffected.
+	AdminToken string
 }
 
 func (cfg Config) normalize() Config {
@@ -125,6 +133,7 @@ func (cfg Config) Validate() error {
 //	STWIGD_RETRY_AFTER        duration  Retry-After hint on 429/503
 //	STWIGD_UPDATE_LOCK_WAIT   duration  writer-lock poll window
 //	STWIGD_NS_ROOT            path      root for admin-API file:/text: sources
+//	STWIGD_ADMIN_TOKEN        string    bearer token for POST/DELETE /ns (unset disables them)
 func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	if lookup == nil {
 		lookup = os.LookupEnv
@@ -170,6 +179,9 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	envDur("STWIGD_UPDATE_LOCK_WAIT", &cfg.UpdateLockWait)
 	if v, ok := lookup("STWIGD_NS_ROOT"); ok {
 		cfg.NamespaceRoot = v
+	}
+	if v, ok := lookup("STWIGD_ADMIN_TOKEN"); ok {
+		cfg.AdminToken = v
 	}
 	if err != nil {
 		return cfg, err

@@ -25,6 +25,8 @@ func TestConfigFromEnv(t *testing.T) {
 		"STWIGD_MAX_REQUEST_BYTES": "2097152",
 		"STWIGD_RETRY_AFTER":       "2s",
 		"STWIGD_UPDATE_LOCK_WAIT":  "250ms",
+		"STWIGD_NS_ROOT":           "/srv/graphs",
+		"STWIGD_ADMIN_TOKEN":       "hunter2",
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +40,8 @@ func TestConfigFromEnv(t *testing.T) {
 		MaxRequestBytes: 2 << 20,
 		RetryAfter:      2 * time.Second,
 		UpdateLockWait:  250 * time.Millisecond,
+		NamespaceRoot:   "/srv/graphs",
+		AdminToken:      "hunter2",
 	}
 	if cfg != want {
 		t.Fatalf("FromEnv = %+v, want %+v", cfg, want)

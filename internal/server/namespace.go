@@ -239,62 +239,96 @@ var ErrNamespaceCapacity = errors.New("namespace capacity reached")
 // size, bounded cluster size, and file/text sources confined to the
 // operator-configured NamespaceRoot (disabled entirely when no root is
 // set), so a network client can neither exhaust memory nor probe the
-// daemon's filesystem.
-func (s *Server) checkRuntimeSpec(spec NamespaceSpec) error {
+// daemon's filesystem. The returned spec is what Build must materialize:
+// for file/text sources its Path is rewritten to the symlink-resolved
+// form, so the file later opened is the one that was checked — not
+// whatever a link swapped in underneath the original path afterwards.
+func (s *Server) checkRuntimeSpec(spec NamespaceSpec) (NamespaceSpec, error) {
 	// Fast-fail before paying for a build; registry.add re-checks the
 	// ceiling atomically under its lock, so concurrent creates that both
 	// pass here still cannot exceed it.
 	if s.reg.size() >= maxRuntimeNamespaces {
-		return fmt.Errorf("server: %w (%d live; drop one first)", ErrNamespaceCapacity, maxRuntimeNamespaces)
+		return spec, fmt.Errorf("server: %w (%d live; drop one first)", ErrNamespaceCapacity, maxRuntimeNamespaces)
 	}
 	if spec.Machines > maxRuntimeMachines {
-		return fmt.Errorf("server: namespace %q: machines=%d exceeds the runtime-create cap %d", spec.Name, spec.Machines, maxRuntimeMachines)
+		return spec, fmt.Errorf("server: namespace %q: machines=%d exceeds the runtime-create cap %d", spec.Name, spec.Machines, maxRuntimeMachines)
 	}
 	if spec.MaxInFlight > maxRuntimeInFlight {
-		return fmt.Errorf("server: namespace %q: inflight=%d exceeds the runtime-create cap %d", spec.Name, spec.MaxInFlight, maxRuntimeInFlight)
+		return spec, fmt.Errorf("server: namespace %q: inflight=%d exceeds the runtime-create cap %d", spec.Name, spec.MaxInFlight, maxRuntimeInFlight)
 	}
 	if spec.PlanCache > maxRuntimePlanCache {
-		return fmt.Errorf("server: namespace %q: plancache=%d exceeds the runtime-create cap %d", spec.Name, spec.PlanCache, maxRuntimePlanCache)
+		return spec, fmt.Errorf("server: namespace %q: plancache=%d exceeds the runtime-create cap %d", spec.Name, spec.PlanCache, maxRuntimePlanCache)
 	}
 	// Override caps may only tighten the operator's server-wide limits,
 	// never loosen them (a zero server cap means unlimited and stays open).
 	if s.cfg.MaxMatches > 0 && spec.MaxMatches > s.cfg.MaxMatches {
-		return fmt.Errorf("server: namespace %q: maxmatches=%d exceeds the server cap %d", spec.Name, spec.MaxMatches, s.cfg.MaxMatches)
+		return spec, fmt.Errorf("server: namespace %q: maxmatches=%d exceeds the server cap %d", spec.Name, spec.MaxMatches, s.cfg.MaxMatches)
 	}
 	if s.cfg.MaxBytes > 0 && spec.MaxBytes > s.cfg.MaxBytes {
-		return fmt.Errorf("server: namespace %q: maxbytes=%d exceeds the server cap %d", spec.Name, spec.MaxBytes, s.cfg.MaxBytes)
+		return spec, fmt.Errorf("server: namespace %q: maxbytes=%d exceeds the server cap %d", spec.Name, spec.MaxBytes, s.cfg.MaxBytes)
 	}
 	switch spec.Source {
 	case "rmat":
 		if spec.Scale > maxRuntimeRMATScale {
-			return fmt.Errorf("server: namespace %q: scale=%d exceeds the runtime-create cap %d", spec.Name, spec.Scale, maxRuntimeRMATScale)
+			return spec, fmt.Errorf("server: namespace %q: scale=%d exceeds the runtime-create cap %d", spec.Name, spec.Scale, maxRuntimeRMATScale)
 		}
 		if spec.Degree > maxRuntimeRMATDegree {
-			return fmt.Errorf("server: namespace %q: degree=%d exceeds the runtime-create cap %d", spec.Name, spec.Degree, maxRuntimeRMATDegree)
+			return spec, fmt.Errorf("server: namespace %q: degree=%d exceeds the runtime-create cap %d", spec.Name, spec.Degree, maxRuntimeRMATDegree)
 		}
 		if spec.Labels > maxRuntimeRMATLabels {
-			return fmt.Errorf("server: namespace %q: labels=%d exceeds the runtime-create cap %d", spec.Name, spec.Labels, maxRuntimeRMATLabels)
+			return spec, fmt.Errorf("server: namespace %q: labels=%d exceeds the runtime-create cap %d", spec.Name, spec.Labels, maxRuntimeRMATLabels)
 		}
-		return nil
+		return spec, nil
 	default: // file, text
 		if s.cfg.NamespaceRoot == "" {
-			return fmt.Errorf("server: namespace %q: file/text sources are disabled over the admin API (start stwigd with -ns-root DIR to enable them)", spec.Name)
+			return spec, fmt.Errorf("server: namespace %q: file/text sources are disabled over the admin API (start stwigd with -ns-root DIR to enable them)", spec.Name)
 		}
 		root, err := filepath.Abs(s.cfg.NamespaceRoot)
 		if err != nil {
-			return fmt.Errorf("server: namespace root: %w", err)
+			return spec, fmt.Errorf("server: namespace root: %w", err)
 		}
 		p, err := filepath.Abs(spec.Path)
 		if err != nil {
-			return fmt.Errorf("server: namespace %q: %w", spec.Name, err)
+			return spec, fmt.Errorf("server: namespace %q: %w", spec.Name, err)
 		}
-		// Lexical confinement (Abs implies Clean, so ".." is resolved);
-		// symlinks inside the root are the operator's choice.
-		if p != root && !strings.HasPrefix(p, root+string(filepath.Separator)) {
-			return fmt.Errorf("server: namespace %q: path %q is outside the namespace root", spec.Name, spec.Path)
+		// Lexical confinement first (Abs implies Clean, so ".." is
+		// resolved): a path that does not even point under the root is
+		// refused before touching the filesystem.
+		if !pathWithin(p, root) {
+			return spec, fmt.Errorf("server: namespace %q: path %q is outside the namespace root", spec.Name, spec.Path)
 		}
-		return nil
+		// Then physical confinement: resolve symlinks on both sides so a
+		// link planted inside the root cannot alias a file outside it. The
+		// root itself may legitimately sit behind a symlink (/var → /run
+		// style), which is why it is resolved too. The file must exist to
+		// be loadable, so a resolution failure here is the same client
+		// typo an open(2) would report.
+		realRoot, err := filepath.EvalSymlinks(root)
+		if err != nil {
+			return spec, fmt.Errorf("server: namespace root %q: %w", s.cfg.NamespaceRoot, err)
+		}
+		realPath, err := filepath.EvalSymlinks(p)
+		if err != nil {
+			return spec, fmt.Errorf("server: namespace %q: %w", spec.Name, err)
+		}
+		if !pathWithin(realPath, realRoot) {
+			return spec, fmt.Errorf("server: namespace %q: path %q resolves outside the namespace root", spec.Name, spec.Path)
+		}
+		// Build opens the resolved path, so a symlink swapped in at the
+		// original path between this check and the open (the build may sit
+		// behind buildSem for a while) cannot redirect the load. Directory
+		// components of the resolved path could in principle still be
+		// re-linked; closing that fully needs os.Root-style traversal,
+		// which the Go 1.23 floor rules out for now.
+		spec.Path = realPath
+		return spec, nil
 	}
+}
+
+// pathWithin reports whether p is root itself or lies under it. Both must
+// already be absolute and cleaned.
+func pathWithin(p, root string) bool {
+	return p == root || strings.HasPrefix(p, root+string(filepath.Separator))
 }
 
 // AddNamespace registers eng under name. cfg overrides the server's limits

@@ -213,7 +213,7 @@ func TestRuntimeFileSourceConfinement(t *testing.T) {
 	}
 
 	eng := newEngine(t, 8, 8, 4, 2)
-	svc, err := server.NewMulti(server.Config{NamespaceRoot: root, MaxMatches: 100})
+	svc, err := server.NewMulti(server.Config{NamespaceRoot: root, MaxMatches: 100, AdminToken: testAdminToken})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,6 +222,7 @@ func TestRuntimeFileSourceConfinement(t *testing.T) {
 	}
 	ts := newHTTPServer(t, svc)
 	c := client.New(ts.URL)
+	c.SetAdminToken(testAdminToken)
 	ctx := context.Background()
 
 	for _, spec := range []string{
@@ -234,6 +235,20 @@ func TestRuntimeFileSourceConfinement(t *testing.T) {
 		if !ok || se.StatusCode != http.StatusBadRequest || !strings.Contains(se.Message, "outside the namespace root") {
 			t.Fatalf("create %q: err = %v, want 400 naming the root confinement", spec, err)
 		}
+	}
+
+	// A symlink planted inside the root must not alias a file outside it:
+	// the lexical check passes, physical resolution must still refuse.
+	outside := filepath.Join(t.TempDir(), "outside.bin")
+	if err := os.WriteFile(outside, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(outside, filepath.Join(root, "sneaky.bin")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	_, err = c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "sneaky", Spec: "file:" + filepath.Join(root, "sneaky.bin")})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest || !strings.Contains(se.Message, "outside the namespace root") {
+		t.Fatalf("symlink escape: err = %v, want 400 naming the root confinement", err)
 	}
 
 	// A typo'd filename inside the root is the client's mistake (400), not
@@ -261,6 +276,69 @@ func TestRuntimeFileSourceConfinement(t *testing.T) {
 	if stats, err := c.Namespace("filetenant").Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 1}, nil); err != nil || stats.Matches == 0 {
 		t.Fatalf("query file tenant: stats=%+v err=%v", stats, err)
 	}
+
+	// A symlink that resolves inside the root stays usable.
+	if err := os.Symlink(filepath.Join(root, "g.bin"), filepath.Join(root, "alias.bin")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "alias", Spec: "file:" + filepath.Join(root, "alias.bin")}); err != nil {
+		t.Fatalf("create via in-root symlink: %v", err)
+	}
+}
+
+// TestNamespaceAdminAuth pins the admin API's authentication contract:
+// with no token configured the mutation endpoints are disabled outright
+// (403); with one configured, missing or wrong tokens are 401 and only
+// the exact token mutates. Listing and tenant traffic never need a token.
+func TestNamespaceAdminAuth(t *testing.T) {
+	ctx := context.Background()
+
+	// No AdminToken: POST /ns and DELETE /ns/{name} are hard-disabled, so
+	// an anonymous network client cannot destroy a tenant's graph.
+	svc, err := server.New(newEngine(t, 8, 8, 4, 2), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := client.New(newHTTPServer(t, svc).URL)
+	if _, err := open.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "t", Spec: "rmat:scale=6"}); !isStatusErr(err, http.StatusForbidden) {
+		t.Fatalf("create with admin disabled: err = %v, want 403", err)
+	}
+	if err := open.DropNamespace(ctx, "default"); !isStatusErr(err, http.StatusForbidden) {
+		t.Fatalf("drop with admin disabled: err = %v, want 403", err)
+	}
+	if _, ok := svc.NamespaceInfo("default"); !ok {
+		t.Fatal("default namespace destroyed through the disabled admin API")
+	}
+
+	// With a token: reads and tenant traffic stay open, mutation demands
+	// exactly the configured bearer token.
+	_, _, c := newTestServer(t, newEngine(t, 8, 8, 4, 2), server.Config{AdminToken: "s3cret"})
+	anon := *c // same server, no token
+	anon.SetAdminToken("")
+	if _, err := anon.ListNamespaces(ctx); err != nil {
+		t.Fatalf("tokenless list: %v", err)
+	}
+	if _, err := anon.Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 1}, nil); err != nil {
+		t.Fatalf("tokenless query: %v", err)
+	}
+	if _, err := anon.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "t", Spec: "rmat:scale=6"}); !isStatusErr(err, http.StatusUnauthorized) {
+		t.Fatalf("tokenless create: err = %v, want 401", err)
+	}
+	anon.SetAdminToken("wrong")
+	if err := anon.DropNamespace(ctx, "default"); !isStatusErr(err, http.StatusUnauthorized) {
+		t.Fatalf("wrong-token drop: err = %v, want 401", err)
+	}
+	if _, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{Name: "t", Spec: "rmat:scale=6"}); err != nil {
+		t.Fatalf("authorized create: %v", err)
+	}
+	if err := c.DropNamespace(ctx, "t"); err != nil {
+		t.Fatalf("authorized drop: %v", err)
+	}
+}
+
+func isStatusErr(err error, code int) bool {
+	se, ok := err.(*client.StatusError)
+	return ok && se.StatusCode == code
 }
 
 // TestRuntimeNamespaceCeiling fills the registry to the runtime cap and

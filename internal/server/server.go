@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,7 +29,9 @@ const ndjsonContentType = "application/x-ndjson"
 //
 // Tenant routes are /ns/{name}/query|explain|update|stats; the legacy
 // unprefixed routes alias the "default" namespace. Admin routes GET/POST
-// /ns and DELETE /ns/{name} list, create, and drop namespaces at runtime.
+// /ns and DELETE /ns/{name} list, create, and drop namespaces at runtime;
+// the mutating pair requires Config.AdminToken (and is disabled when no
+// token is configured).
 type Server struct {
 	cfg   Config // per-tenant defaults; each namespace may override limits
 	reg   *registry
@@ -448,6 +451,30 @@ func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Reque
 	return false
 }
 
+// authorizeAdmin gates the namespace mutation endpoints (POST /ns,
+// DELETE /ns/{name}). They are served on the same listener as untrusted
+// tenant traffic, and a drop is unbounded destruction of a tenant's whole
+// graph — so with no AdminToken configured the mutations are disabled
+// outright (403), mirroring the NamespaceRoot opt-in for file sources, and
+// with one configured the request must present it as a bearer token (401
+// otherwise). The comparison is constant-time so the token cannot be
+// recovered byte by byte from response timing. GET /ns stays open: listing
+// reveals nothing a tenant's own stats route does not.
+func (s *Server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.AdminToken == "" {
+		writeError(w, http.StatusForbidden,
+			"namespace mutation over the admin API is disabled (start stwigd with -admin-token or STWIGD_ADMIN_TOKEN)")
+		return false
+	}
+	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.AdminToken)) != 1 {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="stwigd admin"`)
+		writeError(w, http.StatusUnauthorized, "namespace mutation requires the admin bearer token")
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleListNamespaces(w http.ResponseWriter, r *http.Request) bool {
 	list := s.reg.list()
 	resp := NamespaceListResponse{Namespaces: make([]NamespaceInfo, len(list))}
@@ -459,6 +486,9 @@ func (s *Server) handleListNamespaces(w http.ResponseWriter, r *http.Request) bo
 }
 
 func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) bool {
+	if !s.authorizeAdmin(w, r) {
+		return true
+	}
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
@@ -474,7 +504,8 @@ func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) b
 		writeError(w, http.StatusBadRequest, err.Error())
 		return true
 	}
-	if err := s.checkRuntimeSpec(spec); err != nil {
+	spec, err = s.checkRuntimeSpec(spec)
+	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrNamespaceCapacity) {
 			status = http.StatusTooManyRequests
@@ -521,6 +552,9 @@ func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) b
 }
 
 func (s *Server) handleDropNamespace(w http.ResponseWriter, r *http.Request) bool {
+	if !s.authorizeAdmin(w, r) {
+		return true
+	}
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true

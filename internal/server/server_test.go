@@ -32,8 +32,15 @@ func newEngine(t testing.TB, scale, degree, labels, machines int) *core.Engine {
 	return core.NewEngine(cluster, core.Options{})
 }
 
+// testAdminToken authorizes namespace mutation in tests; without a token
+// the admin API refuses creates and drops outright.
+const testAdminToken = "test-admin-token"
+
 func newTestServer(t testing.TB, eng *core.Engine, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
 	t.Helper()
+	if cfg.AdminToken == "" {
+		cfg.AdminToken = testAdminToken
+	}
 	svc, err := server.New(eng, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +48,7 @@ func newTestServer(t testing.TB, eng *core.Engine, cfg server.Config) (*server.S
 	ts := httptest.NewServer(svc)
 	t.Cleanup(ts.Close)
 	c := client.New(ts.URL)
+	c.SetAdminToken(cfg.AdminToken)
 	return svc, ts, c
 }
 
