@@ -479,6 +479,80 @@ func BenchmarkUpdates(b *testing.B) {
 	})
 }
 
+// BenchmarkUpdatePipeline measures the write path the update pipeline
+// serves. Each iteration applies a fixed set of 64 edge toggles through
+// Cluster.ApplyBatch in windows of the given batch size — batch=1 is the
+// old one-lock-per-mutation behavior, batch=64 is what the dispatcher
+// amortizes to. The writeonly variants carry the CI regression gate's
+// signal (allocs/op and B/op vs bench/baseline.txt): a query in the loop
+// would contribute ~98% of the allocations and dilute a write-path
+// regression below any sane threshold. The mixed variant adds one
+// plan-cached query per iteration for the serving-shaped number.
+func BenchmarkUpdatePipeline(b *testing.B) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 13, AvgDegree: 8, NumLabels: 8, Seed: benchSeed})
+	n := g.NumNodes()
+	// A fixed toggle set: 64 node pairs with no initial edge. Adding then
+	// removing them on alternating iterations keeps the graph in steady
+	// state, so per-op cost does not drift with b.N.
+	rng := rand.New(rand.NewSource(benchSeed))
+	var pairs [][2]graph.NodeID
+	for len(pairs) < 64 {
+		u := graph.NodeID(rng.Int63n(n))
+		v := graph.NodeID(rng.Int63n(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		pairs = append(pairs, [2]graph.NodeID{u, v})
+	}
+	toggle := func(b *testing.B, c *memcloud.Cluster, muts []memcloud.Mutation, i, batch int) {
+		b.Helper()
+		op := memcloud.MutAddEdge
+		if i%2 == 1 {
+			op = memcloud.MutRemoveEdge
+		}
+		for j, p := range pairs {
+			muts[j] = memcloud.Mutation{Op: op, U: p[0], V: p[1]}
+		}
+		for off := 0; off < len(muts); off += batch {
+			end := off + batch
+			if end > len(muts) {
+				end = len(muts)
+			}
+			for k, r := range c.ApplyBatch(muts[off:end]) {
+				if r.Err != nil {
+					b.Fatalf("mutation %d: %v", off+k, r.Err)
+				}
+			}
+		}
+	}
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("writeonly/batch=%d", batch), func(b *testing.B) {
+			c := benchCluster(b, g, 8)
+			muts := make([]memcloud.Mutation, len(pairs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				toggle(b, c, muts, i, batch)
+			}
+		})
+	}
+	b.Run("mixed/batch=64", func(b *testing.B) {
+		c := benchCluster(b, g, 8)
+		eng := core.NewEngine(c, core.Options{MatchBudget: 256, Seed: benchSeed})
+		q := core.MustNewQuery([]string{"L0", "L1", "L2"}, [][2]int{{0, 1}, {1, 2}})
+		if _, err := eng.Match(q); err != nil { // warm the plan cache
+			b.Fatal(err)
+		}
+		muts := make([]memcloud.Mutation, len(pairs))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(b, c, muts, i, 64)
+			if _, err := eng.Match(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPatternParse measures the query DSL front end.
 func BenchmarkPatternParse(b *testing.B) {
 	const src = "MATCH (a:author)-(p:paper), (p)-(v:venue), (a)-(v), (p)-(r:reviewer)"

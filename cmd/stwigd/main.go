@@ -85,6 +85,10 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", durOr(envCfg.MaxTimeout, 2*time.Minute), "cap on client-requested deadlines")
 		maxMatches  = flag.Int("max-matches", envCfg.MaxMatches, "per-request match cap (0 = unlimited)")
 		maxBytes    = flag.Int64("max-bytes", envCfg.MaxBytes, "per-response byte cap (0 = unlimited)")
+		updQueue    = flag.Int("update-queue-depth", intOr(envCfg.UpdateQueueDepth, 64), "per-namespace update queue capacity (queue full → 503 with Retry-After)")
+		updBatch    = flag.Int("update-batch-max", intOr(envCfg.UpdateBatchMax, 32), "max queued mutations applied per writer window")
+		updFairness = flag.Duration("update-fairness-window", envCfg.UpdateFairnessWindow, "reader grace period before a parked update blocks new queries; 0 selects min(100ms, half the lock wait), and it must stay shorter than -update-lock-wait")
+		updLockWait = flag.Duration("update-lock-wait", durOr(envCfg.UpdateLockWait, time.Second), "how long a queued update batch waits for the writer window before 503")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight streams")
 		nsRoot      = flag.String("ns-root", envCfg.NamespaceRoot, "directory POST /ns may load file:/text: graphs from (empty disables runtime file sources)")
 		adminToken  = flag.String("admin-token", envCfg.AdminToken, "bearer token required by POST /ns and DELETE /ns/{name} (empty disables namespace mutation over HTTP)")
@@ -101,16 +105,19 @@ func main() {
 		relabel: *relabel, machines: *machines, planCache: *planCache,
 		namespaces: namespaces,
 		srv: server.Config{
-			MaxInFlight:     *maxInFlight,
-			DefaultTimeout:  *defTimeout,
-			MaxTimeout:      *maxTimeout,
-			MaxMatches:      *maxMatches,
-			MaxBytes:        *maxBytes,
-			MaxRequestBytes: envCfg.MaxRequestBytes,
-			RetryAfter:      envCfg.RetryAfter,
-			UpdateLockWait:  envCfg.UpdateLockWait,
-			NamespaceRoot:   *nsRoot,
-			AdminToken:      *adminToken,
+			MaxInFlight:          *maxInFlight,
+			DefaultTimeout:       *defTimeout,
+			MaxTimeout:           *maxTimeout,
+			MaxMatches:           *maxMatches,
+			MaxBytes:             *maxBytes,
+			MaxRequestBytes:      envCfg.MaxRequestBytes,
+			RetryAfter:           envCfg.RetryAfter,
+			UpdateLockWait:       *updLockWait,
+			UpdateQueueDepth:     *updQueue,
+			UpdateBatchMax:       *updBatch,
+			UpdateFairnessWindow: *updFairness,
+			NamespaceRoot:        *nsRoot,
+			AdminToken:           *adminToken,
 		},
 		drain: *drain,
 	}); err != nil {
@@ -210,9 +217,13 @@ func run(cfg daemonConfig) error {
 		fmt.Println("stwigd: drain window expired, aborting in-flight queries")
 		svc.Abort()
 		if cerr := httpSrv.Close(); cerr != nil {
+			svc.Close()
 			return cerr
 		}
 	}
+	// Stop every namespace's update dispatcher; anything still queued is
+	// refused, which the listener shutdown above has already made moot.
+	svc.Close()
 	fmt.Println("stwigd: stopped")
 	return nil
 }

@@ -21,7 +21,9 @@ import (
 // stays lock-free by design, so updates MUST NOT run concurrently with
 // queries (single-writer, quiesced-reader — the usual discipline for
 // epoch-style in-memory stores; a production system would wrap this in
-// epochs or shard locks). The updMu below serializes writers only.
+// epochs or shard locks). The upd.mu below serializes writers only;
+// stwigd's per-namespace reader gate (internal/server) is what quiesces
+// readers around each writer window.
 
 // UpdateStats counts applied mutations and storage garbage.
 type UpdateStats struct {
@@ -34,6 +36,17 @@ type UpdateStats struct {
 }
 
 var errNotLoaded = fmt.Errorf("memcloud: cluster not loaded")
+
+// checkVertexLocked rejects vertex IDs outside [0, nextID) BEFORE they
+// reach a Partitioner: table-backed partitioners (BFS, range) index owner
+// arrays by ID, so an unchecked out-of-range ID from the network would
+// panic instead of erroring. Caller holds upd.mu.
+func (c *Cluster) checkVertexLocked(v graph.NodeID) error {
+	if v < 0 || v >= c.upd.nextID {
+		return fmt.Errorf("memcloud: vertex %d does not exist", v)
+	}
+	return nil
+}
 
 type updateState struct {
 	mu     sync.Mutex
@@ -49,6 +62,10 @@ func (c *Cluster) AddNode(label string) (graph.NodeID, error) {
 	}
 	c.upd.mu.Lock()
 	defer c.upd.mu.Unlock()
+	return c.addNodeLocked(label)
+}
+
+func (c *Cluster) addNodeLocked(label string) (graph.NodeID, error) {
 	id := c.upd.nextID
 	c.upd.nextID++
 	l := c.labels.Intern(label)
@@ -67,11 +84,21 @@ func (c *Cluster) AddEdge(u, v graph.NodeID) error {
 	if !c.loaded {
 		return errNotLoaded
 	}
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	return c.addEdgeLocked(u, v)
+}
+
+func (c *Cluster) addEdgeLocked(u, v graph.NodeID) error {
 	if u == v {
 		return fmt.Errorf("memcloud: self-loop (%d,%d)", u, v)
 	}
-	c.upd.mu.Lock()
-	defer c.upd.mu.Unlock()
+	if err := c.checkVertexLocked(u); err != nil {
+		return err
+	}
+	if err := c.checkVertexLocked(v); err != nil {
+		return err
+	}
 	mu := c.machines[c.part.Owner(u)]
 	mv := c.machines[c.part.Owner(v)]
 	lu, ok := mu.store.labelOf(u)
@@ -104,6 +131,16 @@ func (c *Cluster) RemoveEdge(u, v graph.NodeID) error {
 	}
 	c.upd.mu.Lock()
 	defer c.upd.mu.Unlock()
+	return c.removeEdgeLocked(u, v)
+}
+
+func (c *Cluster) removeEdgeLocked(u, v graph.NodeID) error {
+	if err := c.checkVertexLocked(u); err != nil {
+		return err
+	}
+	if err := c.checkVertexLocked(v); err != nil {
+		return err
+	}
 	mu := c.machines[c.part.Owner(u)]
 	mv := c.machines[c.part.Owner(v)]
 	has, ok := mu.store.hasNeighbor(u, v)
@@ -118,6 +155,80 @@ func (c *Cluster) RemoveEdge(u, v graph.NodeID) error {
 	c.upd.stats.EdgesRemoved++
 	c.epoch.Add(1)
 	return nil
+}
+
+// MutationOp selects the kind of one batched Mutation.
+type MutationOp uint8
+
+const (
+	MutAddNode MutationOp = iota
+	MutAddEdge
+	MutRemoveEdge
+)
+
+func (op MutationOp) String() string {
+	switch op {
+	case MutAddNode:
+		return "add_node"
+	case MutAddEdge:
+		return "add_edge"
+	case MutRemoveEdge:
+		return "remove_edge"
+	}
+	return fmt.Sprintf("MutationOp(%d)", uint8(op))
+}
+
+// Mutation is one dynamic update in batch form: AddNode carries Label,
+// AddEdge and RemoveEdge carry U and V.
+type Mutation struct {
+	Op    MutationOp
+	Label string
+	U, V  graph.NodeID
+}
+
+// MutationResult reports one batched mutation's outcome. NodeID is set for
+// successful AddNode mutations (InvalidNode otherwise); Epoch is the
+// cluster's mutation epoch observed right after this mutation; Err carries
+// per-mutation failures (missing vertex, duplicate edge, ...) without
+// aborting the rest of the batch.
+type MutationResult struct {
+	NodeID graph.NodeID
+	Epoch  uint64
+	Err    error
+}
+
+// ApplyBatch applies muts in order under a single writer-lock acquisition —
+// the amortization a batching dispatcher (stwigd's update pipeline) exists
+// for: one lock round trip and one quiesced-reader window per batch instead
+// of per mutation. Each mutation succeeds or fails individually; a conflict
+// does not abort its successors. The same single-writer / quiesced-reader
+// discipline as the one-shot methods applies to the batch as a whole.
+func (c *Cluster) ApplyBatch(muts []Mutation) []MutationResult {
+	out := make([]MutationResult, len(muts))
+	if !c.loaded {
+		for i := range out {
+			out[i] = MutationResult{NodeID: graph.InvalidNode, Err: errNotLoaded}
+		}
+		return out
+	}
+	c.upd.mu.Lock()
+	defer c.upd.mu.Unlock()
+	for i, m := range muts {
+		r := MutationResult{NodeID: graph.InvalidNode}
+		switch m.Op {
+		case MutAddNode:
+			r.NodeID, r.Err = c.addNodeLocked(m.Label)
+		case MutAddEdge:
+			r.Err = c.addEdgeLocked(m.U, m.V)
+		case MutRemoveEdge:
+			r.Err = c.removeEdgeLocked(m.U, m.V)
+		default:
+			r.Err = fmt.Errorf("memcloud: unknown mutation op %d", m.Op)
+		}
+		r.Epoch = c.epoch.Load()
+		out[i] = r
+	}
+	return out
 }
 
 // UpdateStats snapshots the mutation counters.

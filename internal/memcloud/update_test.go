@@ -28,6 +28,70 @@ func TestUpdatesRequireLoadedCluster(t *testing.T) {
 	}
 }
 
+// TestApplyBatchMatchesOneShotMethods pins the batch entry point: one
+// ApplyBatch must be observationally identical to the equivalent sequence
+// of AddNode/AddEdge/RemoveEdge calls — same IDs, same per-mutation
+// conflicts (which must not abort their successors), same epoch movement.
+func TestApplyBatchMatchesOneShotMethods(t *testing.T) {
+	c, g := updatableCluster(t)
+	n := graph.NodeID(g.NumNodes())
+	epoch0 := c.Epoch()
+
+	results := c.ApplyBatch([]Mutation{
+		{Op: MutAddNode, Label: "batchy"},
+		{Op: MutAddNode, Label: "batchy"},
+		{Op: MutAddEdge, U: n, V: n + 1},
+		{Op: MutAddEdge, U: n, V: n + 1},    // duplicate: individual conflict
+		{Op: MutRemoveEdge, U: n + 1, V: n}, // symmetric removal works
+		{Op: MutAddEdge, U: 10_000, V: n},   // missing vertex: conflict
+		{Op: MutAddEdge, U: n, V: n + 1},    // re-add after removal succeeds
+		{Op: MutationOp(250)},               // unknown op: conflict, not a panic
+	})
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err != nil || results[0].NodeID != n {
+		t.Fatalf("batch add_node #1 = %+v, want node %d", results[0], n)
+	}
+	if results[1].Err != nil || results[1].NodeID != n+1 {
+		t.Fatalf("batch add_node #2 = %+v, want node %d", results[1], n+1)
+	}
+	for i, wantErr := range []bool{false, false, false, true, false, true, false, true} {
+		if (results[i].Err != nil) != wantErr {
+			t.Fatalf("mutation %d: err = %v, want error=%v", i, results[i].Err, wantErr)
+		}
+	}
+	// Epochs are per-mutation and monotone within the batch; conflicts do
+	// not advance them.
+	if results[0].Epoch != epoch0+1 || results[1].Epoch != epoch0+2 {
+		t.Fatalf("epochs = %d, %d, want %d, %d", results[0].Epoch, results[1].Epoch, epoch0+1, epoch0+2)
+	}
+	if results[3].Epoch != results[2].Epoch {
+		t.Fatalf("conflicting mutation advanced the epoch: %d → %d", results[2].Epoch, results[3].Epoch)
+	}
+	if c.Epoch() != epoch0+5 { // 2 adds + edge + remove + re-add
+		t.Fatalf("final epoch = %d, want %d", c.Epoch(), epoch0+5)
+	}
+	// Net effect: the edge exists (re-added), both sides visible.
+	cellU, _ := c.Load(0, n)
+	cellV, _ := c.Load(0, n+1)
+	if !containsNode(cellU.Neighbors, n+1) || !containsNode(cellV.Neighbors, n) {
+		t.Fatalf("batched edge not visible: %v / %v", cellU.Neighbors, cellV.Neighbors)
+	}
+	st := c.UpdateStats()
+	if st.NodesAdded != 2 || st.EdgesAdded != 2 || st.EdgesRemoved != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// An unloaded cluster fails every mutation without touching anything.
+	empty := MustNewCluster(Config{Machines: 2})
+	for i, r := range empty.ApplyBatch([]Mutation{{Op: MutAddNode, Label: "x"}, {Op: MutAddEdge, U: 0, V: 1}}) {
+		if r.Err == nil {
+			t.Fatalf("mutation %d on unloaded cluster accepted", i)
+		}
+	}
+}
+
 func TestAddNodeAssignsFreshIDs(t *testing.T) {
 	c, g := updatableCluster(t)
 	id1, err := c.AddNode("a")
@@ -96,6 +160,37 @@ func TestAddEdgeRejections(t *testing.T) {
 	}
 	if err := c.AddEdge(0, 1); err == nil { // exists in testGraph
 		t.Fatal("duplicate edge accepted")
+	}
+}
+
+// TestEdgeUpdatesRejectOutOfRangeIDsOnTablePartitioners pins the ID
+// validation that must run BEFORE any Partitioner sees the vertex:
+// BFS/range partitioners index owner tables by ID, so an unchecked
+// negative or beyond-range ID from the network panicked here instead of
+// erroring. Exercised through both the one-shot methods and ApplyBatch.
+func TestEdgeUpdatesRejectOutOfRangeIDsOnTablePartitioners(t *testing.T) {
+	g := testGraph(t)
+	c := MustNewCluster(Config{Machines: 2, Partitioner: NewBFSPartitioner(g, 2)})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]graph.NodeID{{-1, 0}, {0, -1}, {1 << 40, 0}, {0, graph.NodeID(g.NumNodes())}} {
+		if err := c.AddEdge(e[0], e[1]); err == nil {
+			t.Fatalf("AddEdge(%d,%d) accepted an out-of-range vertex", e[0], e[1])
+		}
+		if err := c.RemoveEdge(e[0], e[1]); err == nil {
+			t.Fatalf("RemoveEdge(%d,%d) accepted an out-of-range vertex", e[0], e[1])
+		}
+	}
+	results := c.ApplyBatch([]Mutation{
+		{Op: MutAddEdge, U: -1, V: 0},
+		{Op: MutAddNode, Label: "survivor"}, // successors still apply
+	})
+	if results[0].Err == nil {
+		t.Fatal("batched out-of-range edge accepted")
+	}
+	if results[1].Err != nil {
+		t.Fatalf("mutation after rejected ID failed: %v", results[1].Err)
 	}
 }
 

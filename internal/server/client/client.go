@@ -12,9 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"stwig/internal/server"
 )
@@ -23,11 +26,24 @@ import (
 // stopped the stream before its terminal record, so no stats exist.
 var ErrStopped = errors.New("stwigd: stream stopped by caller")
 
+// Update retry defaults: a busy server (503 behind a pinned stream or a
+// full update queue) is transient by contract, so Update retries it a few
+// times, honoring the server's Retry-After hint capped at a client-side
+// bound with jitter. SetUpdateRetry tunes or disables this.
+const (
+	DefaultUpdateRetries   = 3
+	DefaultUpdateRetryWait = 500 * time.Millisecond
+)
+
 // Client talks to one stwigd instance.
 type Client struct {
 	base       string
 	hc         *http.Client
 	adminToken string
+	// updateRetries is how many times Update retries a 503 before
+	// surfacing it; updateRetryWait caps each backoff sleep.
+	updateRetries   int
+	updateRetryWait time.Duration
 }
 
 // New builds a client for the given base address. "host:port" is promoted
@@ -38,12 +54,27 @@ func New(base string) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{
+		base:            strings.TrimRight(base, "/"),
+		hc:              &http.Client{},
+		updateRetries:   DefaultUpdateRetries,
+		updateRetryWait: DefaultUpdateRetryWait,
+	}
 }
 
 // SetHTTPClient replaces the underlying HTTP client (tests, custom
 // transports).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// SetUpdateRetry tunes Update's handling of 503 "busy"/"queue full"
+// responses: up to retries extra attempts, sleeping between them for the
+// server's Retry-After hint capped at maxWait (with jitter, so a thundering
+// herd of clients does not re-collide). retries 0 disables retrying and
+// surfaces the first 503 verbatim.
+func (c *Client) SetUpdateRetry(retries int, maxWait time.Duration) {
+	c.updateRetries = retries
+	c.updateRetryWait = maxWait
+}
 
 // SetAdminToken sets the bearer token CreateNamespace and DropNamespace
 // send; the server refuses namespace mutation without it (see
@@ -63,7 +94,13 @@ func (c *Client) authorize(req *http.Request) {
 // legacy routes. The scoped client shares the parent's HTTP client.
 // Healthz and the namespace admin calls remain on the root client.
 func (c *Client) Namespace(name string) *Client {
-	return &Client{base: c.base + "/ns/" + url.PathEscape(name), hc: c.hc, adminToken: c.adminToken}
+	return &Client{
+		base:            c.base + "/ns/" + url.PathEscape(name),
+		hc:              c.hc,
+		adminToken:      c.adminToken,
+		updateRetries:   c.updateRetries,
+		updateRetryWait: c.updateRetryWait,
+	}
 }
 
 // CreateNamespace asks the server to materialize a new tenant from spec
@@ -125,6 +162,9 @@ func (c *Client) ListNamespaces(ctx context.Context) ([]server.NamespaceInfo, er
 type StatusError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint on 429/503 responses,
+	// zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -136,6 +176,13 @@ func (e *StatusError) Error() string {
 func IsOverloaded(err error) bool {
 	se, ok := err.(*StatusError)
 	return ok && se.StatusCode == http.StatusTooManyRequests
+}
+
+// IsBusy reports whether err is a 503 update refusal (writer window busy or
+// update queue full) — transient by contract, carrying a Retry-After hint.
+func IsBusy(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.StatusCode == http.StatusServiceUnavailable
 }
 
 // postJSON sends body as a JSON POST; mutators (e.g. authorize) adjust the
@@ -164,7 +211,11 @@ func statusError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil {
 		msg = er.Error
 	}
-	return &StatusError{StatusCode: resp.StatusCode, Message: msg}
+	se := &StatusError{StatusCode: resp.StatusCode, Message: msg}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		se.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return se
 }
 
 func decodeJSON(resp *http.Response, v any) error {
@@ -232,17 +283,62 @@ func (c *Client) Explain(ctx context.Context, req server.QueryRequest) (*server.
 	return &out, nil
 }
 
-// Update applies one dynamic graph mutation.
+// Update applies one dynamic graph mutation. A 503 "busy"/"queue full"
+// refusal is retried up to the configured retry budget (see
+// SetUpdateRetry), sleeping between attempts for the server's Retry-After
+// hint capped at the configured bound, with jitter. Only 503s carrying a
+// positive Retry-After are retried — the server attaches the hint to
+// exactly the transient refusals; a 503 without one (namespace dropped,
+// server draining) cannot clear and is surfaced verbatim, as is any other
+// failure and a transient 503 that outlives the budget.
 func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.UpdateResponse, error) {
-	resp, err := c.postJSON(ctx, "/update", req)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.postJSON(ctx, "/update", req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.updateRetries {
+			serr := statusError(resp) // drains and closes the body
+			se, ok := serr.(*StatusError)
+			if !ok || se.RetryAfter <= 0 {
+				return nil, serr
+			}
+			if err := sleepRetry(ctx, se.RetryAfter, c.updateRetryWait); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var out server.UpdateResponse
+		if err := decodeJSON(resp, &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
 	}
-	var out server.UpdateResponse
-	if err := decodeJSON(resp, &out); err != nil {
-		return nil, err
+}
+
+// sleepRetry backs off before an Update retry: the server's Retry-After
+// hint, capped at maxWait, jittered to [1/2, 1) of the target so retrying
+// clients fan out instead of re-colliding. A zero/absent hint uses maxWait
+// as the target; maxWait is an unconditional ceiling (0 means retry
+// immediately — the server's hint must never control client sleep time
+// beyond what the caller allowed). Returns ctx.Err() if the context ends
+// mid-sleep.
+func sleepRetry(ctx context.Context, hint, maxWait time.Duration) error {
+	d := hint
+	if d <= 0 || d > maxWait {
+		d = maxWait
 	}
-	return &out, nil
+	if d > 0 {
+		d = d/2 + rand.N(d/2+1)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Stats scrapes the server's live counters.

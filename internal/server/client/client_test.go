@@ -1,0 +1,210 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stwig/internal/server"
+	"stwig/internal/server/client"
+)
+
+// flakyUpdateServer refuses the first busyCount updates with 503 +
+// Retry-After, then succeeds. It counts every request it sees.
+func flakyUpdateServer(t *testing.T, busyCount int32, retryAfter string) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/update" {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		n := hits.Add(1)
+		if n <= busyCount {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "update queue full: retry"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.UpdateResponse{NodeID: 42, Epoch: uint64(n)})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestUpdateRetriesBusy pins the retry fix: transient 503s with a
+// Retry-After hint are retried (bounded, hint capped at the client's
+// maxWait) and the eventual success is returned.
+func TestUpdateRetriesBusy(t *testing.T) {
+	ts, hits := flakyUpdateServer(t, 2, "1")
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(3, 5*time.Millisecond) // cap the 1s server hint for test speed
+
+	start := time.Now()
+	resp, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"})
+	if err != nil {
+		t.Fatalf("update with 2 transient busies: %v", err)
+	}
+	if resp.NodeID != 42 {
+		t.Fatalf("resp = %+v, want node 42", resp)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 busies + success)", got)
+	}
+	// The 1s Retry-After hint must have been capped at maxWait, not obeyed
+	// literally — two uncapped sleeps would take ≥ 1s.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("retries took %v; Retry-After cap not applied", elapsed)
+	}
+}
+
+// TestUpdateRetryBudgetExhausted: a persistent 503 is surfaced after the
+// budget, carrying the parsed Retry-After.
+func TestUpdateRetryBudgetExhausted(t *testing.T) {
+	ts, hits := flakyUpdateServer(t, 1000, "2")
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(2, time.Millisecond)
+
+	_, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"})
+	se, ok := err.(*client.StatusError)
+	if !ok || se.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want terminal 503", err)
+	}
+	if !client.IsBusy(err) {
+		t.Fatal("IsBusy must recognize the terminal 503")
+	}
+	if se.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s parsed from the header", se.RetryAfter)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestUpdateRetryZeroMaxWaitIgnoresServerHint: maxWait is an unconditional
+// ceiling — with maxWait 0 the client retries immediately no matter how
+// large a Retry-After the server asks for, so a misconfigured (or hostile)
+// server can never dictate client sleep time.
+func TestUpdateRetryZeroMaxWaitIgnoresServerHint(t *testing.T) {
+	ts, hits := flakyUpdateServer(t, 2, "3600")
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(3, 0)
+
+	start := time.Now()
+	if _, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"}); err != nil {
+		t.Fatalf("update with immediate retries: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("zero-maxWait retries took %v; the server's 3600s hint leaked into client sleep", elapsed)
+	}
+}
+
+// TestUpdateNoRetryWithout503Hint: a 503 without a Retry-After hint is
+// terminal by contract (namespace dropped, server draining — states a
+// retry cannot clear); the client must surface it immediately instead of
+// burning the budget and masking the diagnosis with a later 404.
+func TestUpdateNoRetryWithout503Hint(t *testing.T) {
+	ts, hits := flakyUpdateServer(t, 1000, "" /* no Retry-After */)
+	c := client.New(ts.URL) // default retry policy stays enabled
+
+	_, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"})
+	se, ok := err.(*client.StatusError)
+	if !ok || se.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the original 503", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests for a hint-less 503, want 1 (no retry)", got)
+	}
+}
+
+// TestUpdateRetryDisabled: a zero budget surfaces the first 503 verbatim —
+// the raw contract tests and latency-sensitive callers pin.
+func TestUpdateRetryDisabled(t *testing.T) {
+	ts, hits := flakyUpdateServer(t, 1000, "1")
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(0, 0)
+
+	_, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"})
+	if !client.IsBusy(err) {
+		t.Fatalf("err = %v, want immediate 503", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1", got)
+	}
+}
+
+// TestUpdateRetryHonorsContext: a context that ends mid-backoff aborts the
+// retry loop with the context's error instead of sleeping on.
+func TestUpdateRetryHonorsContext(t *testing.T) {
+	ts, _ := flakyUpdateServer(t, 1000, "1")
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(5, 10*time.Second) // would sleep ~1s per retry
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "x"})
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("err = %v, want a context-deadline abort", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop outlived its context by %v", elapsed)
+	}
+}
+
+// TestUpdateNoRetryOnOtherStatuses: only 503 is transient; a 400/409 must
+// not be retried (retrying a conflicting mutation cannot fix it).
+func TestUpdateNoRetryOnOtherStatuses(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "edge already exists"})
+	}))
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+
+	_, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddEdge, U: 1, V: 2})
+	se, ok := err.(*client.StatusError)
+	if !ok || se.StatusCode != http.StatusConflict {
+		t.Fatalf("err = %v, want 409", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests for a 409, want 1 (no retry)", got)
+	}
+}
+
+// TestNamespaceClientInheritsRetryPolicy: Namespace() must carry the parent
+// client's retry settings, or scoped tenants silently lose the fix.
+func TestNamespaceClientInheritsRetryPolicy(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/ns/t/update" {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "update busy"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.UpdateResponse{Epoch: 1})
+	}))
+	t.Cleanup(ts.Close)
+	root := client.New(ts.URL)
+	root.SetUpdateRetry(1, time.Millisecond)
+	if _, err := root.Namespace("t").Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"}); err != nil {
+		t.Fatalf("scoped update with one transient busy: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("scoped server saw %d requests, want 2 (busy + retried success)", got)
+	}
+}

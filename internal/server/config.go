@@ -58,10 +58,26 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to 429 responses
 	// (default 1s).
 	RetryAfter time.Duration
-	// UpdateLockWait bounds how long an update polls for the writer lock
-	// before giving up with 503 (default 1s). Updates never park in
-	// Lock(), which would stall new queries behind the waiting writer.
+	// UpdateLockWait bounds how long the update dispatcher parks for the
+	// writer window before failing the batch with 503 (default 1s). When
+	// the dispatcher gives up, the reader cutoff is lifted, so queries
+	// never stall behind a writer that is no longer trying.
 	UpdateLockWait time.Duration
+	// UpdateQueueDepth is the per-tenant bounded update FIFO's capacity
+	// (default 64). Updates beyond it receive 503 with a Retry-After.
+	UpdateQueueDepth int
+	// UpdateBatchMax caps how many queued mutations the dispatcher applies
+	// under one writer window (default 32) — the lock-traffic amortization
+	// the batching pipeline exists for.
+	UpdateBatchMax int
+	// UpdateFairnessWindow is the reader grace period after the dispatcher
+	// parks for the writer window (default min(100ms, UpdateLockWait/2)):
+	// new readers are still admitted during it, and blocked after it (the
+	// epoch cutoff), so a steady reader stream cannot starve the tenant's
+	// own updates while a parked writer still bounds read unavailability.
+	// Validate rejects a window the writer's patience would always outlast
+	// — the cutoff could never fire and starvation would return silently.
+	UpdateFairnessWindow time.Duration
 	// NamespaceRoot, when non-empty, permits POST /ns to create tenants
 	// from file:/text: sources confined under this directory. Empty
 	// (the default) disables file sources over the admin API entirely —
@@ -97,6 +113,21 @@ func (cfg Config) normalize() Config {
 	if cfg.UpdateLockWait == 0 {
 		cfg.UpdateLockWait = time.Second
 	}
+	if cfg.UpdateQueueDepth == 0 {
+		cfg.UpdateQueueDepth = 64
+	}
+	if cfg.UpdateBatchMax == 0 {
+		cfg.UpdateBatchMax = 32
+	}
+	if cfg.UpdateFairnessWindow == 0 {
+		// The cutoff only matters if it fires before the writer gives up;
+		// adapt the default to short writer patience instead of silently
+		// configuring a cutoff that can never mature.
+		cfg.UpdateFairnessWindow = 100 * time.Millisecond
+		if half := cfg.UpdateLockWait / 2; half < cfg.UpdateFairnessWindow {
+			cfg.UpdateFairnessWindow = half
+		}
+	}
 	return cfg
 }
 
@@ -115,6 +146,22 @@ func (cfg Config) Validate() error {
 	if cfg.MaxMatches < 0 || cfg.MaxBytes < 0 {
 		return fmt.Errorf("server: negative cap")
 	}
+	if cfg.UpdateQueueDepth < 1 {
+		return fmt.Errorf("server: UpdateQueueDepth %d < 1", cfg.UpdateQueueDepth)
+	}
+	if cfg.UpdateBatchMax < 1 {
+		return fmt.Errorf("server: UpdateBatchMax %d < 1", cfg.UpdateBatchMax)
+	}
+	if cfg.UpdateLockWait < 0 || cfg.UpdateFairnessWindow < 0 {
+		return fmt.Errorf("server: negative update window")
+	}
+	// A fairness window at or beyond the writer's patience means the
+	// reader cutoff can never fire before the writer gives up — silently
+	// reintroducing the writer starvation the pipeline exists to prevent.
+	if cfg.UpdateFairnessWindow >= cfg.UpdateLockWait {
+		return fmt.Errorf("server: UpdateFairnessWindow %v must be shorter than UpdateLockWait %v (the cutoff would never fire)",
+			cfg.UpdateFairnessWindow, cfg.UpdateLockWait)
+	}
 	return nil
 }
 
@@ -131,7 +178,10 @@ func (cfg Config) Validate() error {
 //	STWIGD_MAX_BYTES          int       per-response byte cap
 //	STWIGD_MAX_REQUEST_BYTES  int       request body bound
 //	STWIGD_RETRY_AFTER        duration  Retry-After hint on 429/503
-//	STWIGD_UPDATE_LOCK_WAIT   duration  writer-lock poll window
+//	STWIGD_UPDATE_LOCK_WAIT   duration  writer-window patience before a batch fails 503
+//	STWIGD_UPDATE_QUEUE_DEPTH int       per-tenant update queue capacity (503 when full)
+//	STWIGD_UPDATE_BATCH_MAX   int       mutations applied per writer window
+//	STWIGD_UPDATE_FAIRNESS_WINDOW duration  reader grace period before a parked writer blocks new readers
 //	STWIGD_NS_ROOT            path      root for admin-API file:/text: sources
 //	STWIGD_ADMIN_TOKEN        string    bearer token for POST/DELETE /ns (unset disables them)
 func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
@@ -177,6 +227,9 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	envInt64("STWIGD_MAX_REQUEST_BYTES", &cfg.MaxRequestBytes)
 	envDur("STWIGD_RETRY_AFTER", &cfg.RetryAfter)
 	envDur("STWIGD_UPDATE_LOCK_WAIT", &cfg.UpdateLockWait)
+	envInt("STWIGD_UPDATE_QUEUE_DEPTH", &cfg.UpdateQueueDepth)
+	envInt("STWIGD_UPDATE_BATCH_MAX", &cfg.UpdateBatchMax)
+	envDur("STWIGD_UPDATE_FAIRNESS_WINDOW", &cfg.UpdateFairnessWindow)
 	if v, ok := lookup("STWIGD_NS_ROOT"); ok {
 		cfg.NamespaceRoot = v
 	}

@@ -17,31 +17,37 @@ func lookupMap(m map[string]string) func(string) (string, bool) {
 
 func TestConfigFromEnv(t *testing.T) {
 	cfg, err := Config{}.FromEnv(lookupMap(map[string]string{
-		"STWIGD_MAX_INFLIGHT":      "32",
-		"STWIGD_TIMEOUT":           "45s",
-		"STWIGD_MAX_TIMEOUT":       "3m",
-		"STWIGD_MAX_MATCHES":       "1000",
-		"STWIGD_MAX_BYTES":         "1048576",
-		"STWIGD_MAX_REQUEST_BYTES": "2097152",
-		"STWIGD_RETRY_AFTER":       "2s",
-		"STWIGD_UPDATE_LOCK_WAIT":  "250ms",
-		"STWIGD_NS_ROOT":           "/srv/graphs",
-		"STWIGD_ADMIN_TOKEN":       "hunter2",
+		"STWIGD_MAX_INFLIGHT":           "32",
+		"STWIGD_TIMEOUT":                "45s",
+		"STWIGD_MAX_TIMEOUT":            "3m",
+		"STWIGD_MAX_MATCHES":            "1000",
+		"STWIGD_MAX_BYTES":              "1048576",
+		"STWIGD_MAX_REQUEST_BYTES":      "2097152",
+		"STWIGD_RETRY_AFTER":            "2s",
+		"STWIGD_UPDATE_LOCK_WAIT":       "250ms",
+		"STWIGD_UPDATE_QUEUE_DEPTH":     "7",
+		"STWIGD_UPDATE_BATCH_MAX":       "9",
+		"STWIGD_UPDATE_FAIRNESS_WINDOW": "40ms",
+		"STWIGD_NS_ROOT":                "/srv/graphs",
+		"STWIGD_ADMIN_TOKEN":            "hunter2",
 	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := Config{
-		MaxInFlight:     32,
-		DefaultTimeout:  45 * time.Second,
-		MaxTimeout:      3 * time.Minute,
-		MaxMatches:      1000,
-		MaxBytes:        1 << 20,
-		MaxRequestBytes: 2 << 20,
-		RetryAfter:      2 * time.Second,
-		UpdateLockWait:  250 * time.Millisecond,
-		NamespaceRoot:   "/srv/graphs",
-		AdminToken:      "hunter2",
+		MaxInFlight:          32,
+		DefaultTimeout:       45 * time.Second,
+		MaxTimeout:           3 * time.Minute,
+		MaxMatches:           1000,
+		MaxBytes:             1 << 20,
+		MaxRequestBytes:      2 << 20,
+		RetryAfter:           2 * time.Second,
+		UpdateLockWait:       250 * time.Millisecond,
+		UpdateQueueDepth:     7,
+		UpdateBatchMax:       9,
+		UpdateFairnessWindow: 40 * time.Millisecond,
+		NamespaceRoot:        "/srv/graphs",
+		AdminToken:           "hunter2",
 	}
 	if cfg != want {
 		t.Fatalf("FromEnv = %+v, want %+v", cfg, want)
@@ -63,9 +69,48 @@ func TestConfigFromEnv(t *testing.T) {
 		{"STWIGD_TIMEOUT": "30"},    // bare number is not a duration
 		{"STWIGD_MAX_BYTES": "1MB"}, // no unit suffixes on byte counts
 		{"STWIGD_UPDATE_LOCK_WAIT": "x"},
+		{"STWIGD_UPDATE_QUEUE_DEPTH": "deep"},
+		{"STWIGD_UPDATE_BATCH_MAX": "4.5"},
+		{"STWIGD_UPDATE_FAIRNESS_WINDOW": "fast"},
 	} {
 		if _, err := (Config{}).FromEnv(lookupMap(env)); err == nil {
 			t.Fatalf("FromEnv(%v) accepted garbage", env)
+		}
+	}
+}
+
+// TestConfigValidateUpdatePipeline pins the new knobs' validation: the
+// zero value normalizes to sane defaults, negatives are refused, and a
+// fairness window the writer's patience would always outlast — which would
+// silently disable the cutoff and reintroduce writer starvation — is
+// rejected up front.
+func TestConfigValidateUpdatePipeline(t *testing.T) {
+	norm := Config{}.normalize()
+	if norm.UpdateQueueDepth != 64 || norm.UpdateBatchMax != 32 || norm.UpdateFairnessWindow != 100*time.Millisecond {
+		t.Fatalf("normalized update defaults = depth %d, batch %d, window %v",
+			norm.UpdateQueueDepth, norm.UpdateBatchMax, norm.UpdateFairnessWindow)
+	}
+	// Short writer patience adapts the defaulted window below it instead of
+	// configuring a cutoff that can never mature.
+	short := Config{UpdateLockWait: 50 * time.Millisecond}.normalize()
+	if short.UpdateFairnessWindow != 25*time.Millisecond {
+		t.Fatalf("defaulted window under 50ms patience = %v, want 25ms", short.UpdateFairnessWindow)
+	}
+	if err := (Config{UpdateLockWait: 50 * time.Millisecond}).Validate(); err != nil {
+		t.Fatalf("short-patience config invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	for _, bad := range []Config{
+		{UpdateQueueDepth: -1},
+		{UpdateBatchMax: -2},
+		{UpdateFairnessWindow: -time.Second},
+		{UpdateFairnessWindow: 2 * time.Second, UpdateLockWait: time.Second}, // cutoff could never fire
+		{UpdateFairnessWindow: time.Second, UpdateLockWait: time.Second},     // ... nor at equality
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
 		}
 	}
 }

@@ -31,15 +31,22 @@ type namespace struct {
 	met     *metrics
 	created time.Time
 
-	// updMu enforces memcloud's single-writer / quiesced-reader update
+	// gate enforces memcloud's single-writer / quiesced-reader update
 	// discipline at the service boundary for this tenant only: queries and
-	// explains hold the read side for their full execution, updates take
-	// the write side.
-	updMu sync.RWMutex
+	// explains hold the read side for their full execution; pipe's
+	// dispatcher is the gate's only writer. The gate is writer-priority
+	// with an epoch cutoff (see updatequeue.go), so a steady reader stream
+	// can no longer starve this tenant's own updates forever.
+	gate *updateGate
+	// pipe is the tenant's update pipeline: a bounded FIFO of mutations
+	// drained by one dispatcher goroutine that batch-applies them under a
+	// single writer window per batch.
+	pipe *updatePipeline
 }
 
 func newNamespace(name string, eng *core.Engine, cfg Config) *namespace {
 	cfg = cfg.normalize()
+	gate := newUpdateGate()
 	return &namespace{
 		name:    name,
 		eng:     eng,
@@ -47,28 +54,14 @@ func newNamespace(name string, eng *core.Engine, cfg Config) *namespace {
 		adm:     newAdmission(cfg.MaxInFlight),
 		met:     newMetrics(),
 		created: time.Now(),
+		gate:    gate,
+		pipe:    newUpdatePipeline(eng, gate, cfg),
 	}
 }
 
-// acquireUpdateLock polls for the writer side of updMu without ever
-// parking in Lock(): sync.RWMutex blocks every new reader behind a waiting
-// writer, so one update parked behind a long stream would stall all new
-// queries while they hold admission slots — a fleet-wide 429 cascade from
-// a single mutation. Bounded polling trades writer fairness for read
-// availability; an update that cannot get in within the window surfaces as
-// 503 + Retry-After instead (see ROADMAP's update-backpressure follow-on).
-func (ns *namespace) acquireUpdateLock() bool {
-	deadline := time.Now().Add(ns.cfg.UpdateLockWait)
-	for {
-		if ns.updMu.TryLock() {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-}
+// close stops the namespace's update dispatcher; still-queued updates fail
+// with 503. In-flight queries are unaffected (the gate stays functional).
+func (ns *namespace) close() { ns.pipe.close() }
 
 // info snapshots the namespace for the admin surfaces.
 func (ns *namespace) info() NamespaceInfo {
@@ -345,7 +338,12 @@ func (s *Server) AddNamespace(name string, eng *core.Engine, cfg *Config) error 
 			return err
 		}
 	}
-	return s.reg.add(newNamespace(name, eng, nsCfg), 0)
+	ns := newNamespace(name, eng, nsCfg)
+	if err := s.reg.add(ns, 0); err != nil {
+		ns.close()
+		return err
+	}
+	return nil
 }
 
 // AddNamespaceSpec materializes spec (possibly loading a graph file or
@@ -373,14 +371,22 @@ func (s *Server) addNamespaceSpec(spec NamespaceSpec, maxTotal int) error {
 	if err != nil {
 		return err
 	}
-	return s.reg.add(newNamespace(spec.Name, eng, spec.configFor(s.cfg)), maxTotal)
+	ns := newNamespace(spec.Name, eng, spec.configFor(s.cfg))
+	if err := s.reg.add(ns, maxTotal); err != nil {
+		ns.close()
+		return err
+	}
+	return nil
 }
 
 // DropNamespace removes name from the registry. In-flight requests against
-// it finish normally; subsequent requests 404. It reports whether the
-// namespace existed.
+// it finish normally; updates still sitting in its queue fail with 503.
+// Subsequent requests 404. It reports whether the namespace existed.
 func (s *Server) DropNamespace(name string) bool {
-	_, ok := s.reg.remove(name)
+	ns, ok := s.reg.remove(name)
+	if ok {
+		ns.close()
+	}
 	return ok
 }
 

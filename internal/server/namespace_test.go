@@ -7,12 +7,15 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"stwig/internal/core"
 	"stwig/internal/graph"
+	"stwig/internal/memcloud"
 	"stwig/internal/rmat"
 	"stwig/internal/server"
 	"stwig/internal/server/client"
@@ -38,6 +41,8 @@ func TestTwoTenantIsolation(t *testing.T) {
 	}
 	ts := newHTTPServer(t, svc)
 	root := client.New(ts.URL)
+	// This test pins the raw 503 busy contract; retries would mask it.
+	root.SetUpdateRetry(0, 0)
 	ca, cb := root.Namespace("a"), root.Namespace("b")
 	tr := &http.Transport{}
 	hc := &http.Client{Transport: tr}
@@ -109,6 +114,7 @@ func TestTwoTenantIsolation(t *testing.T) {
 // newHTTPServer wraps an already-built Server in an httptest listener.
 func newHTTPServer(t testing.TB, svc *server.Server) *httptest.Server {
 	t.Helper()
+	t.Cleanup(svc.Close) // after ts.Close (LIFO): stop update dispatchers
 	ts := httptest.NewServer(svc)
 	t.Cleanup(ts.Close)
 	return ts
@@ -381,6 +387,268 @@ func TestRuntimeNamespaceCeiling(t *testing.T) {
 		Name: "afterdrop", Spec: "rmat:scale=4,degree=2,labels=2,machines=1",
 	}); err != nil {
 		t.Fatalf("create after drop: %v", err)
+	}
+}
+
+// waitQueue polls the tenant's /stats until its update-queue snapshot
+// satisfies pred, failing the test at the wait if it never does.
+func waitQueue(t *testing.T, c *client.Client, desc string, pred func(server.UpdateQueueInfo) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Stats(context.Background())
+		if err == nil && pred(st.UpdateQueue) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("update queue never reached %s: %+v err=%v", desc, st, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// saturationEngine builds a private single-label engine whose wedge queries
+// do real work, so looping readers keep the tenant's reader gate
+// continuously occupied. Private per test: these tests mutate the graph.
+func saturationEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	g := rmat.MustGenerate(rmat.Params{Scale: 11, AvgDegree: 8, NumLabels: 1, Seed: 7})
+	cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 4})
+	if err := cluster.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(cluster, core.Options{})
+}
+
+// TestWriterFairnessUnderReaderSaturation is the starvation regression
+// test: 8 looping readers keep a namespace's reader gate continuously
+// held — the old bounded-poll writer (TryLock, which only succeeds in the
+// instant no reader is inside) lost every race here — while an update is
+// enqueued. The fairness cutoff must get the writer in within a bounded
+// number of reader windows, and the readers must all keep succeeding.
+func TestWriterFairnessUnderReaderSaturation(t *testing.T) {
+	svc, _, c := newTestServer(t, saturationEngine(t), server.Config{
+		MaxInFlight:          16,
+		UpdateLockWait:       10 * time.Second,
+		UpdateFairnessWindow: 20 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	readErrs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				stats, err := c.Query(ctx, server.QueryRequest{Pattern: heavyPattern, MaxMatches: 400}, nil)
+				if err != nil {
+					readErrs <- fmt.Errorf("reader query: %w", err)
+					return
+				}
+				if stats.Matches == 0 {
+					readErrs <- fmt.Errorf("reader query returned no matches")
+					return
+				}
+			}
+		}()
+	}
+	// Let the readers reach steady-state saturation before the write.
+	time.Sleep(200 * time.Millisecond)
+
+	start := time.Now()
+	resp, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "parked"})
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	close(readErrs)
+	for e := range readErrs {
+		t.Error(e)
+	}
+	if err != nil {
+		t.Fatalf("update under reader saturation: %v", err)
+	}
+	if resp.Epoch == 0 {
+		t.Fatalf("update applied but epoch did not advance: %+v", resp)
+	}
+	// The bound: one fairness window for the cutoff plus the in-flight
+	// readers' own drain time, nowhere near the 10s writer patience (and
+	// categorically not a timeout-shaped number). Generous for CI noise.
+	if elapsed > 5*time.Second {
+		t.Fatalf("update took %v under reader saturation, want bounded by the fairness window", elapsed)
+	}
+
+	// The write is durable and observable: stats report the applied batch.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates.NodesAdded != 1 || st.UpdateQueue.Applied != 1 || st.UpdateQueue.Batches == 0 {
+		t.Fatalf("update pipeline stats after fairness run: updates=%+v queue=%+v", st.Updates, st.UpdateQueue)
+	}
+	if st.UpdateQueue.Wait.Count != 1 {
+		t.Fatalf("queue wait histogram count = %d, want 1", st.UpdateQueue.Wait.Count)
+	}
+	svc.Close()
+}
+
+// TestUpdateQueueBackpressureAndDrain pins the queue contract end to end:
+// with depth 1 and the writer parked behind a pinned stream, the first
+// update is held by the dispatcher, the second fills the queue, the third
+// is refused with 503 + Retry-After; once the stream dies the queue drains,
+// both held updates land, and stopping the pipeline leaks no goroutines.
+func TestUpdateQueueBackpressureAndDrain(t *testing.T) {
+	svc, ts, c := newTestServer(t, saturationEngine(t), server.Config{
+		MaxInFlight:          4,
+		UpdateQueueDepth:     1,
+		UpdateBatchMax:       1,
+		UpdateLockWait:       30 * time.Second,
+		UpdateFairnessWindow: 50 * time.Millisecond,
+	})
+	c.SetUpdateRetry(0, 0) // the 503 is the assertion, not a transient
+	ctx := context.Background()
+	tr := &http.Transport{}
+	hc := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine() + 8
+
+	// Pin a stream: its executor holds the reader gate until canceled.
+	cancel, typ := startStream(t, ts.URL, hc)
+	defer cancel()
+	if typ != server.RecordMatch {
+		t.Fatalf("first record %q, want a match", typ)
+	}
+
+	// u1 is picked up by the dispatcher, which parks for the writer window.
+	type updOut struct {
+		resp *server.UpdateResponse
+		err  error
+	}
+	u1, u2 := make(chan updOut, 1), make(chan updOut, 1)
+	go func() {
+		r, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "qa"})
+		u1 <- updOut{r, err}
+	}()
+	waitQueue(t, c, "dispatcher holding u1", func(q server.UpdateQueueInfo) bool {
+		return q.Enqueued == 1 && q.Queued == 0
+	})
+	// u2 fills the depth-1 queue.
+	go func() {
+		r, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "qb"})
+		u2 <- updOut{r, err}
+	}()
+	waitQueue(t, c, "u2 queued", func(q server.UpdateQueueInfo) bool { return q.Queued == 1 })
+
+	// u3 bounces off the full queue: 503, Retry-After, and it is counted.
+	_, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "overflow"})
+	se, ok := err.(*client.StatusError)
+	if !ok || se.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("update against a full queue: err = %v, want 503", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("queue-full 503 carried no Retry-After hint: %+v", se)
+	}
+	if !strings.Contains(se.Message, "queue full") {
+		t.Fatalf("queue-full 503 message %q does not name the queue", se.Message)
+	}
+
+	// Drain: kill the pinned stream; the writer window opens and both held
+	// updates land, in FIFO order (qa got the lower vertex ID).
+	cancel()
+	o1, o2 := <-u1, <-u2
+	if o1.err != nil || o2.err != nil {
+		t.Fatalf("held updates after drain: u1 err=%v u2 err=%v", o1.err, o2.err)
+	}
+	if o1.resp.NodeID+1 != o2.resp.NodeID {
+		t.Fatalf("FIFO violated: u1 node %d, u2 node %d", o1.resp.NodeID, o2.resp.NodeID)
+	}
+	if o1.resp.WaitMicros <= 0 {
+		t.Fatalf("u1 reported no queue wait: %+v", o1.resp)
+	}
+
+	// The mutations are queryable: stitch the two fresh nodes and match.
+	if _, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddEdge, U: o1.resp.NodeID, V: o2.resp.NodeID}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Query(ctx, server.QueryRequest{Pattern: "(a:qa)-(b:qb)"}, func(a []int64) bool {
+		if a[0] != o1.resp.NodeID || a[1] != o2.resp.NodeID {
+			t.Errorf("assignment %v, want [%d %d]", a, o1.resp.NodeID, o2.resp.NodeID)
+		}
+		return true
+	})
+	if err != nil || stats.Matches != 1 {
+		t.Fatalf("query after drain: stats=%+v err=%v", stats, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.UpdateQueue
+	if q.RejectedFull != 1 || q.Applied != 3 || q.Queued != 0 || q.Depth != 1 {
+		t.Fatalf("queue stats after drain = %+v, want 1 rejection, 3 applied, empty", q)
+	}
+
+	// No goroutine leaks once the pipeline stops.
+	waitNoInFlight(t, c)
+	svc.Close()
+	tr.CloseIdleConnections()
+	waitGoroutines(t, baseline, 10*time.Second)
+}
+
+// TestDropWhileUpdateParkedReportsClosed pins the shutdown contract: an
+// update whose batch is parked on the writer window when its namespace is
+// dropped must be answered as "dropped", not as a retryable "busy" — and
+// must not pollute the busy-timeout counter of a clean teardown.
+func TestDropWhileUpdateParkedReportsClosed(t *testing.T) {
+	svc, err := server.NewMulti(server.Config{UpdateLockWait: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddNamespace("x", saturationEngine(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, svc)
+	c := client.New(ts.URL).Namespace("x")
+	c.SetUpdateRetry(0, 0)
+	tr := &http.Transport{}
+	hc := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	cancel, typ := startStream(t, ts.URL+"/ns/x", hc)
+	defer cancel()
+	if typ != server.RecordMatch {
+		t.Fatalf("first record %q, want a match", typ)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "late"})
+		done <- err
+	}()
+	waitQueue(t, c, "dispatcher holding the update", func(q server.UpdateQueueInfo) bool {
+		return q.Enqueued == 1 && q.Queued == 0
+	})
+	if !svc.DropNamespace("x") {
+		t.Fatal("drop failed")
+	}
+	err = <-done
+	se, ok := err.(*client.StatusError)
+	if !ok || se.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("parked update after drop: err = %v, want 503", err)
+	}
+	if !strings.Contains(se.Message, "dropped") {
+		t.Fatalf("parked update after drop reported %q, want the dropped-namespace message (busy would invite retries against a dead tenant)", se.Message)
 	}
 }
 

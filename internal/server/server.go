@@ -15,6 +15,7 @@ import (
 
 	"stwig/internal/core"
 	"stwig/internal/graph"
+	"stwig/internal/memcloud"
 	"stwig/internal/pattern"
 )
 
@@ -126,6 +127,17 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // expires. Idempotent.
 func (s *Server) Abort() { s.abort() }
 
+// Close releases the server's background resources: every namespace's
+// update dispatcher stops and its still-queued updates fail with 503.
+// Call it after the HTTP listener has shut down (tests, daemon exit);
+// in-flight query streams are not interrupted — use Abort for that.
+// Idempotent.
+func (s *Server) Close() {
+	for _, ns := range s.reg.list() {
+		ns.close()
+	}
+}
+
 // instrument wraps a non-tenant handler with request counting and latency
 // observation; the handler reports whether the request ended in an error.
 func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
@@ -176,6 +188,17 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 	secs := int((d + time.Second - 1) / time.Second)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// writeGateError reports a reader-gate wait that ended without admission:
+// 504 when the request's deadline expired while a parked writer held the
+// cutoff, 503 for every other cancellation.
+func writeGateError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while waiting for a graph update")
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "canceled while waiting for a graph update")
 }
 
 // rejectOverloaded sends the 429 admission refusal with a Retry-After hint.
@@ -250,8 +273,15 @@ func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Reque
 	ctx, cancel := s.requestContext(r, lim)
 	defer cancel()
 
-	ns.updMu.RLock()
-	defer ns.updMu.RUnlock()
+	// Enter the tenant's reader gate. A parked update dispatcher past its
+	// fairness window holds the gate against new readers; the park here is
+	// bounded by the writer's patience (UpdateLockWait) and this request's
+	// own deadline.
+	if err := ns.gate.rlock(ctx); err != nil {
+		writeGateError(w, err)
+		return true
+	}
+	defer ns.gate.runlock()
 
 	// The 200 header is deferred to the first record: execution errors
 	// that precede any output can still use a proper error status.
@@ -343,9 +373,20 @@ func (s *Server) handleExplain(ns *namespace, w http.ResponseWriter, r *http.Req
 		writeError(w, status, err.Error())
 		return true
 	}
-	ns.updMu.RLock()
+	// Same gate discipline as /query: bounded by the server's default
+	// deadline while a parked writer holds the cutoff, with the same
+	// status split for the two ways the wait can end.
+	ctx, cancel := s.requestContext(r, core.Limits{Timeout: ns.cfg.DefaultTimeout})
+	defer cancel()
+	if err := ns.gate.rlock(ctx); err != nil {
+		writeGateError(w, err)
+		return true
+	}
+	// Deferred like every other gate exit: if ExplainCached panics (and
+	// net/http's recover swallows it), a non-deferred release would leak
+	// the reader forever and brick this tenant's update path.
+	defer ns.gate.runlock()
 	plan, hit, err := ns.eng.ExplainCached(q)
-	ns.updMu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return true
@@ -365,44 +406,73 @@ func (s *Server) handleUpdate(ns *namespace, w http.ResponseWriter, r *http.Requ
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return true
 	}
-	cluster := ns.eng.Cluster()
-	var resp UpdateResponse
-	if !ns.acquireUpdateLock() {
-		setRetryAfter(w, ns.cfg.RetryAfter)
-		writeError(w, http.StatusServiceUnavailable, "update busy: in-flight queries hold the graph; retry")
-		return true
-	}
-	defer ns.updMu.Unlock()
+	var mut memcloud.Mutation
 	switch req.Op {
 	case OpAddNode:
 		if req.Label == "" {
 			writeError(w, http.StatusBadRequest, "add_node requires a label")
 			return true
 		}
-		id, err := cluster.AddNode(req.Label)
-		if err != nil {
-			writeError(w, http.StatusConflict, err.Error())
+		mut = memcloud.Mutation{Op: memcloud.MutAddNode, Label: req.Label}
+	case OpAddEdge, OpRemoveEdge:
+		// Reject obviously-invalid IDs before they share a batch with
+		// other clients' mutations; the store re-validates against the
+		// live vertex range under the write lock.
+		if req.U < 0 || req.V < 0 {
+			writeError(w, http.StatusBadRequest, "u and v must be non-negative vertex IDs")
 			return true
 		}
-		resp.NodeID = int64(id)
-	case OpAddEdge:
-		if err := cluster.AddEdge(graph.NodeID(req.U), graph.NodeID(req.V)); err != nil {
-			writeError(w, http.StatusConflict, err.Error())
-			return true
+		op := memcloud.MutAddEdge
+		if req.Op == OpRemoveEdge {
+			op = memcloud.MutRemoveEdge
 		}
-	case OpRemoveEdge:
-		if err := cluster.RemoveEdge(graph.NodeID(req.U), graph.NodeID(req.V)); err != nil {
-			writeError(w, http.StatusConflict, err.Error())
-			return true
-		}
+		mut = memcloud.Mutation{Op: op, U: graph.NodeID(req.U), V: graph.NodeID(req.V)}
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q (want %s, %s, or %s)",
 			req.Op, OpAddNode, OpAddEdge, OpRemoveEdge))
 		return true
 	}
-	resp.Epoch = cluster.Epoch()
-	writeJSON(w, http.StatusOK, resp)
-	return false
+
+	job, full, err := ns.pipe.enqueue(mut)
+	switch {
+	case full:
+		setRetryAfter(w, ns.cfg.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("update queue full: namespace %q has %d updates pending; retry", ns.name, ns.cfg.UpdateQueueDepth))
+		return true
+	case err != nil: // queue closed: the namespace was dropped
+		writeError(w, http.StatusServiceUnavailable, "namespace is shutting down")
+		return true
+	}
+
+	select {
+	case out := <-job.done:
+		switch {
+		case errors.Is(out.err, errUpdateBusy):
+			setRetryAfter(w, ns.cfg.RetryAfter)
+			writeError(w, http.StatusServiceUnavailable, "update busy: in-flight queries hold the graph; retry")
+			return true
+		case errors.Is(out.err, errUpdateQueueClosed):
+			writeError(w, http.StatusServiceUnavailable, "namespace dropped while the update was queued")
+			return true
+		case out.err != nil: // recovered batch panic
+			writeError(w, http.StatusInternalServerError, out.err.Error())
+			return true
+		case out.res.Err != nil:
+			writeError(w, http.StatusConflict, out.res.Err.Error())
+			return true
+		}
+		resp := UpdateResponse{Epoch: out.res.Epoch, WaitMicros: out.waitMicros}
+		if out.res.NodeID != graph.InvalidNode {
+			resp.NodeID = int64(out.res.NodeID)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return false
+	case <-r.Context().Done():
+		// The client is gone; the queued mutation may still apply — at
+		// this point it is the dispatcher's, not the request's.
+		return true
+	}
 }
 
 func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
@@ -445,8 +515,9 @@ func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Reque
 			EdgesRemoved: snap.Updates.EdgesRemoved,
 			GarbageWords: snap.Updates.GarbageWords,
 		},
-		Admission: ns.adm.stats(),
-		Endpoints: endpoints,
+		Admission:   ns.adm.stats(),
+		UpdateQueue: ns.pipe.stats(),
+		Endpoints:   endpoints,
 	})
 	return false
 }

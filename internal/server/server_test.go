@@ -45,6 +45,7 @@ func newTestServer(t testing.TB, eng *core.Engine, cfg server.Config) (*server.S
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(svc.Close) // after ts.Close (LIFO): stop update dispatchers
 	ts := httptest.NewServer(svc)
 	t.Cleanup(ts.Close)
 	c := client.New(ts.URL)
@@ -256,6 +257,49 @@ func TestUpdateLifecycle(t *testing.T) {
 	_, err = c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode})
 	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest {
 		t.Fatalf("add_node without label: err = %v, want 400", err)
+	}
+}
+
+// TestUpdateRejectsPoisonedVertexIDs pins the poisoned-mutation defenses
+// on the worst-case partitioner: table-backed BFS partitioning indexes an
+// owners array by vertex ID, so before this PR's validation an
+// out-of-range ID from the network panicked inside the store — and the
+// dispatcher goroutine has no net/http recover above it, so that panic
+// would now take the whole process down. Negative IDs are refused at the
+// HTTP boundary (400, never sharing a batch with other clients' work);
+// in-range-typed but nonexistent IDs are refused by the store (409); and
+// the namespace keeps serving afterwards.
+func TestUpdateRejectsPoisonedVertexIDs(t *testing.T) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 8, AvgDegree: 8, NumLabels: 4, Seed: 42})
+	cluster := memcloud.MustNewCluster(memcloud.Config{
+		Machines:    2,
+		Partitioner: memcloud.NewBFSPartitioner(g, 2),
+	})
+	if err := cluster.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(cluster, core.Options{})
+	_, _, c := newTestServer(t, eng, server.Config{})
+	ctx := context.Background()
+
+	_, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddEdge, U: -1, V: 0})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative vertex ID: err = %v, want 400", err)
+	}
+	_, err = c.Update(ctx, server.UpdateRequest{Op: server.OpRemoveEdge, U: 0, V: -5})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative vertex ID on remove: err = %v, want 400", err)
+	}
+	_, err = c.Update(ctx, server.UpdateRequest{Op: server.OpAddEdge, U: 1 << 40, V: 0})
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusConflict {
+		t.Fatalf("out-of-range vertex ID: err = %v, want 409 from the store", err)
+	}
+	// The tenant survived: queries run and further updates apply.
+	if stats, err := c.Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 1}, nil); err != nil || stats.Matches == 0 {
+		t.Fatalf("query after poisoned updates: stats=%+v err=%v", stats, err)
+	}
+	if _, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "alive"}); err != nil {
+		t.Fatalf("update after poisoned updates: %v", err)
 	}
 }
 
@@ -543,6 +587,8 @@ func TestDeadlineExceededErrorRecord(t *testing.T) {
 func TestUpdateBusyBehindStream(t *testing.T) {
 	eng := heavyEngine()
 	_, ts, c := newTestServer(t, eng, server.Config{UpdateLockWait: 50 * time.Millisecond})
+	// This test pins the raw 503 busy contract; retries would mask it.
+	c.SetUpdateRetry(0, 0)
 	tr := &http.Transport{}
 	hc := &http.Client{Transport: tr}
 	defer tr.CloseIdleConnections()

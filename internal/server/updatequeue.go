@@ -1,0 +1,413 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/memcloud"
+)
+
+// This file is the namespace's update pipeline: a bounded FIFO queue of
+// mutations in front of a single dispatcher goroutine that batches queued
+// work and applies it through memcloud.Cluster.ApplyBatch under one writer
+// window. It replaces the old bounded-poll writer acquisition, which lost
+// every race against a steady reader stream — TryLock only succeeds in the
+// instant no reader holds the gate, so a hot tenant starved its own updates
+// forever (ROADMAP: "Backpressure on updates").
+//
+// Fairness is writer-priority with an epoch cutoff: a parked writer first
+// grants arriving readers a bounded grace window (Config.
+// UpdateFairnessWindow) to preserve read availability, then closes the gate
+// to NEW readers — the ones already inside finish normally — so the writer
+// admits at most one bounded reader window before it runs. If the in-flight
+// readers never drain (a stream pinned by a stalled client), the writer
+// gives up after Config.UpdateLockWait and the queued batch fails with the
+// same 503 + Retry-After contract the old path had; the cutoff is lifted so
+// readers never stall behind a writer that is no longer trying.
+
+// errUpdateBusy reports that the dispatcher could not open a writer window
+// within UpdateLockWait: in-flight readers held the graph the whole time.
+var errUpdateBusy = errors.New("update busy: in-flight queries hold the graph")
+
+// errUpdateQueueClosed reports the namespace was dropped (or the server
+// closed) while the update was still queued.
+var errUpdateQueueClosed = errors.New("update queue closed")
+
+// errUpdateInternal wraps a panic recovered from a batch application: the
+// dispatcher goroutine has no net/http per-request recover above it, so
+// without containment one poisoned mutation would crash every tenant in
+// the process instead of failing one request as the old inline path did.
+var errUpdateInternal = errors.New("internal update failure")
+
+// updateGate is the namespace's reader/writer gate. Readers (queries,
+// explains) hold it shared for their full execution; the dispatcher — the
+// gate's only writer — takes it exclusively per batch. Unlike sync.RWMutex,
+// a parked writer does not block new readers immediately: it blocks them
+// only after the fairness window elapses (the epoch cutoff), and releases
+// them again if it gives up.
+type updateGate struct {
+	mu      sync.Mutex
+	readers int
+	writer  bool
+	cutoff  bool
+	// change is closed and replaced on every state transition — a
+	// context-aware broadcast both sides wait on.
+	change chan struct{}
+}
+
+func newUpdateGate() *updateGate { return &updateGate{change: make(chan struct{})} }
+
+func (g *updateGate) broadcastLocked() {
+	close(g.change)
+	g.change = make(chan struct{})
+}
+
+// rlock admits a reader, parking while a writer holds the gate or a parked
+// writer has passed its fairness window. The park is bounded by the
+// writer's own patience (UpdateLockWait) and by ctx.
+func (g *updateGate) rlock(ctx context.Context) error {
+	for {
+		g.mu.Lock()
+		if !g.writer && !g.cutoff {
+			g.readers++
+			g.mu.Unlock()
+			return nil
+		}
+		ch := g.change
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func (g *updateGate) runlock() {
+	g.mu.Lock()
+	g.readers--
+	if g.readers == 0 {
+		g.broadcastLocked()
+	}
+	g.mu.Unlock()
+}
+
+// lock opens the writer window: it parks until every admitted reader has
+// released, closing the gate to new readers once window has elapsed. It
+// gives up after patience (or when stop closes), lifting the cutoff, and
+// reports whether the window was acquired.
+func (g *updateGate) lock(patience, window time.Duration, stop <-chan struct{}) bool {
+	start := time.Now()
+	deadline := start.Add(patience)
+	cutoffAt := start.Add(window)
+	giveUp := func() bool {
+		g.cutoff = false
+		g.broadcastLocked()
+		g.mu.Unlock()
+		return false
+	}
+	for {
+		g.mu.Lock()
+		if g.readers == 0 {
+			g.writer = true
+			g.cutoff = false
+			g.mu.Unlock()
+			return true
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return giveUp()
+		}
+		if !g.cutoff && !now.Before(cutoffAt) {
+			g.cutoff = true
+			g.broadcastLocked() // wake nobody useful, but keep change fresh
+		}
+		cut := g.cutoff
+		ch := g.change
+		g.mu.Unlock()
+
+		// Sleep until a reader releases, the cutoff matures, patience runs
+		// out, or the pipeline stops.
+		wake := deadline
+		if !cut && cutoffAt.Before(wake) {
+			wake = cutoffAt
+		}
+		t := time.NewTimer(time.Until(wake))
+		select {
+		case <-stop:
+			t.Stop()
+			g.mu.Lock()
+			return giveUp()
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+func (g *updateGate) unlock() {
+	g.mu.Lock()
+	g.writer = false
+	g.cutoff = false
+	g.broadcastLocked()
+	g.mu.Unlock()
+}
+
+// updateJob is one queued mutation plus its rendezvous with the waiting
+// handler.
+type updateJob struct {
+	mut  memcloud.Mutation
+	enq  time.Time
+	done chan updateJobResult // buffered: the dispatcher never blocks on it
+}
+
+type updateJobResult struct {
+	res        memcloud.MutationResult
+	waitMicros int64
+	err        error // errUpdateBusy / errUpdateQueueClosed; res.Err carries conflicts
+}
+
+// batchSizeBuckets are the update pipeline's batch-size histogram upper
+// bounds; the final implicit bucket is unbounded.
+var batchSizeBuckets = [...]int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// updatePipeline is one namespace's write path: enqueue puts a mutation on
+// the bounded FIFO (refusing when full — the caller turns that into 503 +
+// Retry-After), and a lazily started dispatcher goroutine drains the queue
+// in batches, applying each batch through ApplyBatch under one writer
+// window of the gate.
+type updatePipeline struct {
+	eng  *core.Engine
+	gate *updateGate
+	cfg  Config
+
+	jobs chan *updateJob
+	stop chan struct{}
+	done chan struct{}
+
+	mu           sync.Mutex
+	started      bool
+	closed       bool
+	enqueued     uint64
+	rejectedFull uint64
+	applied      uint64
+	conflicts    uint64
+	busyTimeouts uint64
+	batches      uint64
+	maxBatch     int
+	batchSizes   [len(batchSizeBuckets) + 1]uint64
+	waitHist     histogram
+	applyHist    histogram
+}
+
+func newUpdatePipeline(eng *core.Engine, gate *updateGate, cfg Config) *updatePipeline {
+	return &updatePipeline{
+		eng:  eng,
+		gate: gate,
+		cfg:  cfg,
+		jobs: make(chan *updateJob, cfg.UpdateQueueDepth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// enqueue queues one mutation, starting the dispatcher on first use, and
+// returns the job to wait on. The error is errUpdateQueueClosed after close
+// or nil; full reports a queue-full refusal.
+func (p *updatePipeline) enqueue(mut memcloud.Mutation) (job *updateJob, full bool, err error) {
+	job = &updateJob{mut: mut, enq: time.Now(), done: make(chan updateJobResult, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, errUpdateQueueClosed
+	}
+	if !p.started {
+		p.started = true
+		go p.run()
+	}
+	select {
+	case p.jobs <- job:
+		p.enqueued++
+		p.mu.Unlock()
+		return job, false, nil
+	default:
+		p.rejectedFull++
+		p.mu.Unlock()
+		return nil, true, nil
+	}
+}
+
+// close stops the dispatcher, failing every still-queued job with
+// errUpdateQueueClosed, and waits for it to exit. Idempotent.
+func (p *updatePipeline) close() {
+	p.mu.Lock()
+	if p.closed {
+		started := p.started
+		p.mu.Unlock()
+		if started {
+			<-p.done
+		}
+		return
+	}
+	p.closed = true
+	started := p.started
+	p.mu.Unlock()
+	close(p.stop)
+	if started {
+		<-p.done
+	}
+}
+
+func (p *updatePipeline) run() {
+	defer close(p.done)
+	for {
+		var first *updateJob
+		select {
+		case <-p.stop:
+			p.drainClosed()
+			return
+		case first = <-p.jobs:
+		}
+		p.apply(p.collect(first))
+	}
+}
+
+// collect forms a batch: the triggering job plus whatever is already queued,
+// up to UpdateBatchMax.
+func (p *updatePipeline) collect(first *updateJob) []*updateJob {
+	batch := []*updateJob{first}
+	for len(batch) < p.cfg.UpdateBatchMax {
+		select {
+		case j := <-p.jobs:
+			batch = append(batch, j)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// apply opens one writer window for the whole batch. On a busy timeout the
+// entire batch fails — each job gets the 503 contract its author would have
+// gotten from the old per-request path. A failure caused by shutdown is
+// reported as closed, not busy: "busy" invites a retry against a namespace
+// that no longer exists and would pollute the busy_timeouts counter on
+// every clean drop.
+func (p *updatePipeline) apply(batch []*updateJob) {
+	if !p.gate.lock(p.cfg.UpdateLockWait, p.cfg.UpdateFairnessWindow, p.stop) {
+		failure := errUpdateBusy
+		select {
+		case <-p.stop:
+			failure = errUpdateQueueClosed
+		default:
+			p.mu.Lock()
+			p.busyTimeouts++
+			p.mu.Unlock()
+		}
+		for _, j := range batch {
+			j.done <- updateJobResult{err: failure}
+		}
+		return
+	}
+	acquired := time.Now()
+	muts := make([]memcloud.Mutation, len(batch))
+	for i, j := range batch {
+		muts[i] = j.mut
+	}
+	results, panicErr := p.runBatch(muts)
+	applyTime := time.Since(acquired)
+	if panicErr != nil {
+		// The cluster's own locks were released by their defers; the graph
+		// may hold the batch's earlier mutations (best effort, like a
+		// crashed inline handler). Fail the batch, keep the tenant alive.
+		for _, j := range batch {
+			j.done <- updateJobResult{err: panicErr}
+		}
+		return
+	}
+
+	p.mu.Lock()
+	p.batches++
+	if len(batch) > p.maxBatch {
+		p.maxBatch = len(batch)
+	}
+	bi := 0
+	for bi < len(batchSizeBuckets) && len(batch) > batchSizeBuckets[bi] {
+		bi++
+	}
+	p.batchSizes[bi]++
+	for _, r := range results {
+		if r.Err != nil {
+			p.conflicts++
+		} else {
+			p.applied++
+		}
+	}
+	p.mu.Unlock()
+	p.applyHist.observe(applyTime)
+
+	for i, j := range batch {
+		wait := acquired.Sub(j.enq)
+		p.waitHist.observe(wait)
+		j.done <- updateJobResult{res: results[i], waitMicros: wait.Microseconds()}
+	}
+}
+
+// runBatch applies the batch under the already-acquired writer window,
+// releasing the gate and converting a panic into errUpdateInternal — the
+// blast radius of a poisoned mutation must stay one batch, not the
+// process.
+func (p *updatePipeline) runBatch(muts []memcloud.Mutation) (results []memcloud.MutationResult, err error) {
+	defer p.gate.unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errUpdateInternal, r)
+		}
+	}()
+	return p.eng.Cluster().ApplyBatch(muts), nil
+}
+
+// drainClosed fails everything still queued at close time.
+func (p *updatePipeline) drainClosed() {
+	for {
+		select {
+		case j := <-p.jobs:
+			j.done <- updateJobResult{err: errUpdateQueueClosed}
+		default:
+			return
+		}
+	}
+}
+
+// stats snapshots the pipeline for /stats.
+func (p *updatePipeline) stats() UpdateQueueInfo {
+	p.mu.Lock()
+	info := UpdateQueueInfo{
+		Depth:        cap(p.jobs),
+		Queued:       len(p.jobs),
+		Enqueued:     p.enqueued,
+		RejectedFull: p.rejectedFull,
+		Applied:      p.applied,
+		Conflicts:    p.conflicts,
+		BusyTimeouts: p.busyTimeouts,
+		Batches:      p.batches,
+		MaxBatch:     p.maxBatch,
+	}
+	sizes := p.batchSizes
+	p.mu.Unlock()
+	info.BatchSizes = make([]BucketCount, 0, len(sizes))
+	for i, n := range sizes {
+		le := -1 // the overflow bucket is unbounded
+		if i < len(batchSizeBuckets) {
+			le = batchSizeBuckets[i]
+		}
+		info.BatchSizes = append(info.BatchSizes, BucketCount{Le: le, Count: n})
+	}
+	info.Wait = p.waitHist.snapshot()
+	info.Apply = p.applyHist.snapshot()
+	return info
+}

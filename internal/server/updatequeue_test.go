@@ -1,0 +1,34 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stwig/internal/memcloud"
+)
+
+// TestRunBatchContainsPanic pins the dispatcher's last-resort defense: the
+// goroutine has no net/http recover above it, so a panic escaping a batch
+// application (here forced with a nil engine) must come back as
+// errUpdateInternal with the writer gate released — not crash the process
+// and take every tenant down.
+func TestRunBatchContainsPanic(t *testing.T) {
+	gate := newUpdateGate()
+	p := newUpdatePipeline(nil /* engine: Cluster() will nil-deref */, gate, Config{}.normalize())
+	if !gate.lock(time.Second, time.Millisecond, p.stop) {
+		t.Fatal("writer window not acquired on an idle gate")
+	}
+	_, err := p.runBatch([]memcloud.Mutation{{Op: memcloud.MutAddNode, Label: "x"}})
+	if !errors.Is(err, errUpdateInternal) {
+		t.Fatalf("runBatch err = %v, want errUpdateInternal", err)
+	}
+	// The deferred unlock ran despite the panic: a reader gets in at once.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := gate.rlock(ctx); err != nil {
+		t.Fatalf("gate still held after recovered panic: %v", err)
+	}
+	gate.runlock()
+}

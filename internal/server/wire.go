@@ -99,6 +99,9 @@ type UpdateResponse struct {
 	// Epoch is the cluster's mutation epoch after the update; cached plans
 	// from earlier epochs are invalidated.
 	Epoch uint64 `json:"epoch"`
+	// WaitMicros is how long the update sat in the tenant's queue (plus the
+	// dispatcher's wait for the writer window) before it was applied.
+	WaitMicros int64 `json:"wait_us,omitempty"`
 }
 
 // ErrorResponse is the body of every non-streaming error reply.
@@ -118,12 +121,13 @@ type StatsResponse struct {
 	// Draining reports the server has begun graceful shutdown.
 	Draining bool `json:"draining,omitempty"`
 
-	Graph     GraphInfo      `json:"graph"`
-	Engine    EngineInfo     `json:"engine"`
-	PlanCache PlanCacheInfo  `json:"plan_cache"`
-	Net       NetInfo        `json:"net"`
-	Updates   UpdateInfo     `json:"updates"`
-	Admission AdmissionStats `json:"admission"`
+	Graph       GraphInfo       `json:"graph"`
+	Engine      EngineInfo      `json:"engine"`
+	PlanCache   PlanCacheInfo   `json:"plan_cache"`
+	Net         NetInfo         `json:"net"`
+	Updates     UpdateInfo      `json:"updates"`
+	Admission   AdmissionStats  `json:"admission"`
+	UpdateQueue UpdateQueueInfo `json:"update_queue"`
 	// Endpoints maps route (e.g. "/query") to its request counters and
 	// latency histogram summary.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
@@ -168,6 +172,47 @@ type UpdateInfo struct {
 	EdgesAdded   uint64 `json:"edges_added"`
 	EdgesRemoved uint64 `json:"edges_removed"`
 	GarbageWords int64  `json:"garbage_words"`
+}
+
+// UpdateQueueInfo snapshots one tenant's update pipeline: the bounded FIFO
+// queue in front of the batching dispatcher.
+type UpdateQueueInfo struct {
+	// Depth is the configured queue capacity; enqueues beyond it are
+	// refused with 503 + Retry-After.
+	Depth int `json:"depth"`
+	// Queued is the number of updates currently waiting (excluding any
+	// batch the dispatcher is applying right now).
+	Queued int `json:"queued"`
+	// Enqueued and RejectedFull count queue admissions and queue-full
+	// refusals since start.
+	Enqueued     uint64 `json:"enqueued"`
+	RejectedFull uint64 `json:"rejected_full"`
+	// Applied counts mutations applied successfully; Conflicts counts
+	// per-mutation failures (missing vertex, duplicate edge, ...).
+	Applied   uint64 `json:"applied"`
+	Conflicts uint64 `json:"conflicts"`
+	// BusyTimeouts counts batches abandoned because the writer window
+	// never opened within the configured patience (every job in such a
+	// batch was answered 503).
+	BusyTimeouts uint64 `json:"busy_timeouts"`
+	// Batches counts writer windows opened; MaxBatch is the largest batch
+	// applied in one window.
+	Batches  uint64 `json:"batches"`
+	MaxBatch int    `json:"max_batch"`
+	// BatchSizes is the batch-size histogram: Count batches had a size of
+	// at most Le (the final bucket, Le = -1, is unbounded).
+	BatchSizes []BucketCount `json:"batch_sizes,omitempty"`
+	// Wait summarizes how long updates sat queued before their batch's
+	// writer window opened; Apply summarizes per-batch apply time.
+	Wait  LatencyStats `json:"wait"`
+	Apply LatencyStats `json:"apply"`
+}
+
+// BucketCount is one histogram bucket: Count observations were ≤ Le.
+// Le = -1 marks the unbounded overflow bucket.
+type BucketCount struct {
+	Le    int    `json:"le"`
+	Count uint64 `json:"count"`
 }
 
 // AdmissionStats snapshots the admission controller.
