@@ -12,9 +12,12 @@ import (
 	"math/rand"
 	"testing"
 
+	"path/filepath"
 	"stwig/internal/baseline"
 	"stwig/internal/core"
+
 	"stwig/internal/graph"
+	"stwig/internal/journal"
 	"stwig/internal/memcloud"
 	"stwig/internal/pattern"
 	"stwig/internal/rmat"
@@ -551,6 +554,75 @@ func BenchmarkUpdatePipeline(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkJournaledUpdate prices the durability tax on the write path:
+// the same 64-edge-toggle workload as BenchmarkUpdatePipeline, but with
+// each batch encoded and appended to a write-ahead journal before
+// ApplyBatch — exactly the ordering stwigd's dispatcher uses with
+// -data-dir. The nosync variants carry the CI regression gate's signal
+// (allocs/op, B/op: the encode+append path must stay allocation-flat);
+// the fsync variant reports the real durability latency informationally
+// (ns/op there is hardware- and filesystem-bound, so it is not gated).
+func BenchmarkJournaledUpdate(b *testing.B) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 13, AvgDegree: 8, NumLabels: 8, Seed: benchSeed})
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(benchSeed))
+	var pairs [][2]graph.NodeID
+	for len(pairs) < 64 {
+		u := graph.NodeID(rng.Int63n(n))
+		v := graph.NodeID(rng.Int63n(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		pairs = append(pairs, [2]graph.NodeID{u, v})
+	}
+	run := func(b *testing.B, fsync bool, batch int) {
+		c := benchCluster(b, g, 8)
+		w, err := journal.OpenWriter(filepath.Join(b.TempDir(), "bench.wal"), 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		muts := make([]memcloud.Mutation, len(pairs))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := memcloud.MutAddEdge
+			if i%2 == 1 {
+				op = memcloud.MutRemoveEdge
+			}
+			for j, p := range pairs {
+				muts[j] = memcloud.Mutation{Op: op, U: p[0], V: p[1]}
+			}
+			for off := 0; off < len(muts); off += batch {
+				end := off + batch
+				if end > len(muts) {
+					end = len(muts)
+				}
+				chunk := muts[off:end]
+				body, err := journal.EncodeBatch(chunk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.Append(body); err != nil {
+					b.Fatal(err)
+				}
+				if fsync {
+					if err := w.Sync(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for k, r := range c.ApplyBatch(chunk) {
+					if r.Err != nil {
+						b.Fatalf("mutation %d: %v", off+k, r.Err)
+					}
+				}
+			}
+		}
+	}
+	b.Run("nosync/batch=1", func(b *testing.B) { run(b, false, 1) })
+	b.Run("nosync/batch=64", func(b *testing.B) { run(b, false, 64) })
+	b.Run("fsync/batch=64", func(b *testing.B) { run(b, true, 64) })
 }
 
 // BenchmarkPatternParse measures the query DSL front end.

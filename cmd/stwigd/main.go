@@ -92,6 +92,9 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight streams")
 		nsRoot      = flag.String("ns-root", envCfg.NamespaceRoot, "directory POST /ns may load file:/text: graphs from (empty disables runtime file sources)")
 		adminToken  = flag.String("admin-token", envCfg.AdminToken, "bearer token required by POST /ns and DELETE /ns/{name} (empty disables namespace mutation over HTTP)")
+		dataDir     = flag.String("data-dir", envCfg.DataDir, "durability root: journal every update batch, checkpoint periodically, and recover namespaces on boot (empty disables persistence)")
+		ckptEvery   = flag.Int("checkpoint-every", intOr(envCfg.CheckpointEvery, 256), "journaled update batches between checkpoint/compaction cycles")
+		jrnlFsync   = flag.Bool("journal-fsync", !envCfg.JournalNoSync, "fsync the journal before applying each batch (disabling voids crash durability)")
 	)
 	var namespaces nsFlags
 	flag.Var(&namespaces, "ns", "additional namespace as name=spec, e.g. 'tenantA=rmat:scale=12,labels=8,inflight=4' or 'b=file:/data/g.bin' (repeatable)")
@@ -118,6 +121,9 @@ func main() {
 			UpdateFairnessWindow: *updFairness,
 			NamespaceRoot:        *nsRoot,
 			AdminToken:           *adminToken,
+			DataDir:              *dataDir,
+			CheckpointEvery:      *ckptEvery,
+			JournalNoSync:        !*jrnlFsync,
 		},
 		drain: *drain,
 	}); err != nil {
@@ -167,20 +173,35 @@ func run(cfg daemonConfig) error {
 	if err != nil {
 		return err
 	}
+	// With -data-dir, NewMulti has already recovered every persisted
+	// namespace (checkpoint + journal replay) before we get here.
+	recovered := svc.Namespaces()
+	for _, name := range recovered {
+		ns, _ := svc.NamespaceInfo(name)
+		fmt.Printf("namespace %q recovered from %s: %d nodes on %d machines\n",
+			name, cfg.srv.DataDir, ns.Graph.Nodes, ns.Graph.Machines)
+	}
 
 	// Default namespace from -graph / -rmat-scale; optional when -ns
-	// tenants are given (pure multi-tenant deployments need no default).
-	// All tenants — default included — go through the same
-	// NamespaceSpec.Build path, so loading behavior cannot drift between
-	// the legacy flags and the spec grammar.
-	specs, err := bootSpecs(cfg)
+	// tenants are given (pure multi-tenant deployments need no default) or
+	// when recovery already produced tenants. All tenants — default
+	// included — go through the same NamespaceSpec.Build path, so loading
+	// behavior cannot drift between the legacy flags and the spec grammar.
+	specs, err := bootSpecs(cfg, len(recovered))
 	if err != nil {
 		return err
+	}
+	already := make(map[string]bool, len(recovered))
+	for _, name := range recovered {
+		already[name] = true
 	}
 	for _, spec := range specs {
 		nsStart := time.Now()
 		if err := svc.AddNamespaceSpec(spec); err != nil {
 			return err
+		}
+		if already[spec.Name] {
+			continue // recovered above; the flag just re-stated it
 		}
 		ns, _ := svc.NamespaceInfo(spec.Name)
 		fmt.Printf("namespace %q (%s): %d nodes on %d machines, ready in %v\n",
@@ -231,7 +252,9 @@ func run(cfg daemonConfig) error {
 // bootSpecs maps the boot flag surface onto NamespaceSpecs: the legacy
 // -graph/-rmat-scale/-relabel/-machines/-plan-cache flags become the
 // default namespace's spec, followed by each -ns flag's spec verbatim.
-func bootSpecs(cfg daemonConfig) ([]server.NamespaceSpec, error) {
+// recovered is how many namespaces persistence already restored; a boot
+// with neither flags nor recovered tenants has nothing to serve.
+func bootSpecs(cfg daemonConfig, recovered int) ([]server.NamespaceSpec, error) {
 	var specs []server.NamespaceSpec
 	switch {
 	case cfg.graphPath != "" && cfg.rmatScale > 0:
@@ -260,7 +283,7 @@ func bootSpecs(cfg daemonConfig) ([]server.NamespaceSpec, error) {
 			spec.Seed = cfg.rmatSeed
 		}
 		specs = append(specs, spec)
-	case len(cfg.namespaces) == 0:
+	case len(cfg.namespaces) == 0 && recovered == 0:
 		return nil, fmt.Errorf("set -graph FILE, -rmat-scale N, or at least one -ns name=spec (see -help)")
 	default:
 		// Pure -ns deployment: flags that shape the default namespace must

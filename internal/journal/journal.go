@@ -1,0 +1,287 @@
+// Package journal is a per-namespace write-ahead log: a single append-only
+// file of length-prefixed, CRC32-framed records, each carrying a monotonic
+// sequence number. It is the durability substrate of stwigd's update
+// pipeline (LogBase-style: the sequential log is the only thing fsynced on
+// the write path; all in-memory state is rebuilt by replaying it over the
+// latest checkpoint).
+//
+// On-disk frame layout (little-endian):
+//
+//	u32 payloadLen | u32 crc32(IEEE, payload) | payload
+//	payload = u64 seq | body
+//
+// The scanner trusts nothing: payload lengths are bounded before any
+// allocation, every frame's CRC is verified, and the scan stops cleanly at
+// the first frame that is short, oversized, or corrupt — the torn tail a
+// crash mid-append leaves behind. Everything before that point is the
+// committed prefix; Writer truncation repair (TruncateTo) discards the rest
+// so the next append starts at a clean frame boundary.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// frameHeaderSize is the fixed prefix of every frame: payload length plus
+// payload CRC.
+const frameHeaderSize = 8
+
+// seqSize is the sequence-number prefix inside every payload.
+const seqSize = 8
+
+// MaxPayload bounds a single record's payload (seq + body). A frame whose
+// header claims more is treated as corruption, not an allocation request —
+// a flipped bit in the length field must never OOM the scanner.
+const MaxPayload = 1 << 26 // 64 MiB
+
+// Record is one decoded journal entry.
+type Record struct {
+	// Seq is the writer-assigned sequence number. Within one journal file
+	// sequence numbers are strictly increasing; after a checkpoint truncates
+	// the file they keep counting from where they were.
+	Seq uint64
+	// Body is the application payload (for stwigd, an encoded mutation
+	// batch). It is a private copy; callers may retain it.
+	Body []byte
+	// End is the byte offset just past this record's frame — what the file
+	// should be truncated to in order to keep this record but drop
+	// everything after it.
+	End int64
+}
+
+// ScanReport describes how a scan ended.
+type ScanReport struct {
+	// Committed is the byte offset of the end of the last intact frame —
+	// the length a repair should truncate the file to.
+	Committed int64
+	// Torn reports the scan stopped before the end of input: the bytes past
+	// Committed do not form an intact frame (crash tail or corruption).
+	Torn bool
+	// TornBytes is how many bytes past Committed were abandoned.
+	TornBytes int64
+}
+
+// Scan decodes every intact frame from r. It never fails on a torn or
+// corrupt tail — that is the expected shape of a crashed journal — and
+// instead reports where the committed prefix ends. The only errors returned
+// are real I/O errors from r.
+func Scan(r io.Reader) ([]Record, ScanReport, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var recs []Record
+	var rep ScanReport
+	var hdr [frameHeaderSize]byte
+	for {
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return recs, rep, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			rep.Torn = true
+			rep.TornBytes += int64(n)
+			return recs, rep, nil
+		}
+		if err != nil {
+			return recs, rep, err
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if payloadLen < seqSize || payloadLen > MaxPayload {
+			// A frame must at least carry its sequence number; anything
+			// larger than the bound is a corrupt length, not a real record.
+			rep.Torn = true
+			rep.TornBytes += int64(frameHeaderSize) + int64(remaining(br))
+			return recs, rep, nil
+		}
+		payload := make([]byte, payloadLen)
+		pn, err := io.ReadFull(br, payload)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			rep.Torn = true
+			rep.TornBytes += int64(frameHeaderSize) + int64(pn)
+			return recs, rep, nil
+		}
+		if err != nil {
+			return recs, rep, err
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			rep.Torn = true
+			rep.TornBytes += int64(frameHeaderSize) + int64(payloadLen) + int64(remaining(br))
+			return recs, rep, nil
+		}
+		rep.Committed += int64(frameHeaderSize) + int64(payloadLen)
+		recs = append(recs, Record{
+			Seq:  binary.LittleEndian.Uint64(payload[:seqSize]),
+			Body: payload[seqSize:],
+			End:  rep.Committed,
+		})
+	}
+}
+
+// remaining drains and counts whatever is left in br (bounded by the
+// underlying reader); used only to report how much tail a torn scan
+// abandoned.
+func remaining(br *bufio.Reader) int64 {
+	n, _ := io.Copy(io.Discard, br)
+	return n
+}
+
+// ScanFile scans the journal at path. A missing file is an empty journal,
+// not an error.
+func ScanFile(path string) ([]Record, ScanReport, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, ScanReport{}, nil
+	}
+	if err != nil {
+		return nil, ScanReport{}, err
+	}
+	defer f.Close()
+	return Scan(f)
+}
+
+// Writer appends framed records to a journal file. It is not safe for
+// concurrent use; stwigd's per-namespace dispatcher is the single writer by
+// construction.
+type Writer struct {
+	f       *os.File
+	path    string
+	nextSeq uint64
+	size    int64
+	buf     bytes.Buffer
+}
+
+// OpenWriter opens (creating if needed) the journal at path for appending.
+// committed is the byte length of the intact prefix (from ScanReport) — any
+// torn tail beyond it is truncated away so the next frame starts clean.
+// nextSeq is the sequence number the first Append will carry; recovery
+// passes lastSeq+1.
+func OpenWriter(path string, committed int64, nextSeq uint64) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if committed > st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("journal: committed prefix %d beyond file size %d", committed, st.Size())
+	}
+	if st.Size() > committed {
+		if err := f.Truncate(committed); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(committed, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, path: path, nextSeq: nextSeq, size: committed}, nil
+}
+
+// Append frames body and writes it, returning the record's sequence number.
+// The write is buffered by the OS until Sync; callers needing durability
+// must call Sync before acting on the record.
+func (w *Writer) Append(body []byte) (uint64, error) {
+	if len(body) > MaxPayload-seqSize {
+		return 0, fmt.Errorf("journal: record body %d bytes exceeds MaxPayload", len(body))
+	}
+	seq := w.nextSeq
+	w.buf.Reset()
+	var scratch [frameHeaderSize + seqSize]byte
+	payloadLen := uint32(seqSize + len(body))
+	binary.LittleEndian.PutUint64(scratch[frameHeaderSize:], seq)
+	crc := crc32.ChecksumIEEE(scratch[frameHeaderSize:])
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	binary.LittleEndian.PutUint32(scratch[0:4], payloadLen)
+	binary.LittleEndian.PutUint32(scratch[4:8], crc)
+	w.buf.Write(scratch[:])
+	w.buf.Write(body)
+	// One write syscall per frame: a crash can only leave a prefix of the
+	// frame behind, which the scanner's torn-tail handling discards.
+	if _, err := w.f.Write(w.buf.Bytes()); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	w.nextSeq++
+	w.size += int64(w.buf.Len())
+	return seq, nil
+}
+
+// Sync flushes appended frames to stable storage (fsync).
+func (w *Writer) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current journal length in bytes.
+func (w *Writer) Size() int64 { return w.size }
+
+// NextSeq returns the sequence number the next Append will carry.
+func (w *Writer) NextSeq() uint64 { return w.nextSeq }
+
+// Mark is a position token for Rollback: capture it before an append, roll
+// back to it if the appended record must not survive (failed fsync, a batch
+// that was never applied).
+type Mark struct {
+	size    int64
+	nextSeq uint64
+}
+
+// Mark captures the current committed position.
+func (w *Writer) Mark() Mark { return Mark{size: w.size, nextSeq: w.nextSeq} }
+
+// Rollback truncates the journal back to m, undoing every append since it
+// was captured — including a partial write a failed append left behind —
+// and restores the sequence counter so the next record reuses the rolled-
+// back numbers. The truncation is fsynced: after Rollback returns nil, a
+// crash cannot resurrect the discarded records.
+func (w *Writer) Rollback(m Mark) error {
+	if err := w.f.Truncate(m.size); err != nil {
+		return fmt.Errorf("journal: rollback: %w", err)
+	}
+	if _, err := w.f.Seek(m.size, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: rollback: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: rollback: %w", err)
+	}
+	w.size = m.size
+	w.nextSeq = m.nextSeq
+	return nil
+}
+
+// Reset truncates the journal to zero length after a checkpoint has made
+// its records redundant. Sequence numbers keep counting — the checkpoint
+// records the last sequence it covers, and replay skips anything at or
+// below it, so a crash between checkpoint publication and this truncation
+// cannot double-apply.
+func (w *Writer) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	return nil
+}
+
+// Close closes the underlying file. Append/Sync after Close fail.
+func (w *Writer) Close() error { return w.f.Close() }

@@ -1,0 +1,314 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+// writeRecords appends the given bodies to a fresh journal and returns its
+// path and raw bytes.
+func writeRecords(t *testing.T, bodies [][]byte) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, err := OpenWriter(path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bodies {
+		if _, err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func TestRoundTrip(t *testing.T) {
+	bodies := [][]byte{[]byte("alpha"), {}, []byte("gamma-gamma")}
+	path, _ := writeRecords(t, bodies)
+	recs, rep, err := ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Torn {
+		t.Fatalf("clean journal reported torn: %+v", rep)
+	}
+	if len(recs) != len(bodies) {
+		t.Fatalf("scanned %d records, want %d", len(recs), len(bodies))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq = %d, want %d", i, r.Seq, i+1)
+		}
+		if !bytes.Equal(r.Body, bodies[i]) {
+			t.Fatalf("record %d body = %q, want %q", i, r.Body, bodies[i])
+		}
+	}
+}
+
+func TestScanMissingFileIsEmpty(t *testing.T) {
+	recs, rep, err := ScanFile(filepath.Join(t.TempDir(), "nope.wal"))
+	if err != nil || len(recs) != 0 || rep.Torn {
+		t.Fatalf("missing file: recs=%d rep=%+v err=%v, want empty clean scan", len(recs), rep, err)
+	}
+}
+
+// TestTornTailEveryTruncation is the core recovery contract: truncating the
+// file at EVERY byte offset must yield exactly the records whose frames fit
+// entirely within the prefix — never a partial record, never an error.
+func TestTornTailEveryTruncation(t *testing.T) {
+	bodies := [][]byte{[]byte("one"), []byte("two-two"), []byte("three")}
+	_, raw := writeRecords(t, bodies)
+	// Frame boundaries for the expectation.
+	var ends []int64
+	off := int64(0)
+	for _, b := range bodies {
+		off += frameHeaderSize + seqSize + int64(len(b))
+		ends = append(ends, off)
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		recs, rep, err := Scan(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		wantN := 0
+		for _, e := range ends {
+			if int64(cut) >= e {
+				wantN++
+			}
+		}
+		if len(recs) != wantN {
+			t.Fatalf("cut=%d: %d records, want %d", cut, len(recs), wantN)
+		}
+		wantCommitted := int64(0)
+		if wantN > 0 {
+			wantCommitted = ends[wantN-1]
+		}
+		if rep.Committed != wantCommitted {
+			t.Fatalf("cut=%d: committed=%d, want %d", cut, rep.Committed, wantCommitted)
+		}
+		if wantTorn := int64(cut) != wantCommitted; rep.Torn != wantTorn {
+			t.Fatalf("cut=%d: torn=%v, want %v", cut, rep.Torn, wantTorn)
+		}
+	}
+}
+
+// TestBitFlipStopsCleanly: corrupting any single byte of a record makes the
+// scan stop at (or before) that record with the prefix intact.
+func TestBitFlipStopsCleanly(t *testing.T) {
+	bodies := [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc")}
+	_, raw := writeRecords(t, bodies)
+	frame := int64(frameHeaderSize + seqSize + 4)
+	for pos := frame; pos < 2*frame; pos++ { // every byte of record 2
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x40
+		recs, rep, err := Scan(bytes.NewReader(mut))
+		if err != nil {
+			t.Fatalf("flip@%d: %v", pos, err)
+		}
+		// A flipped length field can make frame 2 swallow frame 3 and still
+		// fail its CRC; whatever happens, record 1 must survive unharmed and
+		// nothing past the corruption may be invented.
+		if len(recs) < 1 || !bytes.Equal(recs[0].Body, bodies[0]) {
+			t.Fatalf("flip@%d: lost the intact prefix: %d records", pos, len(recs))
+		}
+		if len(recs) > 1 && !rep.Torn {
+			t.Fatalf("flip@%d: corruption not reported torn (recs=%d rep=%+v)", pos, len(recs), rep)
+		}
+		for _, r := range recs[1:] {
+			if !bytes.Equal(r.Body, bodies[r.Seq-1]) {
+				t.Fatalf("flip@%d: invented record seq=%d body=%q", pos, r.Seq, r.Body)
+			}
+		}
+	}
+}
+
+func TestOpenWriterRepairsTornTail(t *testing.T) {
+	bodies := [][]byte{[]byte("keep"), []byte("tear")}
+	path, raw := writeRecords(t, bodies)
+	// Tear the second record in half.
+	firstEnd := int64(frameHeaderSize + seqSize + len(bodies[0]))
+	if err := os.WriteFile(path, raw[:firstEnd+5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := ScanFile(path)
+	if err != nil || !rep.Torn || len(recs) != 1 {
+		t.Fatalf("torn scan: recs=%d rep=%+v err=%v", len(recs), rep, err)
+	}
+	w, err := OpenWriter(path, rep.Committed, recs[len(recs)-1].Seq+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("after-repair")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, rep, err = ScanFile(path)
+	if err != nil || rep.Torn {
+		t.Fatalf("post-repair scan: rep=%+v err=%v", rep, err)
+	}
+	if len(recs) != 2 || recs[1].Seq != 2 || string(recs[1].Body) != "after-repair" {
+		t.Fatalf("post-repair records: %+v", recs)
+	}
+}
+
+func TestResetKeepsSequenceMonotonic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, err := OpenWriter(path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Append([]byte("post-checkpoint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("post-reset seq = %d, want 4 (sequence must keep counting)", seq)
+	}
+	w.Close()
+	recs, rep, err := ScanFile(path)
+	if err != nil || rep.Torn || len(recs) != 1 || recs[0].Seq != 4 {
+		t.Fatalf("post-reset scan: recs=%+v rep=%+v err=%v", recs, rep, err)
+	}
+}
+
+func TestRollbackDiscardsAppendsSinceMark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, err := OpenWriter(path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	mark := w.Mark()
+	if _, err := w.Append([]byte("discard-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("discard-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rollback(mark); err != nil {
+		t.Fatal(err)
+	}
+	// The rolled-back sequence numbers are reused by the next append.
+	seq, err := w.Append([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("post-rollback append got seq %d, want 2", seq)
+	}
+	w.Close()
+	recs, rep, err := ScanFile(path)
+	if err != nil || rep.Torn {
+		t.Fatalf("scan after rollback: rep=%+v err=%v", rep, err)
+	}
+	if len(recs) != 2 || string(recs[0].Body) != "keep" || string(recs[1].Body) != "after" {
+		t.Fatalf("records after rollback: %+v", recs)
+	}
+	if recs[0].End >= recs[1].End || recs[1].End != rep.Committed {
+		t.Fatalf("record End offsets inconsistent: %d, %d, committed %d", recs[0].End, recs[1].End, rep.Committed)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	muts := []memcloud.Mutation{
+		{Op: memcloud.MutAddNode, Label: "celebrity"},
+		{Op: memcloud.MutAddEdge, U: 3, V: 99},
+		{Op: memcloud.MutRemoveEdge, U: 0, V: 1},
+		{Op: memcloud.MutAddNode, Label: ""},
+	}
+	body, err := EncodeBatch(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, muts) {
+		t.Fatalf("round trip: got %+v, want %+v", got, muts)
+	}
+}
+
+func TestDecodeBatchRejectsMalformed(t *testing.T) {
+	good, err := EncodeBatch([]memcloud.Mutation{
+		{Op: memcloud.MutAddNode, Label: "x"},
+		{Op: memcloud.MutAddEdge, U: 1, V: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    good[:3],
+		"bad version":     append([]byte{99}, good[1:]...),
+		"truncated body":  good[:len(good)-4],
+		"trailing bytes":  append(append([]byte(nil), good...), 0xFF),
+		"huge count":      {batchVersion, 0xFF, 0xFF, 0xFF, 0xFF},
+		"count over data": {batchVersion, 9, 0, 0, 0, byte(memcloud.MutAddNode)},
+		"unknown op":      {batchVersion, 1, 0, 0, 0, 0x77},
+		"huge label": {batchVersion, 1, 0, 0, 0,
+			byte(memcloud.MutAddNode), 0xFF, 0xFF, 0xFF, 0x7F},
+	}
+	for name, in := range cases {
+		if _, err := DecodeBatch(in); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestEncodeBatchRejectsOversize(t *testing.T) {
+	if _, err := EncodeBatch([]memcloud.Mutation{
+		{Op: memcloud.MutAddNode, Label: string(make([]byte, MaxLabelLen+1))},
+	}); err == nil {
+		t.Fatal("oversized label encoded without error")
+	}
+	if _, err := EncodeBatch([]memcloud.Mutation{{Op: memcloud.MutationOp(42)}}); err == nil {
+		t.Fatal("unknown op encoded without error")
+	}
+}
+
+func TestAppendToUnknownVertexEncodes(t *testing.T) {
+	// Negative NodeIDs survive the unsigned wire form: the store rejects
+	// them at apply time, and replay must re-present them identically.
+	muts := []memcloud.Mutation{{Op: memcloud.MutAddEdge, U: graph.NodeID(-1), V: 7}}
+	body, err := EncodeBatch(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].U != graph.NodeID(-1) {
+		t.Fatalf("negative NodeID round trip: got %d", got[0].U)
+	}
+}

@@ -1,0 +1,113 @@
+package memcloud
+
+import (
+	"testing"
+
+	"stwig/internal/graph"
+	"stwig/internal/rmat"
+)
+
+// TestSnapshotGraphRoundTrip: load → mutate → snapshot → reload must
+// reproduce every vertex's label and adjacency, including vertices and
+// edges created after load, with deletions applied.
+func TestSnapshotGraphRoundTrip(t *testing.T) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 6, AvgDegree: 4, NumLabels: 3, Seed: 7})
+	c := MustNewCluster(Config{Machines: 3})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate through the batch path: fresh vertices, a stitch between
+	// them, and a removal of a pre-existing edge.
+	var target [2]graph.NodeID
+	found := false
+	for v := int64(0); v < g.NumNodes() && !found; v++ {
+		if nbs := g.Neighbors(graph.NodeID(v)); len(nbs) > 0 {
+			target = [2]graph.NodeID{graph.NodeID(v), nbs[0]}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("generated graph has no edges")
+	}
+	muts := []Mutation{
+		{Op: MutAddNode, Label: "fresh-a"},
+		{Op: MutAddNode, Label: "fresh-b"},
+		{Op: MutAddEdge, U: graph.NodeID(g.NumNodes()), V: graph.NodeID(g.NumNodes() + 1)},
+		{Op: MutRemoveEdge, U: target[0], V: target[1]},
+	}
+	for i, r := range c.ApplyBatch(muts) {
+		if r.Err != nil {
+			t.Fatalf("mutation %d: %v", i, r.Err)
+		}
+	}
+
+	snap, err := c.SnapshotGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes() != c.NumNodes() {
+		t.Fatalf("snapshot has %d nodes, cluster has %d", snap.NumNodes(), c.NumNodes())
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot graph invalid: %v", err)
+	}
+
+	// Reload onto a fresh cluster and compare every cell.
+	c2 := MustNewCluster(Config{Machines: 5})
+	if err := c2.LoadGraph(snap); err != nil {
+		t.Fatal(err)
+	}
+	n := c.NumNodes()
+	for v := int64(0); v < n; v++ {
+		id := graph.NodeID(v)
+		a, okA := c.Load(0, id)
+		b, okB := c2.Load(0, id)
+		if !okA || !okB {
+			t.Fatalf("vertex %d: load ok=%v/%v", v, okA, okB)
+		}
+		la := c.Labels().Name(a.Label)
+		lb := c2.Labels().Name(b.Label)
+		if la != lb {
+			t.Fatalf("vertex %d: label %q != %q", v, la, lb)
+		}
+		if len(a.Neighbors) != len(b.Neighbors) {
+			t.Fatalf("vertex %d: degree %d != %d", v, len(a.Neighbors), len(b.Neighbors))
+		}
+		for i := range a.Neighbors {
+			if a.Neighbors[i] != b.Neighbors[i] {
+				t.Fatalf("vertex %d: neighbor %d: %d != %d", v, i, a.Neighbors[i], b.Neighbors[i])
+			}
+		}
+	}
+
+	// The removed edge must be gone, the stitched edge present.
+	if snap.HasEdge(target[0], target[1]) {
+		t.Fatalf("removed edge (%d,%d) survived the snapshot", target[0], target[1])
+	}
+	if !snap.HasEdge(graph.NodeID(g.NumNodes()), graph.NodeID(g.NumNodes()+1)) {
+		t.Fatal("stitched edge missing from the snapshot")
+	}
+}
+
+func TestRestoreEpoch(t *testing.T) {
+	g := rmat.MustGenerate(rmat.Params{Scale: 4, AvgDegree: 3, NumLabels: 2, Seed: 1})
+	c := MustNewCluster(Config{Machines: 2})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	c.RestoreEpoch(41)
+	if _, err := c.AddNode("x"); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Epoch(); e != 42 {
+		t.Fatalf("epoch after restore+mutation = %d, want 42", e)
+	}
+}
+
+func TestSnapshotGraphUnloaded(t *testing.T) {
+	c := MustNewCluster(Config{Machines: 1})
+	if _, err := c.SnapshotGraph(); err == nil {
+		t.Fatal("snapshot of an unloaded cluster succeeded")
+	}
+}

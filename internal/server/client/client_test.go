@@ -208,3 +208,58 @@ func TestNamespaceClientInheritsRetryPolicy(t *testing.T) {
 		t.Fatalf("scoped server saw %d requests, want 2 (busy + retried success)", got)
 	}
 }
+
+// TestStatsDecodesJournalAndCoalesced guards the durability additions to
+// the stats wire format: a client built against these structs must see the
+// journal block and the coalesced counter a durable server reports —
+// omitting or renaming a JSON tag on either side breaks this test before
+// it breaks an operator's dashboard.
+func TestStatsDecodesJournalAndCoalesced(t *testing.T) {
+	payload := `{
+		"namespace": "dur",
+		"uptime_seconds": 1.5,
+		"graph": {"nodes": 34, "machines": 2, "epoch": 7, "memory_bytes": 4096},
+		"update_queue": {"depth": 64, "applied": 5, "coalesced": 2},
+		"journal": {
+			"enabled": true,
+			"records_appended": 5,
+			"bytes_appended": 190,
+			"fsyncs": 5,
+			"last_seq": 9,
+			"size_bytes": 270,
+			"checkpoints": 1,
+			"checkpoint_seq": 4,
+			"replayed_records": 4,
+			"replayed_mutations": 6,
+			"torn_tail_recovered": true
+		},
+		"endpoints": {}
+	}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/stats" {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(payload))
+	}))
+	t.Cleanup(ts.Close)
+	st, err := client.New(ts.URL).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdateQueue.Coalesced != 2 {
+		t.Fatalf("coalesced = %d, want 2", st.UpdateQueue.Coalesced)
+	}
+	j := st.Journal
+	if j == nil || !j.Enabled {
+		t.Fatalf("journal block missing: %+v", j)
+	}
+	want := server.JournalInfo{
+		Enabled: true, Records: 5, Bytes: 190, Fsyncs: 5, LastSeq: 9, SizeBytes: 270,
+		Checkpoints: 1, CheckpointSeq: 4, ReplayedRecords: 4, ReplayedMutations: 6,
+		TornTailRecovered: true,
+	}
+	if *j != want {
+		t.Fatalf("journal decoded as %+v, want %+v", *j, want)
+	}
+}

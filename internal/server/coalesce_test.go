@@ -1,0 +1,203 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+	"stwig/internal/rmat"
+)
+
+func coalesceEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	g := rmat.MustGenerate(rmat.Params{Scale: 4, AvgDegree: 3, NumLabels: 2, Seed: 5})
+	c := memcloud.MustNewCluster(memcloud.Config{Machines: 2})
+	if err := c.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(c, core.Options{})
+}
+
+// jobOf wraps a mutation as a queued job with a buffered rendezvous.
+func jobOf(mut memcloud.Mutation) *updateJob {
+	return &updateJob{mut: mut, enq: time.Now(), done: make(chan updateJobResult, 1)}
+}
+
+func addE(u, v graph.NodeID) memcloud.Mutation {
+	return memcloud.Mutation{Op: memcloud.MutAddEdge, U: u, V: v}
+}
+func rmE(u, v graph.NodeID) memcloud.Mutation {
+	return memcloud.Mutation{Op: memcloud.MutRemoveEdge, U: u, V: v}
+}
+
+// TestCoalesceBatchUnit pins the pure pairing logic: which mutations
+// survive, and which jobs map to which surviving index.
+func TestCoalesceBatchUnit(t *testing.T) {
+	cases := []struct {
+		name      string
+		muts      []memcloud.Mutation
+		wantKeep  []int // indexes into muts that must survive, in order
+		wantDrops int
+	}{
+		{"single passes through", []memcloud.Mutation{addE(1, 2)}, []int{0}, 0},
+		{"add then remove annihilates", []memcloud.Mutation{addE(1, 2), rmE(1, 2)}, nil, 2},
+		{"orientation is normalized", []memcloud.Mutation{addE(1, 2), rmE(2, 1)}, nil, 2},
+		{"remove then add survives (not invertible without state)",
+			[]memcloud.Mutation{rmE(1, 2), addE(1, 2)}, []int{0, 1}, 0},
+		{"toggle toggle", []memcloud.Mutation{addE(1, 2), rmE(1, 2), addE(1, 2), rmE(1, 2)}, nil, 4},
+		{"last add survives", []memcloud.Mutation{addE(1, 2), rmE(1, 2), addE(1, 2)}, []int{2}, 0 + 2},
+		{"different edges untouched", []memcloud.Mutation{addE(1, 2), rmE(3, 4)}, []int{0, 1}, 0},
+		{"add_node rides along",
+			[]memcloud.Mutation{addE(1, 2), {Op: memcloud.MutAddNode, Label: "x"}, rmE(1, 2)}, []int{1}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batch := make([]*updateJob, len(tc.muts))
+			for i, m := range tc.muts {
+				batch[i] = jobOf(m)
+			}
+			muts, mutIdx, cancelled := coalesceBatch(batch)
+			if cancelled != tc.wantDrops {
+				t.Fatalf("cancelled = %d, want %d", cancelled, tc.wantDrops)
+			}
+			if len(muts) != len(tc.wantKeep) {
+				t.Fatalf("%d surviving mutations, want %d (%v)", len(muts), len(tc.wantKeep), muts)
+			}
+			for out, in := range tc.wantKeep {
+				if muts[out] != tc.muts[in] {
+					t.Fatalf("survivor %d = %+v, want original %d (%+v)", out, muts[out], in, tc.muts[in])
+				}
+				if mutIdx[in] != out {
+					t.Fatalf("job %d maps to %d, want %d", in, mutIdx[in], out)
+				}
+			}
+			for i := range batch {
+				kept := false
+				for _, in := range tc.wantKeep {
+					if in == i {
+						kept = true
+					}
+				}
+				if !kept && mutIdx[i] != -1 {
+					t.Fatalf("cancelled job %d maps to %d, want -1", i, mutIdx[i])
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateCoalescing pins the OBSERVABLE conflict-reporting semantics of
+// coalescing through the real pipeline apply path. This is the documented
+// contract clients get:
+//
+//  1. A fresh add_edge + remove_edge pair in one batch: both report
+//     success, the graph and the epoch are untouched, nothing reaches the
+//     journal, and the stats count 2 coalesced mutations. (Sequential
+//     application would have produced the same final state with two epoch
+//     bumps — coalescing only removes the churn.)
+//  2. The same pair over an edge that ALREADY existed before the batch:
+//     coalescing is optimistic — both still report success and the edge
+//     survives. Sequential application would have 409'd the add
+//     (duplicate edge) and then removed the pre-existing edge; a client
+//     that wants that behavior must split the pair across batches.
+func TestUpdateCoalescing(t *testing.T) {
+	eng := coalesceEngine(t)
+	cluster := eng.Cluster()
+	gate := newUpdateGate()
+	p := newUpdatePipeline(eng, gate, Config{}.normalize(), nil)
+
+	// Find a non-edge pair (u,v) for the fresh case.
+	var u, v graph.NodeID
+	found := false
+	n := cluster.NumNodes()
+	for a := int64(0); a < n && !found; a++ {
+		for b := a + 1; b < n && !found; b++ {
+			cell, _ := cluster.Load(0, graph.NodeID(a))
+			has := false
+			for _, nb := range cell.Neighbors {
+				if nb == graph.NodeID(b) {
+					has = true
+				}
+			}
+			if !has {
+				u, v = graph.NodeID(a), graph.NodeID(b)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("graph is complete; no fresh pair")
+	}
+
+	epochBefore := cluster.Epoch()
+	j1, j2 := jobOf(addE(u, v)), jobOf(rmE(u, v))
+	p.apply([]*updateJob{j1, j2})
+	r1, r2 := <-j1.done, <-j2.done
+	if r1.err != nil || r2.err != nil || r1.res.Err != nil || r2.res.Err != nil {
+		t.Fatalf("fresh coalesced pair must succeed: %+v / %+v", r1, r2)
+	}
+	if cluster.Epoch() != epochBefore {
+		t.Fatalf("fully-annihilated batch moved the epoch %d → %d", epochBefore, cluster.Epoch())
+	}
+	if r1.res.Epoch != epochBefore || r2.res.Epoch != epochBefore {
+		t.Fatalf("coalesced results report epochs %d/%d, want %d", r1.res.Epoch, r2.res.Epoch, epochBefore)
+	}
+	if cell, _ := cluster.Load(0, u); hasNeighbor(cell, v) {
+		t.Fatalf("edge (%d,%d) exists after an annihilated batch", u, v)
+	}
+	if st := p.stats(); st.Coalesced != 2 || st.Applied != 0 || st.Conflicts != 0 || st.Batches != 0 {
+		t.Fatalf("stats after annihilated batch: %+v, want coalesced=2 and nothing else", st)
+	}
+
+	// Case 2: make (u,v) real, then send add+remove of it in one batch.
+	j := jobOf(addE(u, v))
+	p.apply([]*updateJob{j})
+	if r := <-j.done; r.err != nil || r.res.Err != nil {
+		t.Fatalf("priming edge: %+v", r)
+	}
+	epochBefore = cluster.Epoch()
+	j1, j2 = jobOf(addE(u, v)), jobOf(rmE(u, v))
+	p.apply([]*updateJob{j1, j2})
+	r1, r2 = <-j1.done, <-j2.done
+	if r1.err != nil || r2.err != nil || r1.res.Err != nil || r2.res.Err != nil {
+		t.Fatalf("coalesced pair over an existing edge must (optimistically) succeed: %+v / %+v", r1, r2)
+	}
+	if cell, _ := cluster.Load(0, u); !hasNeighbor(cell, v) {
+		t.Fatalf("pre-existing edge (%d,%d) was removed; coalescing must leave it untouched", u, v)
+	}
+	if cluster.Epoch() != epochBefore {
+		t.Fatal("coalesced pair over an existing edge moved the epoch")
+	}
+
+	// A surviving rider applies normally around the annihilated pair.
+	nodesBefore := cluster.NumNodes()
+	j1 = jobOf(addE(u, v)) // will cancel
+	jn := jobOf(memcloud.Mutation{Op: memcloud.MutAddNode, Label: "rider"})
+	j2 = jobOf(rmE(u, v)) // cancels j1
+	p.apply([]*updateJob{j1, jn, j2})
+	r1, rn, r2 := <-j1.done, <-jn.done, <-j2.done
+	if r1.err != nil || rn.err != nil || r2.err != nil || rn.res.Err != nil {
+		t.Fatalf("rider batch: %+v / %+v / %+v", r1, rn, r2)
+	}
+	if rn.res.NodeID != graph.NodeID(nodesBefore) {
+		t.Fatalf("rider add_node got ID %d, want %d", rn.res.NodeID, nodesBefore)
+	}
+	// Cancelled jobs report the batch's final epoch — the rider's.
+	if r1.res.Epoch != rn.res.Epoch || r2.res.Epoch != rn.res.Epoch {
+		t.Fatalf("cancelled jobs report epochs %d/%d, rider applied at %d", r1.res.Epoch, r2.res.Epoch, rn.res.Epoch)
+	}
+	if st := p.stats(); st.Coalesced != 6 || st.Applied != 2 {
+		t.Fatalf("final stats %+v, want coalesced=6 applied=2", st)
+	}
+}
+
+func hasNeighbor(cell memcloud.Cell, v graph.NodeID) bool {
+	for _, nb := range cell.Neighbors {
+		if nb == v {
+			return true
+		}
+	}
+	return false
+}

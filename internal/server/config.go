@@ -84,6 +84,22 @@ type Config struct {
 	// a network client must never choose arbitrary server-side paths.
 	// Boot-time -ns flags are operator-controlled and unaffected.
 	NamespaceRoot string
+	// DataDir, when non-empty, enables durability: every namespace created
+	// from a spec is recorded in <DataDir>/manifest.json, its update batches
+	// are journaled (append + fsync before apply) under <DataDir>/ns/<name>/,
+	// and on boot every manifest namespace is re-created and its journal
+	// replayed. Empty (the default) keeps the PR 2–4 behavior: everything is
+	// in-memory and lost on exit.
+	DataDir string
+	// CheckpointEvery is how many journaled batches accumulate before the
+	// namespace's cluster is snapshotted and its journal truncated (default
+	// 256). Smaller values bound replay time tighter at the cost of more
+	// snapshot I/O.
+	CheckpointEvery int
+	// JournalNoSync skips the per-batch fsync. Throughput testing only: a
+	// crash may then lose acknowledged updates, voiding the recovery
+	// contract the crash tests pin.
+	JournalNoSync bool
 	// AdminToken, when non-empty, is the bearer token POST /ns and
 	// DELETE /ns/{name} require (Authorization: Bearer <token>). Empty
 	// (the default) disables namespace mutation over HTTP entirely, the
@@ -118,6 +134,9 @@ func (cfg Config) normalize() Config {
 	}
 	if cfg.UpdateBatchMax == 0 {
 		cfg.UpdateBatchMax = 32
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 256
 	}
 	if cfg.UpdateFairnessWindow == 0 {
 		// The cutoff only matters if it fires before the writer gives up;
@@ -155,6 +174,9 @@ func (cfg Config) Validate() error {
 	if cfg.UpdateLockWait < 0 || cfg.UpdateFairnessWindow < 0 {
 		return fmt.Errorf("server: negative update window")
 	}
+	if cfg.CheckpointEvery < 1 {
+		return fmt.Errorf("server: CheckpointEvery %d < 1", cfg.CheckpointEvery)
+	}
 	// A fairness window at or beyond the writer's patience means the
 	// reader cutoff can never fire before the writer gives up — silently
 	// reintroducing the writer starvation the pipeline exists to prevent.
@@ -184,6 +206,9 @@ func (cfg Config) Validate() error {
 //	STWIGD_UPDATE_FAIRNESS_WINDOW duration  reader grace period before a parked writer blocks new readers
 //	STWIGD_NS_ROOT            path      root for admin-API file:/text: sources
 //	STWIGD_ADMIN_TOKEN        string    bearer token for POST/DELETE /ns (unset disables them)
+//	STWIGD_DATA_DIR           path      durability root (journal + checkpoints + manifest; unset disables)
+//	STWIGD_CHECKPOINT_EVERY   int       journaled batches between checkpoint/compaction cycles
+//	STWIGD_JOURNAL_FSYNC      bool      false skips the per-batch fsync (crash durability lost)
 func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	if lookup == nil {
 		lookup = os.LookupEnv
@@ -230,12 +255,29 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	envInt("STWIGD_UPDATE_QUEUE_DEPTH", &cfg.UpdateQueueDepth)
 	envInt("STWIGD_UPDATE_BATCH_MAX", &cfg.UpdateBatchMax)
 	envDur("STWIGD_UPDATE_FAIRNESS_WINDOW", &cfg.UpdateFairnessWindow)
+	envBool := func(key string, dst *bool) {
+		if v, ok := lookup(key); ok && err == nil {
+			b, perr := strconv.ParseBool(v)
+			if perr != nil {
+				err = fmt.Errorf("server: %s=%q: not a boolean", key, v)
+				return
+			}
+			*dst = b
+		}
+	}
 	if v, ok := lookup("STWIGD_NS_ROOT"); ok {
 		cfg.NamespaceRoot = v
 	}
 	if v, ok := lookup("STWIGD_ADMIN_TOKEN"); ok {
 		cfg.AdminToken = v
 	}
+	if v, ok := lookup("STWIGD_DATA_DIR"); ok {
+		cfg.DataDir = v
+	}
+	envInt("STWIGD_CHECKPOINT_EVERY", &cfg.CheckpointEvery)
+	fsync := !cfg.JournalNoSync
+	envBool("STWIGD_JOURNAL_FSYNC", &fsync)
+	cfg.JournalNoSync = !fsync
 	if err != nil {
 		return cfg, err
 	}
@@ -399,6 +441,38 @@ func ParseNamespaceSpec(name, spec string) (NamespaceSpec, error) {
 		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: negative limit override", name)
 	}
 	return out, nil
+}
+
+// SpecString renders the spec back into the textual grammar
+// ParseNamespaceSpec accepts, canonically (fixed option order). It is what
+// the durability manifest records, so a persisted namespace is re-created
+// by the exact parser the boot flags use; ParseNamespaceSpec(name,
+// spec.SpecString()) round-trips to an identical spec.
+func (spec NamespaceSpec) SpecString() string {
+	var b strings.Builder
+	switch spec.Source {
+	case "rmat":
+		fmt.Fprintf(&b, "rmat:scale=%d,degree=%d,labels=%d,seed=%d", spec.Scale, spec.Degree, spec.Labels, spec.Seed)
+	default: // file, text
+		fmt.Fprintf(&b, "%s:%s", spec.Source, spec.Path)
+	}
+	if spec.Relabel != "" {
+		fmt.Fprintf(&b, ",relabel=%s", spec.Relabel)
+	}
+	fmt.Fprintf(&b, ",machines=%d", spec.Machines)
+	if spec.PlanCache != 0 {
+		fmt.Fprintf(&b, ",plancache=%d", spec.PlanCache)
+	}
+	if spec.MaxInFlight != 0 {
+		fmt.Fprintf(&b, ",inflight=%d", spec.MaxInFlight)
+	}
+	if spec.MaxMatches != 0 {
+		fmt.Fprintf(&b, ",maxmatches=%d", spec.MaxMatches)
+	}
+	if spec.MaxBytes != 0 {
+		fmt.Fprintf(&b, ",maxbytes=%d", spec.MaxBytes)
+	}
+	return b.String()
 }
 
 // configFor folds the spec's per-tenant overrides into the server's base

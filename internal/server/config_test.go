@@ -30,6 +30,9 @@ func TestConfigFromEnv(t *testing.T) {
 		"STWIGD_UPDATE_FAIRNESS_WINDOW": "40ms",
 		"STWIGD_NS_ROOT":                "/srv/graphs",
 		"STWIGD_ADMIN_TOKEN":            "hunter2",
+		"STWIGD_DATA_DIR":               "/srv/stwig-data",
+		"STWIGD_CHECKPOINT_EVERY":       "17",
+		"STWIGD_JOURNAL_FSYNC":          "false",
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -48,6 +51,9 @@ func TestConfigFromEnv(t *testing.T) {
 		UpdateFairnessWindow: 40 * time.Millisecond,
 		NamespaceRoot:        "/srv/graphs",
 		AdminToken:           "hunter2",
+		DataDir:              "/srv/stwig-data",
+		CheckpointEvery:      17,
+		JournalNoSync:        true,
 	}
 	if cfg != want {
 		t.Fatalf("FromEnv = %+v, want %+v", cfg, want)
@@ -72,6 +78,8 @@ func TestConfigFromEnv(t *testing.T) {
 		{"STWIGD_UPDATE_QUEUE_DEPTH": "deep"},
 		{"STWIGD_UPDATE_BATCH_MAX": "4.5"},
 		{"STWIGD_UPDATE_FAIRNESS_WINDOW": "fast"},
+		{"STWIGD_CHECKPOINT_EVERY": "often"},
+		{"STWIGD_JOURNAL_FSYNC": "yes please"},
 	} {
 		if _, err := (Config{}).FromEnv(lookupMap(env)); err == nil {
 			t.Fatalf("FromEnv(%v) accepted garbage", env)
@@ -89,6 +97,9 @@ func TestConfigValidateUpdatePipeline(t *testing.T) {
 	if norm.UpdateQueueDepth != 64 || norm.UpdateBatchMax != 32 || norm.UpdateFairnessWindow != 100*time.Millisecond {
 		t.Fatalf("normalized update defaults = depth %d, batch %d, window %v",
 			norm.UpdateQueueDepth, norm.UpdateBatchMax, norm.UpdateFairnessWindow)
+	}
+	if norm.CheckpointEvery != 256 {
+		t.Fatalf("normalized CheckpointEvery = %d, want 256", norm.CheckpointEvery)
 	}
 	// Short writer patience adapts the defaulted window below it instead of
 	// configuring a cutoff that can never mature.
@@ -108,6 +119,7 @@ func TestConfigValidateUpdatePipeline(t *testing.T) {
 		{UpdateFairnessWindow: -time.Second},
 		{UpdateFairnessWindow: 2 * time.Second, UpdateLockWait: time.Second}, // cutoff could never fire
 		{UpdateFairnessWindow: time.Second, UpdateLockWait: time.Second},     // ... nor at equality
+		{CheckpointEvery: -3}, // a negative cadence would never checkpoint
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Fatalf("Validate accepted %+v", bad)
@@ -220,17 +232,17 @@ func TestNamespaceSpecConfigFor(t *testing.T) {
 // API leans on: duplicate adds fail, remove is idempotent-observable.
 func TestRegistryDuplicateAndRemove(t *testing.T) {
 	r := newRegistry()
-	if err := r.add(newNamespace("a", nil, Config{}), 0); err != nil {
+	if err := r.add(newNamespace("a", nil, Config{}, nil), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.add(newNamespace("a", nil, Config{}), 0); err == nil {
+	if err := r.add(newNamespace("a", nil, Config{}, nil), 0); err == nil {
 		t.Fatal("duplicate add accepted")
 	}
 	// The ceiling is enforced atomically at add time; 0 means uncapped.
-	if err := r.add(newNamespace("b", nil, Config{}), 1); !errors.Is(err, ErrNamespaceCapacity) {
+	if err := r.add(newNamespace("b", nil, Config{}, nil), 1); !errors.Is(err, ErrNamespaceCapacity) {
 		t.Fatalf("add beyond ceiling: err = %v, want ErrNamespaceCapacity", err)
 	}
-	if err := r.add(newNamespace("b", nil, Config{}), 2); err != nil {
+	if err := r.add(newNamespace("b", nil, Config{}, nil), 2); err != nil {
 		t.Fatalf("add within ceiling: %v", err)
 	}
 	if _, ok := r.get("a"); !ok {

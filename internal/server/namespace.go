@@ -42,9 +42,13 @@ type namespace struct {
 	// drained by one dispatcher goroutine that batch-applies them under a
 	// single writer window per batch.
 	pipe *updatePipeline
+	// store is the tenant's durable state (journal + checkpoints); nil when
+	// the server runs without a data dir or the namespace was registered
+	// engine-first (AddNamespace) rather than from a spec.
+	store *nsStorage
 }
 
-func newNamespace(name string, eng *core.Engine, cfg Config) *namespace {
+func newNamespace(name string, eng *core.Engine, cfg Config, store *nsStorage) *namespace {
 	cfg = cfg.normalize()
 	gate := newUpdateGate()
 	return &namespace{
@@ -55,13 +59,22 @@ func newNamespace(name string, eng *core.Engine, cfg Config) *namespace {
 		met:     newMetrics(),
 		created: time.Now(),
 		gate:    gate,
-		pipe:    newUpdatePipeline(eng, gate, cfg),
+		pipe:    newUpdatePipeline(eng, gate, cfg, store),
+		store:   store,
 	}
 }
 
 // close stops the namespace's update dispatcher; still-queued updates fail
 // with 503. In-flight queries are unaffected (the gate stays functional).
-func (ns *namespace) close() { ns.pipe.close() }
+// The journal is closed only after pipe.close has waited the dispatcher
+// out, so no append can race the file close. Idempotent and safe to call
+// concurrently (Server.Close vs DropNamespace).
+func (ns *namespace) close() {
+	ns.pipe.close()
+	if ns.store != nil {
+		ns.store.close()
+	}
+}
 
 // info snapshots the namespace for the admin surfaces.
 func (ns *namespace) info() NamespaceInfo {
@@ -91,6 +104,11 @@ func (ns *namespace) info() NamespaceInfo {
 type registry struct {
 	mu sync.RWMutex
 	m  map[string]*namespace
+	// closed is set by Server.Close (under the write lock) so a create
+	// racing the close cannot register a namespace whose dispatcher nobody
+	// would ever stop — the goroutine leak TestServerCloseDrainThenClose
+	// caught.
+	closed bool
 }
 
 func newRegistry() *registry { return &registry{m: make(map[string]*namespace)} }
@@ -106,11 +124,18 @@ func (r *registry) get(name string) (*namespace, bool) {
 // the admin endpoint maps it to 409.
 var ErrNamespaceExists = errors.New("namespace already exists")
 
+// ErrServerClosed reports a namespace operation against a server whose
+// Close has run.
+var ErrServerClosed = errors.New("server closed")
+
 // add registers ns. A positive maxTotal enforces the registry ceiling
 // atomically under the write lock (runtime creates); 0 is uncapped (boot).
 func (r *registry) add(ns *namespace, maxTotal int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("server: namespace %q: %w", ns.name, ErrServerClosed)
+	}
 	if _, dup := r.m[ns.name]; dup {
 		return fmt.Errorf("server: namespace %q: %w", ns.name, ErrNamespaceExists)
 	}
@@ -119,6 +144,20 @@ func (r *registry) add(ns *namespace, maxTotal int) error {
 	}
 	r.m[ns.name] = ns
 	return nil
+}
+
+// seal marks the registry closed and returns the live namespaces for
+// shutdown. After seal, add refuses and the Close/create race is gone.
+func (r *registry) seal() []*namespace {
+	r.mu.Lock()
+	r.closed = true
+	out := make([]*namespace, 0, len(r.m))
+	for _, ns := range r.m {
+		out = append(out, ns)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 func (r *registry) remove(name string) (*namespace, bool) {
@@ -327,6 +366,9 @@ func pathWithin(p, root string) bool {
 // AddNamespace registers eng under name. cfg overrides the server's limits
 // for this tenant; nil inherits them. The engine (and its cluster) must
 // already be loaded. Safe to call while the server is handling requests.
+// Engine-first namespaces are NOT persisted even when the server has a
+// data dir: there is no spec to record, so they cannot be re-created at
+// boot — use AddNamespaceSpec for durable tenants.
 func (s *Server) AddNamespace(name string, eng *core.Engine, cfg *Config) error {
 	if err := ValidateNamespaceName(name); err != nil {
 		return err
@@ -338,7 +380,7 @@ func (s *Server) AddNamespace(name string, eng *core.Engine, cfg *Config) error 
 			return err
 		}
 	}
-	ns := newNamespace(name, eng, nsCfg)
+	ns := newNamespace(name, eng, nsCfg, nil)
 	if err := s.reg.add(ns, 0); err != nil {
 		ns.close()
 		return err
@@ -356,14 +398,53 @@ func (s *Server) AddNamespaceSpec(spec NamespaceSpec) error {
 
 // addNamespaceSpec is AddNamespaceSpec with an optional registry ceiling
 // (positive maxTotal), enforced atomically at add time — the runtime admin
-// path passes maxRuntimeNamespaces, boot paths pass 0.
+// path passes maxRuntimeNamespaces, boot paths pass 0. With a data dir the
+// namespace is recorded durably: boot re-runs of a spec already recovered
+// from the manifest are a no-op, and a boot spec that CONTRADICTS the
+// persisted one is refused rather than silently shadowing recovered data.
 func (s *Server) addNamespaceSpec(spec NamespaceSpec, maxTotal int) error {
 	if err := ValidateNamespaceName(spec.Name); err != nil {
 		return err
 	}
-	// Fail fast on an obvious duplicate before paying for the build; the
-	// add below re-checks under the lock, so a concurrent create of the
-	// same name still resolves to exactly one winner.
+	if s.store != nil {
+		// Serialize against same-name creates and drops for the whole
+		// persisted create: without this, a twin create (or a drop racing a
+		// re-create) could RemoveAll the directory the winner's journal is
+		// already fsyncing into, silently losing acknowledged updates.
+		unlock := s.store.lockName(spec.Name)
+		defer unlock()
+		// The manifest stores SpecString and recovery re-parses it, so a
+		// spec that does not round-trip (e.g. a -graph path containing a
+		// comma, which the grammar cannot carry) must be refused NOW —
+		// recording it would leave a data dir the daemon can never boot
+		// from again. Canonical renderings are compared, not raw structs:
+		// the parser seeds rmat defaults (degree/labels/seed) even for
+		// file/text specs, where those fields are meaningless and the
+		// -graph boot path leaves them zero — only the fields SpecString
+		// actually records need to survive the trip.
+		if reparsed, err := ParseNamespaceSpec(spec.Name, spec.SpecString()); err != nil || reparsed.SpecString() != spec.SpecString() {
+			return fmt.Errorf("server: namespace %q: spec %q cannot be recorded durably (does not round-trip through the spec grammar; a path must not contain ','): %v",
+				spec.Name, spec.SpecString(), err)
+		}
+		if maxTotal == 0 {
+			if persisted, ok := s.store.specFor(spec.Name); ok {
+				if persisted == spec.SpecString() {
+					if _, live := s.reg.get(spec.Name); live {
+						return nil // recovered at boot; the flag re-states it
+					}
+				} else {
+					return fmt.Errorf("server: namespace %q: boot spec %q contradicts the persisted spec %q (drop the namespace or move -data-dir)",
+						spec.Name, spec.SpecString(), persisted)
+				}
+			}
+		}
+	}
+	// Fail fast on an obvious duplicate before paying for the build. With
+	// persistence this check is authoritative: the name lock above blocks
+	// same-name creates and drops, so membership cannot change underneath
+	// the build. Without persistence the add below re-checks under the
+	// registry lock, so a concurrent create of the same name still
+	// resolves to exactly one winner.
 	if _, exists := s.reg.get(spec.Name); exists {
 		return fmt.Errorf("server: namespace %q: %w", spec.Name, ErrNamespaceExists)
 	}
@@ -371,23 +452,73 @@ func (s *Server) addNamespaceSpec(spec NamespaceSpec, maxTotal int) error {
 	if err != nil {
 		return err
 	}
-	ns := newNamespace(spec.Name, eng, spec.configFor(s.cfg))
+	var store *nsStorage
+	if s.store != nil {
+		store, err = s.store.newNamespaceStorage(spec, eng.Cluster())
+		if err != nil {
+			return fmt.Errorf("server: namespace %q: %w", spec.Name, err)
+		}
+	}
+	ns := newNamespace(spec.Name, eng, spec.configFor(s.cfg), store)
 	if err := s.reg.add(ns, maxTotal); err != nil {
 		ns.close()
+		if store != nil {
+			os.RemoveAll(store.dir)
+		}
 		return err
+	}
+	if s.store != nil {
+		// The manifest entry is the durable create: recorded only after the
+		// namespace is live, so a crash in between loses an un-acked create,
+		// never resurrects a failed one.
+		if err := s.store.record(spec.Name, spec.SpecString()); err != nil {
+			s.reg.remove(spec.Name)
+			ns.close()
+			os.RemoveAll(store.dir)
+			return fmt.Errorf("server: namespace %q: recording in manifest: %w", spec.Name, err)
+		}
 	}
 	return nil
 }
 
 // DropNamespace removes name from the registry. In-flight requests against
 // it finish normally; updates still sitting in its queue fail with 503.
-// Subsequent requests 404. It reports whether the namespace existed.
-func (s *Server) DropNamespace(name string) bool {
-	ns, ok := s.reg.remove(name)
-	if ok {
-		ns.close()
+// Subsequent requests 404. It reports whether the namespace existed. With
+// a data dir the drop is durable: the manifest forgets the namespace first
+// (the durable intent — a crash mid-drop must not resurrect it), then the
+// dispatcher is drained, the journal closed, and the directory removed
+// (a crash before the removal leaves an orphan dir that boot cleans up).
+// If the manifest write itself fails, the drop is aborted and the
+// namespace stays live — destroying the data while the manifest still
+// lists it would resurrect the tenant, freshly rebuilt from its spec, on
+// the next boot.
+func (s *Server) DropNamespace(name string) (bool, error) {
+	if s.store != nil {
+		// Same-name serialization as addNamespaceSpec: the RemoveAll below
+		// must never race a re-create's freshly opened journal.
+		unlock := s.store.lockName(name)
+		defer unlock()
 	}
-	return ok
+	ns, ok := s.reg.remove(name)
+	if !ok {
+		return false, nil
+	}
+	if s.store != nil {
+		if err := s.store.forget(name); err != nil {
+			// Un-drop: the durable intent never landed. Re-registration can
+			// only fail if the server closed meanwhile — then the namespace
+			// is shut down like every other survivor.
+			if addErr := s.reg.add(ns, 0); addErr != nil {
+				ns.close()
+			}
+			return false, fmt.Errorf("server: namespace %q: recording the drop: %w", name, err)
+		}
+	}
+	ns.close()
+	if s.store != nil && ns.store != nil {
+		os.RemoveAll(ns.store.dir)
+	}
+	return true, nil
 }
 
 // NamespaceInfo returns the named tenant's summary, or false if it does

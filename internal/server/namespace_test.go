@@ -639,8 +639,8 @@ func TestDropWhileUpdateParkedReportsClosed(t *testing.T) {
 	waitQueue(t, c, "dispatcher holding the update", func(q server.UpdateQueueInfo) bool {
 		return q.Enqueued == 1 && q.Queued == 0
 	})
-	if !svc.DropNamespace("x") {
-		t.Fatal("drop failed")
+	if ok, err := svc.DropNamespace("x"); !ok || err != nil {
+		t.Fatalf("drop failed: ok=%v err=%v", ok, err)
 	}
 	err = <-done
 	se, ok := err.(*client.StatusError)

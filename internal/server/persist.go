@@ -1,0 +1,698 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/journal"
+	"stwig/internal/memcloud"
+)
+
+// Durability layout under Config.DataDir:
+//
+//	<data-dir>/manifest.json       which namespaces exist, and their specs
+//	<data-dir>/ns/<name>/checkpoint.bin   latest cluster snapshot (optional)
+//	<data-dir>/ns/<name>/journal.wal      batches applied since the checkpoint
+//
+// The write path is LogBase-shaped: the dispatcher appends each coalesced
+// batch to the namespace's journal and fsyncs BEFORE ApplyBatch touches the
+// in-memory cluster, so a crash at any instant loses at most un-acked
+// work — never an acknowledged mutation. Recovery re-creates each manifest
+// namespace (from its checkpoint when one exists, else by rebuilding its
+// spec), replays the journal records past the checkpoint's sequence number,
+// and truncates any torn tail a mid-append crash left behind. Periodic
+// checkpoints (Config.CheckpointEvery journaled batches) snapshot the
+// cluster and reset the journal so replay stays bounded.
+
+const (
+	manifestName   = "manifest.json"
+	nsSubdir       = "ns"
+	checkpointName = "checkpoint.bin"
+	journalName    = "journal.wal"
+
+	ckptMagic   = "STWC"
+	ckptVersion = 1
+)
+
+// manifestFile is the on-disk namespace ledger. Specs are stored in the
+// canonical textual grammar (NamespaceSpec.SpecString), so the manifest is
+// both human-auditable and replayable through the exact same parser the
+// boot flags use.
+type manifestFile struct {
+	Version    int               `json:"version"`
+	Namespaces map[string]string `json:"namespaces"`
+}
+
+// dataStore owns the server's data directory: the manifest plus one
+// sub-directory per persisted namespace.
+type dataStore struct {
+	dir string
+	cfg Config
+	// lock is the flock'd LOCK file held for the server's lifetime, so two
+	// processes sharing one data dir cannot interleave journal appends or
+	// last-writer-win each other's manifest. The kernel drops the lock on
+	// any exit — including SIGKILL — so a crashed owner never wedges the
+	// next boot.
+	lock *os.File
+
+	mu     sync.Mutex
+	man    manifestFile
+	nameMu map[string]*sync.Mutex // per-namespace create/drop serialization
+	closed bool
+}
+
+func openDataStore(dir string, cfg Config) (*dataStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, nsSubdir), 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	lock, err := acquireDirLock(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		return nil, fmt.Errorf("server: data dir %s: %w", dir, err)
+	}
+	d := &dataStore{
+		dir:    dir,
+		cfg:    cfg,
+		lock:   lock,
+		man:    manifestFile{Version: 1, Namespaces: map[string]string{}},
+		nameMu: map[string]*sync.Mutex{},
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh data dir.
+	case err != nil:
+		d.close()
+		return nil, fmt.Errorf("server: manifest: %w", err)
+	default:
+		if err := json.Unmarshal(raw, &d.man); err != nil {
+			d.close()
+			return nil, fmt.Errorf("server: manifest %s is corrupt: %w", filepath.Join(dir, manifestName), err)
+		}
+		if d.man.Namespaces == nil {
+			d.man.Namespaces = map[string]string{}
+		}
+	}
+	return d, nil
+}
+
+// close releases the data-dir lock so a successor (next test server, next
+// in-process boot) can take over. Idempotent.
+func (d *dataStore) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if d.lock != nil {
+		releaseDirLock(d.lock)
+	}
+}
+
+// lockName serializes create/drop for one namespace name, returning the
+// unlock. Without this, a create racing a drop (or a twin create) of the
+// same name could RemoveAll the directory the live winner's journal is
+// appending to — acknowledged updates would vanish.
+func (d *dataStore) lockName(name string) func() {
+	d.mu.Lock()
+	l := d.nameMu[name]
+	if l == nil {
+		l = &sync.Mutex{}
+		d.nameMu[name] = l
+	}
+	d.mu.Unlock()
+	l.Lock()
+	return l.Unlock
+}
+
+func (d *dataStore) nsDir(name string) string { return filepath.Join(d.dir, nsSubdir, name) }
+
+// specFor returns the manifest's spec text for name.
+func (d *dataStore) specFor(name string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.man.Namespaces[name]
+	return s, ok
+}
+
+// names returns the manifest's namespaces, sorted for deterministic boot.
+func (d *dataStore) names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.man.Namespaces))
+	for n := range d.man.Namespaces {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// record durably adds (or overwrites) name's spec in the manifest.
+func (d *dataStore) record(name, spec string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.man.Namespaces[name] = spec
+	return d.saveLocked()
+}
+
+// forget durably removes name from the manifest. Removing a name that is
+// not present is a no-op (and not an error), so drop paths stay idempotent.
+func (d *dataStore) forget(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.man.Namespaces[name]; !ok {
+		return nil
+	}
+	delete(d.man.Namespaces, name)
+	return d.saveLocked()
+}
+
+// saveLocked writes the manifest atomically: tmp file, fsync, rename, then
+// directory fsync, so a crash leaves either the old or the new manifest —
+// never a torn one.
+func (d *dataStore) saveLocked() error {
+	raw, err := json.MarshalIndent(d.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(d.dir, manifestName), raw)
+}
+
+// acquireDirLock takes a non-blocking exclusive flock on path. A held lock
+// means another live stwigd owns the data dir — two writers interleaving
+// appends in one journal would corrupt acknowledged records, so failing
+// fast here is the only safe answer.
+func acquireDirLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("already locked by another stwigd process (flock: %w)", err)
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}
+
+// atomicWrite publishes data at path via tmp+fsync+rename+dir-fsync.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// cleanOrphans removes ns/ sub-directories the manifest does not list: the
+// leftovers of a drop that crashed between its manifest update (the durable
+// intent) and its directory removal.
+func (d *dataStore) cleanOrphans() error {
+	entries, err := os.ReadDir(filepath.Join(d.dir, nsSubdir))
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range entries {
+		if _, ok := d.man.Namespaces[e.Name()]; !ok {
+			if err := os.RemoveAll(filepath.Join(d.dir, nsSubdir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- per-namespace storage -------------------------------------------------
+
+// nsStorage is one namespace's durable state: its journal writer plus the
+// checkpoint bookkeeping. The update dispatcher is its only writer; stats
+// snapshots may run concurrently, hence the mutex on the counters.
+type nsStorage struct {
+	dir   string
+	fsync bool
+	every int // journaled batches between checkpoints
+
+	w       *journal.Writer
+	cluster *memcloud.Cluster
+
+	mu        sync.Mutex
+	info      JournalInfo
+	sinceCkpt int
+	closed    bool
+	// failed fail-stops the write path: set when the journal and the live
+	// graph can no longer be proven to agree (a rollback of a bad record
+	// itself failed). Every further append is refused — serving reads while
+	// refusing writes until a restart re-derives state from disk is strictly
+	// safer than acking updates a recovery might not reproduce.
+	failed bool
+}
+
+var errJournalFailed = errors.New("journal failed; namespace is read-only until restart")
+
+// appendBatch journals one coalesced batch and (unless JournalNoSync)
+// fsyncs it — the durability point every acknowledged mutation sits behind.
+// The dispatcher is the only caller, so the Writer needs no lock of its
+// own; st.mu guards only the counters, and crucially is NOT held across
+// the fsync — /stats must never stall behind disk latency.
+// A failed append (write error, fsync error) rolls the journal back to the
+// pre-append position: the record's batch is never applied, so leaving it
+// in the WAL would make a future replay apply a batch the live graph never
+// saw — shifting every later vertex ID. If even the rollback fails, the
+// namespace's write path is fail-stopped (errJournalFailed) rather than
+// left to diverge. The returned mark lets the caller roll the record back
+// itself when the batch fails AFTER journaling (an ApplyBatch panic).
+func (st *nsStorage) appendBatch(muts []memcloud.Mutation) (journal.Mark, error) {
+	mark := st.w.Mark()
+	body, err := journal.EncodeBatch(muts)
+	if err != nil {
+		return mark, err
+	}
+	st.mu.Lock()
+	if st.closed || st.failed {
+		bad := st.failed
+		st.mu.Unlock()
+		if bad {
+			return mark, errJournalFailed
+		}
+		return mark, errors.New("journal closed")
+	}
+	st.mu.Unlock()
+	seq, err := st.w.Append(body)
+	if err != nil {
+		st.rollback(mark)
+		return mark, err
+	}
+	var fsyncs uint64
+	if st.fsync {
+		if err := st.w.Sync(); err != nil {
+			st.rollback(mark)
+			return mark, err
+		}
+		fsyncs = 1
+	}
+	st.mu.Lock()
+	st.info.Fsyncs += fsyncs
+	st.info.Records++
+	st.info.Bytes += uint64(len(body))
+	st.info.LastSeq = seq
+	st.info.SizeBytes = st.w.Size()
+	st.sinceCkpt++
+	st.mu.Unlock()
+	return mark, nil
+}
+
+// rollback undoes the append since mark (and any partial write under it).
+// A rollback that itself fails poisons the write path: the WAL now holds a
+// record whose batch was not applied, and no further append may land after
+// it.
+func (st *nsStorage) rollback(mark journal.Mark) {
+	if err := st.w.Rollback(mark); err != nil {
+		st.mu.Lock()
+		st.failed = true
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Lock()
+	st.info.SizeBytes = st.w.Size()
+	st.mu.Unlock()
+}
+
+// discardAppended rolls back the record appended for a batch that was
+// journaled but then failed to apply (ApplyBatch panic). The jobs were all
+// answered with errors — un-acked work may be discarded — but the record
+// must not survive to replay, or recovery would apply a batch the clients
+// were told failed.
+func (st *nsStorage) discardAppended(mark journal.Mark) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+	st.rollback(mark)
+}
+
+// maybeCheckpoint runs a checkpoint when enough batches have been journaled
+// since the last one. Called from the dispatcher loop between batches, so
+// the snapshot is exact: no mutation can land between the last journal
+// record and the snapshot. A failure is recorded and the cadence counter
+// reset — the next attempt waits another CheckpointEvery batches instead of
+// hammering a full-cluster snapshot onto an already-struggling disk after
+// every single batch; the journal keeps every record until one succeeds.
+func (st *nsStorage) maybeCheckpoint() {
+	st.mu.Lock()
+	due := st.sinceCkpt >= st.every && !st.closed
+	st.mu.Unlock()
+	if !due {
+		return
+	}
+	if err := st.checkpoint(); err != nil {
+		st.mu.Lock()
+		st.info.CheckpointErrors++
+		st.sinceCkpt = 0
+		st.mu.Unlock()
+	}
+}
+
+// checkpoint snapshots the cluster, publishes it atomically, and resets the
+// journal. Crash windows: before the rename, the old checkpoint+journal
+// pair still recovers; between the rename and the reset, replay skips the
+// journal's records because their sequence numbers are at or below the new
+// checkpoint's. Like appendBatch, the Writer and the file I/O run outside
+// st.mu (the dispatcher is the sole caller).
+func (st *nsStorage) checkpoint() error {
+	g, err := st.cluster.SnapshotGraph()
+	if err != nil {
+		return err
+	}
+	seq := st.w.NextSeq() - 1
+	epoch := st.cluster.Epoch()
+	if err := writeCheckpoint(filepath.Join(st.dir, checkpointName), g, seq, epoch); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	closed := st.closed
+	st.mu.Unlock()
+	if closed {
+		return nil
+	}
+	if err := st.w.Reset(); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.sinceCkpt = 0
+	st.info.Checkpoints++
+	st.info.CheckpointSeq = seq
+	st.info.SizeBytes = 0
+	st.mu.Unlock()
+	return nil
+}
+
+// journalStats snapshots the counters for /stats.
+func (st *nsStorage) journalStats() *JournalInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.info
+	out.Enabled = true
+	return &out
+}
+
+// close closes the journal file. Idempotent; safe against a concurrent
+// Server.Close + DropNamespace pair. The caller must have stopped the
+// dispatcher first (pipe.close), so no append can race the file close.
+func (st *nsStorage) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	st.w.Close()
+}
+
+// --- checkpoint file -------------------------------------------------------
+
+// writeCheckpoint publishes the snapshot atomically:
+//
+//	"STWC" | u32 version | u64 seq | u64 epoch | graph binary (STWG...)
+func writeCheckpoint(path string, g *graph.Graph, seq, epoch uint64) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var hdr [24]byte
+	copy(hdr[:4], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint64(hdr[16:24], epoch)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := graph.WriteBinary(tmp, g); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCheckpoint loads a checkpoint. A missing file returns (nil, 0, 0,
+// nil): recovery then rebuilds from the spec.
+func readCheckpoint(path string) (*graph.Graph, uint64, uint64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	var hdr [24]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint header: %w", err)
+	}
+	if string(hdr[:4]) != ckptMagic {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: bad magic %q", path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != ckptVersion {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: unsupported version %d", path, v)
+	}
+	seq := binary.LittleEndian.Uint64(hdr[8:16])
+	epoch := binary.LittleEndian.Uint64(hdr[16:24])
+	g, err := graph.ReadBinary(f)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: %w", path, err)
+	}
+	return g, seq, epoch, nil
+}
+
+// --- recovery --------------------------------------------------------------
+
+// recoverEngine rebuilds one namespace's engine from its directory: load
+// the checkpoint when one exists (else materialize the spec from scratch),
+// then replay every journal record past the checkpoint's sequence number.
+// The returned storage has a repaired, open journal whose next sequence
+// number continues the recovered history.
+//
+// A record whose replay PANICS is handled like the live dispatcher handles
+// it (contained, batch failed): if it is the journal's last record — the
+// only place the live path's fail-stop can leave one, since nothing is
+// appended after a poisoned record — it is truncated away and recovery
+// restarts without it, instead of boot-looping the daemon. A panic on an
+// interior record has acknowledged history after it and is refused as
+// corruption.
+func recoverEngine(spec NamespaceSpec, dir string, cfg Config) (*core.Engine, *nsStorage, error) {
+	return recoverEngineRetry(spec, dir, cfg, 0)
+}
+
+// replayRecord applies one journal record's batch, containing a panic the
+// same way the live dispatcher does.
+func replayRecord(eng *core.Engine, muts []memcloud.Mutation) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+		}
+	}()
+	eng.Cluster().ApplyBatch(muts)
+	return false
+}
+
+func recoverEngineRetry(spec NamespaceSpec, dir string, cfg Config, depth int) (*core.Engine, *nsStorage, error) {
+	fail := func(err error) (*core.Engine, *nsStorage, error) {
+		return nil, nil, fmt.Errorf("server: recovering namespace %q: %w", spec.Name, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
+	}
+	g, ckptSeq, epoch, err := readCheckpoint(filepath.Join(dir, checkpointName))
+	if err != nil {
+		return fail(err)
+	}
+	var eng *core.Engine
+	if g != nil {
+		cluster, err := memcloud.NewCluster(memcloud.Config{Machines: spec.Machines})
+		if err != nil {
+			return fail(err)
+		}
+		if err := cluster.LoadGraph(g); err != nil {
+			return fail(err)
+		}
+		cluster.RestoreEpoch(epoch)
+		eng = core.NewEngine(cluster, core.Options{PlanCacheSize: spec.PlanCache})
+	} else {
+		eng, err = spec.Build()
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	walPath := filepath.Join(dir, journalName)
+	recs, rep, err := journal.ScanFile(walPath)
+	if err != nil {
+		return fail(err)
+	}
+	info := JournalInfo{CheckpointSeq: ckptSeq, TornTailRecovered: rep.Torn}
+	lastSeq := ckptSeq
+	sawLive := false
+	for i, r := range recs {
+		if r.Seq <= ckptSeq {
+			// Pre-checkpoint records a crash between checkpoint publication
+			// and journal truncation left behind: already in the snapshot.
+			continue
+		}
+		muts, err := journal.DecodeBatch(r.Body)
+		if err != nil {
+			// The frame's CRC was intact, so this is not a torn tail — it is
+			// real corruption (or a version skew). Refusing to serve beats
+			// silently skipping acknowledged writes.
+			return fail(fmt.Errorf("journal record seq %d: %w", r.Seq, err))
+		}
+		// Per-mutation conflicts replay exactly as they did live (ApplyBatch
+		// is deterministic given identical state), so they are not errors.
+		if replayRecord(eng, muts) {
+			if i != len(recs)-1 {
+				return fail(fmt.Errorf("journal record seq %d panicked on replay with committed history after it", r.Seq))
+			}
+			if depth > 0 {
+				return fail(fmt.Errorf("journal record seq %d panicked on replay after tail repair", r.Seq))
+			}
+			// A poisoned tail: the live path fail-stops after a record whose
+			// apply panicked and whose rollback failed, so every job behind
+			// it was answered 500 — dropping it loses nothing acknowledged.
+			// The panicked replay may have half-applied the batch, so the
+			// whole recovery restarts from scratch without the record.
+			cut := int64(0)
+			if i > 0 {
+				cut = recs[i-1].End
+			}
+			if err := os.Truncate(walPath, cut); err != nil {
+				return fail(err)
+			}
+			return recoverEngineRetry(spec, dir, cfg, depth+1)
+		}
+		info.ReplayedRecords++
+		info.ReplayedMutations += uint64(len(muts))
+		lastSeq = r.Seq
+		sawLive = true
+	}
+
+	w, err := journal.OpenWriter(walPath, rep.Committed, lastSeq+1)
+	if err != nil {
+		return fail(err)
+	}
+	// Make the journal's directory entry durable: fsyncing the file alone
+	// does not persist a freshly created name, and a crash could otherwise
+	// vanish a journal whose appends were already acknowledged.
+	if err := syncDir(dir); err != nil {
+		w.Close()
+		return fail(err)
+	}
+	if !sawLive && rep.Committed > 0 {
+		// Every surviving record was at or below the checkpoint: finish the
+		// truncation the crash interrupted.
+		if err := w.Reset(); err != nil {
+			w.Close()
+			return fail(err)
+		}
+	}
+	info.LastSeq = lastSeq
+	info.SizeBytes = w.Size()
+	st := &nsStorage{
+		dir:     dir,
+		fsync:   !cfg.JournalNoSync,
+		every:   cfg.CheckpointEvery,
+		w:       w,
+		cluster: eng.Cluster(),
+		info:    info,
+	}
+	return eng, st, nil
+}
+
+// newNamespaceStorage prepares the durable state for a freshly created
+// namespace: a clean directory (stale leftovers of an earlier same-named
+// tenant are removed) and an empty, open journal.
+func (d *dataStore) newNamespaceStorage(spec NamespaceSpec, cluster *memcloud.Cluster) (*nsStorage, error) {
+	dir := d.nsDir(spec.Name)
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w, err := journal.OpenWriter(filepath.Join(dir, journalName), 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Persist the directory entries (ns/<name> and its journal.wal): the
+	// first acknowledged update fsyncs only file CONTENT, so the names
+	// themselves must be durable before any ack can rely on them.
+	if err := syncDir(dir); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(dir)); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return &nsStorage{
+		dir:     dir,
+		fsync:   !d.cfg.JournalNoSync,
+		every:   d.cfg.CheckpointEvery,
+		w:       w,
+		cluster: cluster,
+	}, nil
+}

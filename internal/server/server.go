@@ -39,6 +39,9 @@ type Server struct {
 	met   *metrics // non-tenant routes: /healthz and the /ns admin API
 	mux   *http.ServeMux
 	start time.Time
+	// store is the durability root (Config.DataDir): manifest plus
+	// per-namespace journal/checkpoint directories. Nil without a data dir.
+	store *dataStore
 	// buildSem bounds concurrent POST /ns builds: graph generation and
 	// loading are CPU- and memory-hungry, so unbounded concurrent creates
 	// are a denial-of-service on every live tenant. Excess creates get 429.
@@ -68,6 +71,13 @@ func New(eng *core.Engine, cfg Config) (*Server, error) {
 // NewMulti builds a service with an empty namespace registry; cfg supplies
 // the per-tenant limit defaults. Register tenants with AddNamespace /
 // AddNamespaceSpec (boot) or POST /ns (runtime).
+//
+// With Config.DataDir set, NewMulti first recovers: every namespace in the
+// data dir's manifest is re-created (checkpoint load or spec rebuild) and
+// its journal replayed before the server is returned, so by the time the
+// listener opens every acknowledged pre-crash mutation is live again. A
+// recovery failure fails construction — serving a silently incomplete
+// tenant would be worse than not starting.
 func NewMulti(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -81,6 +91,19 @@ func NewMulti(cfg Config) (*Server, error) {
 		buildSem: make(chan struct{}, 2),
 		runCtx:   runCtx,
 		abort:    abort,
+	}
+	if s.cfg.DataDir != "" {
+		store, err := openDataStore(s.cfg.DataDir, s.cfg)
+		if err != nil {
+			abort()
+			return nil, err
+		}
+		s.store = store
+		if err := s.recoverPersisted(); err != nil {
+			s.Close()
+			abort()
+			return nil, err
+		}
 	}
 	mux := http.NewServeMux()
 	// Legacy unprefixed routes alias the default namespace…
@@ -128,14 +151,46 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Abort() { s.abort() }
 
 // Close releases the server's background resources: every namespace's
-// update dispatcher stops and its still-queued updates fail with 503.
-// Call it after the HTTP listener has shut down (tests, daemon exit);
-// in-flight query streams are not interrupted — use Abort for that.
-// Idempotent.
+// update dispatcher drains its in-flight batch and stops (still-queued
+// updates fail with 503), then each journal is closed. The registry is
+// sealed first, so a namespace create racing Close can no longer register
+// a dispatcher nobody would stop. Call it after the HTTP listener has shut
+// down (tests, daemon exit); in-flight query streams are not interrupted —
+// use Abort for that. Idempotent.
 func (s *Server) Close() {
-	for _, ns := range s.reg.list() {
+	for _, ns := range s.reg.seal() {
 		ns.close()
 	}
+	if s.store != nil {
+		// Release the data-dir flock last, after every journal is closed,
+		// so a successor process sees a quiescent directory.
+		s.store.close()
+	}
+}
+
+// recoverPersisted re-creates every namespace the manifest lists and
+// removes orphaned directories (crashed drops). Called once from NewMulti.
+func (s *Server) recoverPersisted() error {
+	if err := s.store.cleanOrphans(); err != nil {
+		return fmt.Errorf("server: cleaning orphaned namespace dirs: %w", err)
+	}
+	for _, name := range s.store.names() {
+		specText, _ := s.store.specFor(name)
+		spec, err := ParseNamespaceSpec(name, specText)
+		if err != nil {
+			return fmt.Errorf("server: manifest namespace %q: %w", name, err)
+		}
+		eng, store, err := recoverEngine(spec, s.store.nsDir(name), s.cfg)
+		if err != nil {
+			return err
+		}
+		ns := newNamespace(name, eng, spec.configFor(s.cfg), store)
+		if err := s.reg.add(ns, 0); err != nil {
+			ns.close()
+			return err
+		}
+	}
+	return nil
 }
 
 // instrument wraps a non-tenant handler with request counting and latency
@@ -346,6 +401,15 @@ func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Reque
 	return false
 }
 
+// journalStatsOf snapshots a namespace's journal counters, nil when it is
+// not persisted.
+func journalStatsOf(ns *namespace) *JournalInfo {
+	if ns.store == nil {
+		return nil
+	}
+	return ns.store.journalStats()
+}
+
 func assignmentInt64(m core.Match) []int64 {
 	out := make([]int64, len(m.Assignment))
 	for i, id := range m.Assignment {
@@ -517,6 +581,7 @@ func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Reque
 		},
 		Admission:   ns.adm.stats(),
 		UpdateQueue: ns.pipe.stats(),
+		Journal:     journalStatsOf(ns),
 		Endpoints:   endpoints,
 	})
 	return false
@@ -631,7 +696,15 @@ func (s *Server) handleDropNamespace(w http.ResponseWriter, r *http.Request) boo
 		return true
 	}
 	name := r.PathValue("ns")
-	if !s.DropNamespace(name) {
+	dropped, err := s.DropNamespace(name)
+	if err != nil {
+		// The durable intent could not be recorded; the namespace is still
+		// live and serving — destroying it anyway would resurrect it on the
+		// next boot.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return true
+	}
+	if !dropped {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown namespace %q", name))
 		return true
 	}

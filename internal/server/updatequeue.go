@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/journal"
 	"stwig/internal/memcloud"
 )
 
@@ -42,6 +44,11 @@ var errUpdateQueueClosed = errors.New("update queue closed")
 // without containment one poisoned mutation would crash every tenant in
 // the process instead of failing one request as the old inline path did.
 var errUpdateInternal = errors.New("internal update failure")
+
+// errUpdateJournal reports that the batch could not be made durable
+// (journal append or fsync failed). The batch is NOT applied: acking a
+// mutation the journal does not hold would break the recovery contract.
+var errUpdateJournal = errors.New("update journal write failed")
 
 // updateGate is the namespace's reader/writer gate. Readers (queries,
 // explains) hold it shared for their full execution; the dispatcher — the
@@ -184,6 +191,10 @@ type updatePipeline struct {
 	eng  *core.Engine
 	gate *updateGate
 	cfg  Config
+	// store, when non-nil, is the namespace's durable state: every batch is
+	// appended (and fsynced) there before ApplyBatch runs, and the
+	// dispatcher runs the checkpoint cadence between batches.
+	store *nsStorage
 
 	jobs chan *updateJob
 	stop chan struct{}
@@ -196,6 +207,7 @@ type updatePipeline struct {
 	rejectedFull uint64
 	applied      uint64
 	conflicts    uint64
+	coalesced    uint64
 	busyTimeouts uint64
 	batches      uint64
 	maxBatch     int
@@ -204,14 +216,15 @@ type updatePipeline struct {
 	applyHist    histogram
 }
 
-func newUpdatePipeline(eng *core.Engine, gate *updateGate, cfg Config) *updatePipeline {
+func newUpdatePipeline(eng *core.Engine, gate *updateGate, cfg Config, store *nsStorage) *updatePipeline {
 	return &updatePipeline{
-		eng:  eng,
-		gate: gate,
-		cfg:  cfg,
-		jobs: make(chan *updateJob, cfg.UpdateQueueDepth),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		eng:   eng,
+		gate:  gate,
+		cfg:   cfg,
+		store: store,
+		jobs:  make(chan *updateJob, cfg.UpdateQueueDepth),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 }
 
@@ -273,6 +286,12 @@ func (p *updatePipeline) run() {
 		case first = <-p.jobs:
 		}
 		p.apply(p.collect(first))
+		if p.store != nil {
+			// Between batches the dispatcher is the only mutator, so the
+			// checkpoint snapshot is exactly the state the journal's last
+			// record left — the compaction is loss-free by construction.
+			p.store.maybeCheckpoint()
+		}
 	}
 }
 
@@ -291,13 +310,99 @@ func (p *updatePipeline) collect(first *updateJob) []*updateJob {
 	return batch
 }
 
-// apply opens one writer window for the whole batch. On a busy timeout the
-// entire batch fails — each job gets the 503 contract its author would have
-// gotten from the old per-request path. A failure caused by shutdown is
-// reported as closed, not busy: "busy" invites a retry against a namespace
-// that no longer exists and would pollute the busy_timeouts counter on
-// every clean drop.
+// coalesceBatch folds the batch before it reaches the journal or the
+// graph: an add_edge and a later remove_edge of the same (undirected) edge
+// within one batch annihilate — neither is journaled nor applied, and both
+// report success at the batch's final epoch. Repeated toggles pair off
+// innermost-first (add,remove,add,remove → nothing; add,remove,add → the
+// last add survives).
+//
+// The semantics are optimistic and are pinned by TestUpdateCoalescing: a
+// cancelled pair reports success even when the edge already existed before
+// the batch, where sequential application would have reported a
+// duplicate-edge conflict on the add and then removed the pre-existing
+// edge. Clients that need the sequential behavior must split the pair
+// across batches; the common stitch-then-undo flow (the edge is the
+// batch's own) coalesces exactly.
+//
+// It returns the surviving mutations, each job's index into them (-1 for a
+// cancelled job), and how many mutations were cancelled.
+func coalesceBatch(batch []*updateJob) (muts []memcloud.Mutation, mutIdx []int, cancelled int) {
+	mutIdx = make([]int, len(batch))
+	if len(batch) == 1 {
+		mutIdx[0] = 0
+		return []memcloud.Mutation{batch[0].mut}, mutIdx, 0
+	}
+	type edgeKey [2]graph.NodeID
+	keyOf := func(m memcloud.Mutation) edgeKey {
+		u, v := m.U, m.V
+		if u > v {
+			u, v = v, u
+		}
+		return edgeKey{u, v}
+	}
+	dead := make([]bool, len(batch))
+	var pendingAdds map[edgeKey][]int
+	for i, j := range batch {
+		switch j.mut.Op {
+		case memcloud.MutAddEdge:
+			if pendingAdds == nil {
+				pendingAdds = make(map[edgeKey][]int)
+			}
+			k := keyOf(j.mut)
+			pendingAdds[k] = append(pendingAdds[k], i)
+		case memcloud.MutRemoveEdge:
+			k := keyOf(j.mut)
+			if s := pendingAdds[k]; len(s) > 0 {
+				ai := s[len(s)-1]
+				pendingAdds[k] = s[:len(s)-1]
+				dead[ai], dead[i] = true, true
+				cancelled += 2
+			}
+		}
+	}
+	for i, j := range batch {
+		if dead[i] {
+			mutIdx[i] = -1
+			continue
+		}
+		mutIdx[i] = len(muts)
+		muts = append(muts, j.mut)
+	}
+	return muts, mutIdx, cancelled
+}
+
+// apply opens one writer window for the whole (coalesced) batch. On a busy
+// timeout the entire batch fails — each job gets the 503 contract its
+// author would have gotten from the old per-request path. A failure caused
+// by shutdown is reported as closed, not busy: "busy" invites a retry
+// against a namespace that no longer exists and would pollute the
+// busy_timeouts counter on every clean drop. When the namespace is
+// persisted, the batch is journaled and fsynced after the window opens and
+// before ApplyBatch — the WAL ordering recovery depends on; a journal
+// failure fails the whole batch unapplied.
 func (p *updatePipeline) apply(batch []*updateJob) {
+	muts, mutIdx, cancelled := coalesceBatch(batch)
+	if cancelled > 0 {
+		p.mu.Lock()
+		p.coalesced += uint64(cancelled)
+		p.mu.Unlock()
+	}
+	if len(muts) == 0 {
+		// The whole batch annihilated: no writer window, no journal record,
+		// no epoch movement — every job reports success as-of now.
+		epoch := p.eng.Cluster().Epoch()
+		now := time.Now()
+		for _, j := range batch {
+			wait := now.Sub(j.enq)
+			p.waitHist.observe(wait)
+			j.done <- updateJobResult{
+				res:        memcloud.MutationResult{NodeID: graph.InvalidNode, Epoch: epoch},
+				waitMicros: wait.Microseconds(),
+			}
+		}
+		return
+	}
 	if !p.gate.lock(p.cfg.UpdateLockWait, p.cfg.UpdateFairnessWindow, p.stop) {
 		failure := errUpdateBusy
 		select {
@@ -314,16 +419,37 @@ func (p *updatePipeline) apply(batch []*updateJob) {
 		return
 	}
 	acquired := time.Now()
-	muts := make([]memcloud.Mutation, len(batch))
-	for i, j := range batch {
-		muts[i] = j.mut
+	var mark journal.Mark
+	if p.store != nil {
+		// Durability point: the batch must be on stable storage before any
+		// of it mutates the graph. The append sits inside the writer window
+		// so a batch that fails to journal is provably unapplied (a failed
+		// append is rolled back) — journal and graph can never disagree
+		// about what happened.
+		var err error
+		mark, err = p.store.appendBatch(muts)
+		if err != nil {
+			p.gate.unlock()
+			jerr := fmt.Errorf("%w: %v", errUpdateJournal, err)
+			for _, j := range batch {
+				j.done <- updateJobResult{err: jerr}
+			}
+			return
+		}
 	}
 	results, panicErr := p.runBatch(muts)
 	applyTime := time.Since(acquired)
 	if panicErr != nil {
 		// The cluster's own locks were released by their defers; the graph
 		// may hold the batch's earlier mutations (best effort, like a
-		// crashed inline handler). Fail the batch, keep the tenant alive.
+		// crashed inline handler). Fail the batch, keep the tenant alive —
+		// but the journaled record must not survive to replay: every job is
+		// being answered 500, so recovery re-applying the batch would make
+		// the replayed history disagree with everything the clients were
+		// told (and shift every later vertex ID by the phantom mutations).
+		if p.store != nil {
+			p.store.discardAppended(mark)
+		}
 		for _, j := range batch {
 			j.done <- updateJobResult{err: panicErr}
 		}
@@ -350,10 +476,17 @@ func (p *updatePipeline) apply(batch []*updateJob) {
 	p.mu.Unlock()
 	p.applyHist.observe(applyTime)
 
+	// Cancelled jobs report success at the batch's final epoch — the state
+	// the surviving mutations left behind.
+	finalEpoch := results[len(results)-1].Epoch
 	for i, j := range batch {
 		wait := acquired.Sub(j.enq)
 		p.waitHist.observe(wait)
-		j.done <- updateJobResult{res: results[i], waitMicros: wait.Microseconds()}
+		res := memcloud.MutationResult{NodeID: graph.InvalidNode, Epoch: finalEpoch}
+		if mutIdx[i] >= 0 {
+			res = results[mutIdx[i]]
+		}
+		j.done <- updateJobResult{res: res, waitMicros: wait.Microseconds()}
 	}
 }
 
@@ -393,6 +526,7 @@ func (p *updatePipeline) stats() UpdateQueueInfo {
 		RejectedFull: p.rejectedFull,
 		Applied:      p.applied,
 		Conflicts:    p.conflicts,
+		Coalesced:    p.coalesced,
 		BusyTimeouts: p.busyTimeouts,
 		Batches:      p.batches,
 		MaxBatch:     p.maxBatch,

@@ -16,7 +16,7 @@ import (
 // and take every tenant down.
 func TestRunBatchContainsPanic(t *testing.T) {
 	gate := newUpdateGate()
-	p := newUpdatePipeline(nil /* engine: Cluster() will nil-deref */, gate, Config{}.normalize())
+	p := newUpdatePipeline(nil /* engine: Cluster() will nil-deref */, gate, Config{}.normalize(), nil)
 	if !gate.lock(time.Second, time.Millisecond, p.stop) {
 		t.Fatal("writer window not acquired on an idle gate")
 	}

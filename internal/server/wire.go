@@ -128,9 +128,42 @@ type StatsResponse struct {
 	Updates     UpdateInfo      `json:"updates"`
 	Admission   AdmissionStats  `json:"admission"`
 	UpdateQueue UpdateQueueInfo `json:"update_queue"`
+	// Journal reports the namespace's write-ahead journal; absent when the
+	// server runs without a data dir or the namespace is not persisted.
+	Journal *JournalInfo `json:"journal,omitempty"`
 	// Endpoints maps route (e.g. "/query") to its request counters and
 	// latency histogram summary.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// JournalInfo snapshots one namespace's durability state: the write-ahead
+// journal the dispatcher appends to before every ApplyBatch, and the
+// checkpoint/compaction cycle that keeps replay bounded.
+type JournalInfo struct {
+	// Enabled is true whenever the namespace journals its updates.
+	Enabled bool `json:"enabled"`
+	// Records and Bytes count journal appends (batches) and their payload
+	// bytes since boot; Fsyncs counts the durability syncs issued for them.
+	Records uint64 `json:"records_appended"`
+	Bytes   uint64 `json:"bytes_appended"`
+	Fsyncs  uint64 `json:"fsyncs"`
+	// LastSeq is the sequence number of the newest journaled batch;
+	// SizeBytes is the journal file's current length.
+	LastSeq   uint64 `json:"last_seq"`
+	SizeBytes int64  `json:"size_bytes"`
+	// Checkpoints counts completed checkpoint/compaction cycles since boot,
+	// CheckpointErrors failed attempts (the journal keeps growing until one
+	// succeeds), and CheckpointSeq the sequence the latest checkpoint covers.
+	Checkpoints      uint64 `json:"checkpoints"`
+	CheckpointErrors uint64 `json:"checkpoint_errors,omitempty"`
+	CheckpointSeq    uint64 `json:"checkpoint_seq"`
+	// ReplayedRecords / ReplayedMutations report boot-time recovery: how
+	// many journal records (batches) and individual mutations were replayed
+	// over the checkpoint. TornTailRecovered reports that a torn tail — the
+	// partial record a crash mid-append leaves — was found and truncated.
+	ReplayedRecords   uint64 `json:"replayed_records"`
+	ReplayedMutations uint64 `json:"replayed_mutations"`
+	TornTailRecovered bool   `json:"torn_tail_recovered,omitempty"`
 }
 
 // GraphInfo describes the served cluster.
@@ -191,6 +224,10 @@ type UpdateQueueInfo struct {
 	// per-mutation failures (missing vertex, duplicate edge, ...).
 	Applied   uint64 `json:"applied"`
 	Conflicts uint64 `json:"conflicts"`
+	// Coalesced counts mutations cancelled out before apply: an add_edge
+	// and a later remove_edge of the same edge within one batch annihilate
+	// (both report success; neither touches the graph or the journal).
+	Coalesced uint64 `json:"coalesced"`
 	// BusyTimeouts counts batches abandoned because the writer window
 	// never opened within the configured patience (every job in such a
 	// batch was answered 503).
