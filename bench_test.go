@@ -625,6 +625,28 @@ func BenchmarkJournaledUpdate(b *testing.B) {
 	b.Run("fsync/batch=64", func(b *testing.B) { run(b, true, 64) })
 }
 
+// BenchmarkParallelSpeedup measures intra-machine parallel execution: the
+// same heavy workload on a single simulated machine (so the worker pool,
+// not cluster fan-out, is the only concurrency) at per-query worker counts
+// 1, 2, and 4. The CI gate holds allocs/op and B/op against the baseline
+// (machine-independent); the 4-vs-1 ns/op ratio is reported by
+// cmd/benchgate -speedup as an informational note, since wall-clock gains
+// need real cores. Meaningful speedup requires GOMAXPROCS ≥ 4.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	g := patentsBench(b)
+	c := benchCluster(b, g, 1)
+	rng := rand.New(rand.NewSource(benchSeed))
+	qs := benchQueries(b, 5, func() (*core.Query, error) {
+		return workload.DFSQuery(g, 7, rng)
+	})
+	for _, par := range []int{1, 2, 4} {
+		eng := core.NewEngine(c, core.Options{MatchBudget: 8192, Seed: benchSeed, Parallelism: par})
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			runQueriesRoundRobin(b, eng, qs)
+		})
+	}
+}
+
 // BenchmarkPatternParse measures the query DSL front end.
 func BenchmarkPatternParse(b *testing.B) {
 	const src = "MATCH (a:author)-(p:paper), (p)-(v:venue), (a)-(v), (p)-(r:reviewer)"

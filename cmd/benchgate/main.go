@@ -33,6 +33,16 @@
 // benchmark present in the baseline but missing from the current run
 // fails the gate — a rename or crash must not hide the series the gate
 // exists to watch.
+//
+// Report the intra-machine parallel speedup within one run:
+//
+//	benchgate -in bench.txt -speedup BenchmarkParallelSpeedup
+//
+// compares the family's parallelism=N sub-benchmarks against parallelism=1
+// and prints the ns/op ratio for each. The ratio is informational and
+// never fails the gate — it depends on the runner's core count — but a
+// missing family or missing parallelism=1 baseline exits non-zero, because
+// that means CI stopped measuring it.
 package main
 
 import (
@@ -282,6 +292,44 @@ func gate(baseline, current map[string][]sample, match string, thresholdPct floa
 	return failures, notes
 }
 
+// speedupReport compares a family's parallelism=N sub-benchmarks against
+// its parallelism=1 run and formats the median-ns/op ratios. The ratios
+// are informational (they track the runner's core count, not the code),
+// so the only error is the family not being measured at all.
+func speedupReport(runs map[string][]sample, family string) ([]string, error) {
+	const seqSuffix = "/parallelism=1"
+	baseNs := 0.0
+	var variants []string
+	for name := range runs {
+		if !strings.HasPrefix(name, family+"/parallelism=") {
+			continue
+		}
+		if strings.HasSuffix(name, seqSuffix) {
+			baseNs = medianOf(runs[name], func(s sample) float64 { return s.NsPerOp })
+		} else {
+			variants = append(variants, name)
+		}
+	}
+	if baseNs <= 0 {
+		return nil, fmt.Errorf("no %s%s samples in the run — the speedup series is not being measured", family, seqSuffix)
+	}
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("%s has a sequential run but no parallelism>1 variants", family)
+	}
+	sort.Strings(variants)
+	out := []string{fmt.Sprintf("%s%s: %.0f ns/op (sequential reference)", family, seqSuffix, baseNs)}
+	for _, name := range variants {
+		ns := medianOf(runs[name], func(s sample) float64 { return s.NsPerOp })
+		if ns <= 0 {
+			out = append(out, fmt.Sprintf("%s: no ns/op samples", name))
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s: %.0f ns/op — %.2fx vs sequential (informational; bound by the runner's cores)",
+			name, ns, baseNs/ns))
+	}
+	return out, nil
+}
+
 func readFile(path string) string {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -300,10 +348,21 @@ func main() {
 		benchName = flag.String("bench", "", "substring of benchmark names the gate guards")
 		threshold = flag.Float64("threshold", 15, "maximum allowed median regression, percent")
 		metrics   = flag.String("metrics", "ns", "comma-separated metrics the gate enforces: ns, allocs, bytes (ns only compares within one machine)")
+		speedup   = flag.String("speedup", "", "benchmark family whose parallelism=N variants to compare against parallelism=1 (with -in)")
 	)
 	flag.Parse()
 
 	switch {
+	case *in != "" && *speedup != "":
+		lines, err := speedupReport(parseBench(readFile(*in)), *speedup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		for _, l := range lines {
+			fmt.Println("benchgate:", l)
+		}
+
 	case *in != "" && *jsonOut != "":
 		runs := parseBench(readFile(*in))
 		if len(runs) == 0 {
@@ -341,7 +400,7 @@ func main() {
 		}
 
 	default:
-		fmt.Fprintln(os.Stderr, "benchgate: use -in FILE -json FILE, or -baseline FILE -new FILE -bench NAME [-threshold PCT]")
+		fmt.Fprintln(os.Stderr, "benchgate: use -in FILE -json FILE, -in FILE -speedup FAMILY, or -baseline FILE -new FILE -bench NAME [-threshold PCT]")
 		os.Exit(2)
 	}
 }

@@ -201,3 +201,34 @@ func TestParseMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestSpeedupReport(t *testing.T) {
+	const fixture = `
+BenchmarkParallelSpeedup/parallelism=1-4   100   1000000 ns/op   4096 B/op   50 allocs/op
+BenchmarkParallelSpeedup/parallelism=1-4   100   1200000 ns/op   4096 B/op   50 allocs/op
+BenchmarkParallelSpeedup/parallelism=1-4   100   1100000 ns/op   4096 B/op   50 allocs/op
+BenchmarkParallelSpeedup/parallelism=2-4   100    600000 ns/op   4096 B/op   50 allocs/op
+BenchmarkParallelSpeedup/parallelism=4-4   100    500000 ns/op   4096 B/op   50 allocs/op
+BenchmarkParallelSpeedup/parallelism=4-4   100    550000 ns/op   4096 B/op   50 allocs/op
+`
+	lines, err := speedupReport(parseBench(fixture), "BenchmarkParallelSpeedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	// Sequential median 1100000; parallelism=4 median 525000 → 2.10x.
+	for _, want := range []string{
+		"parallelism=1: 1100000 ns/op (sequential reference)",
+		"parallelism=4: 525000 ns/op — 2.10x",
+		"parallelism=2: 600000 ns/op — 1.83x",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Missing sequential reference is a wiring failure, not a soft skip.
+	if _, err := speedupReport(parseBench(fixture), "BenchmarkOther"); err == nil {
+		t.Error("missing family produced no error")
+	}
+}

@@ -85,6 +85,7 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", durOr(envCfg.MaxTimeout, 2*time.Minute), "cap on client-requested deadlines")
 		maxMatches  = flag.Int("max-matches", envCfg.MaxMatches, "per-request match cap (0 = unlimited)")
 		maxBytes    = flag.Int64("max-bytes", envCfg.MaxBytes, "per-response byte cap (0 = unlimited)")
+		parallel    = flag.Int("parallelism", envCfg.Parallelism, "per-query intra-machine workers for every namespace (0 = GOMAXPROCS, 1 = sequential; specs override with parallelism=N)")
 		updQueue    = flag.Int("update-queue-depth", intOr(envCfg.UpdateQueueDepth, 64), "per-namespace update queue capacity (queue full → 503 with Retry-After)")
 		updBatch    = flag.Int("update-batch-max", intOr(envCfg.UpdateBatchMax, 32), "max queued mutations applied per writer window")
 		updFairness = flag.Duration("update-fairness-window", envCfg.UpdateFairnessWindow, "reader grace period before a parked update blocks new queries; 0 selects min(100ms, half the lock wait), and it must stay shorter than -update-lock-wait")
@@ -113,6 +114,7 @@ func main() {
 			MaxTimeout:           *maxTimeout,
 			MaxMatches:           *maxMatches,
 			MaxBytes:             *maxBytes,
+			Parallelism:          *parallel,
 			MaxRequestBytes:      envCfg.MaxRequestBytes,
 			RetryAfter:           envCfg.RetryAfter,
 			UpdateLockWait:       *updLockWait,

@@ -39,6 +39,7 @@ func main() {
 		patternStr = flag.String("pattern", "", "inline pattern, e.g. '(a:x)-(b:y), (b)-(c:z)'")
 		machines   = flag.Int("machines", 8, "simulated cluster size")
 		budget     = flag.Int("budget", 1024, "match budget (0 = enumerate all)")
+		parallel   = flag.Int("parallelism", 0, "per-query intra-machine workers (0 = GOMAXPROCS, 1 = sequential)")
 		verify     = flag.Bool("verify", false, "re-verify every returned match against the graph")
 		show       = flag.Int("show", 10, "matches to print (0 = none)")
 		showStats  = flag.Bool("stats", true, "print execution statistics")
@@ -52,13 +53,13 @@ func main() {
 		os.Exit(2)
 	}
 	lim := core.Limits{Timeout: *timeout, MaxMatches: *maxMatches}
-	if err := run(*graphPath, *textGraph, *queryPath, *patternStr, *machines, *budget, *verify, *show, *showStats, *explain, lim); err != nil {
+	if err := run(*graphPath, *textGraph, *queryPath, *patternStr, *machines, *budget, *parallel, *verify, *show, *showStats, *explain, lim); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, textGraph bool, queryPath, patternStr string, machines, budget int, verify bool, show int, showStats, explain bool, lim core.Limits) error {
+func run(graphPath string, textGraph bool, queryPath, patternStr string, machines, budget, parallel int, verify bool, show int, showStats, explain bool, lim core.Limits) error {
 	gf, err := os.Open(graphPath)
 	if err != nil {
 		return err
@@ -105,7 +106,7 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 	fmt.Printf("loaded onto %d machines in %v (string index: %d bytes)\n",
 		machines, time.Since(loadStart).Round(time.Millisecond), cluster.StringIndexBytes())
 
-	eng := core.NewEngine(cluster, core.Options{MatchBudget: budget})
+	eng := core.NewEngine(cluster, core.Options{MatchBudget: budget, Parallelism: parallel})
 	if explain {
 		plan, err := eng.Explain(q)
 		if err != nil {

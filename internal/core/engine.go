@@ -25,6 +25,17 @@ type Options struct {
 	// query signatures (LRU). 0 selects the default (128); negative
 	// disables plan caching entirely, so every query is planned afresh.
 	PlanCacheSize int
+	// Parallelism caps the intra-machine worker goroutines each query run
+	// uses for STwig matching, the proxy bitset merge, and the block join.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs each machine's work on a
+	// single goroutine (the pre-parallel behavior). SimulateParallel
+	// forces 1 regardless, since modeled times need sequential phases.
+	Parallelism int
+	// SemijoinWordCap is the total relation volume (in 8-byte words) up to
+	// which the pre-join semi-join reduction runs; larger joins skip it as
+	// pure overhead. 0 selects the default (30000); negative disables the
+	// reduction for any volume. Ignored when NoSemijoin is set.
+	SemijoinWordCap int
 
 	// Ablation switches (all false in the paper's configuration):
 
@@ -62,12 +73,19 @@ type Options struct {
 // PlanCacheSize zero.
 const defaultPlanCacheSize = 128
 
+// defaultSemijoinWordCap is the semi-join volume gate when Options leaves
+// SemijoinWordCap zero.
+const defaultSemijoinWordCap = 30_000
+
 // normalizeOptions fills defaulted fields; NewEngine, NewPlanner, and
 // NewExecutor all apply it so the layers agree regardless of how they were
 // constructed.
 func normalizeOptions(opts Options) Options {
 	if opts.BlockSize <= 0 {
 		opts.BlockSize = 256
+	}
+	if opts.SemijoinWordCap == 0 {
+		opts.SemijoinWordCap = defaultSemijoinWordCap
 	}
 	if opts.SimulateParallel && opts.NetModel == (memcloud.NetworkModel{}) {
 		opts.NetModel = memcloud.DefaultNetworkModel()
@@ -101,6 +119,11 @@ type Engine struct {
 	// matches emitted, cumulative since construction.
 	queries atomic.Uint64
 	matches atomic.Uint64
+	// Intra-machine parallelism counters, accumulated from each run's
+	// ExecStats: chunk tasks dispatched to worker pools and batched emit
+	// flushes through the serialized emit path.
+	parallelTasks atomic.Uint64
+	emitFlushes   atomic.Uint64
 }
 
 // NewEngine creates an engine over a loaded cluster.
@@ -155,6 +178,13 @@ type EngineSnapshot struct {
 	// or not); MatchesEmitted counts matches delivered to callers.
 	Queries        uint64
 	MatchesEmitted uint64
+	// Parallelism is the effective intra-machine worker count query runs
+	// use (Options.Parallelism resolved against GOMAXPROCS).
+	Parallelism int
+	// ParallelTasks counts chunk tasks dispatched to run worker pools;
+	// EmitFlushes counts batched emit flushes. Both cumulative.
+	ParallelTasks uint64
+	EmitFlushes   uint64
 }
 
 // Snapshot captures the engine's observable state. It is safe to call
@@ -171,6 +201,9 @@ func (e *Engine) Snapshot() EngineSnapshot {
 		MemoryBytes:    e.cluster.TotalMemoryBytes(),
 		Queries:        e.queries.Load(),
 		MatchesEmitted: e.matches.Load(),
+		Parallelism:    e.opts.effectiveParallelism(),
+		ParallelTasks:  e.parallelTasks.Load(),
+		EmitFlushes:    e.emitFlushes.Load(),
 	}
 }
 
@@ -237,6 +270,24 @@ func (e *Engine) MatchContext(ctx context.Context, q *Query) (*Result, error) {
 // resolving it took (PlanTime — a cache lookup on hits, a planner run on
 // misses).
 func (e *Engine) MatchStream(ctx context.Context, q *Query, emit func(Match) bool) (*ExecStats, error) {
+	return e.matchStream(ctx, q, emit, nil)
+}
+
+// MatchStreamBlocks is MatchStream at block granularity: emitBlock receives
+// each flushed block of matches (never concurrently; never empty) and
+// reports how many of them it consumed plus whether to continue; returning
+// false stops the query with Stats.Truncated set. The consumed count lets a
+// partially-delivered final block (a downstream cap cutting mid-block) be
+// accounted exactly. Batch-oriented consumers — the daemon's NDJSON writer,
+// bulk loaders — use it to pay their per-delivery overhead (flushes,
+// syscalls) once per block instead of once per match. The slice is reused
+// between calls; copy it to retain.
+func (e *Engine) MatchStreamBlocks(ctx context.Context, q *Query, emitBlock func([]Match) (int, bool)) (*ExecStats, error) {
+	return e.matchStream(ctx, q, nil, emitBlock)
+}
+
+// matchStream runs q through whichever emit variant is non-nil.
+func (e *Engine) matchStream(ctx context.Context, q *Query, emit func(Match) bool, emitBlock func([]Match) (int, bool)) (*ExecStats, error) {
 	planStart := time.Now()
 	plan, hit, err := e.planFor(q)
 	if err != nil {
@@ -245,18 +296,40 @@ func (e *Engine) MatchStream(ctx context.Context, q *Query, emit func(Match) boo
 	planTime := time.Since(planStart)
 
 	e.queries.Add(1)
-	// emit is never called concurrently (Executor serializes it), so a
-	// plain counter is safe; the atomic add below publishes it.
+	// The callbacks are never invoked concurrently (the Executor serializes
+	// emission), so plain counters are safe; the atomic adds below publish
+	// them.
 	var emitted uint64
-	counted := func(m Match) bool {
-		emitted++
-		return emit(m)
+	var counted func([]Match) (int, bool)
+	if emitBlock != nil {
+		counted = func(ms []Match) (int, bool) {
+			n, ok := emitBlock(ms)
+			if n < 0 {
+				n = 0
+			} else if n > len(ms) {
+				n = len(ms)
+			}
+			emitted += uint64(n)
+			return n, ok
+		}
+	} else {
+		counted = func(ms []Match) (int, bool) {
+			for i, m := range ms {
+				emitted++
+				if !emit(m) {
+					return i, false
+				}
+			}
+			return len(ms), true
+		}
 	}
 	stats, err := e.executor.Run(ctx, plan, counted)
 	e.matches.Add(emitted)
 	if err != nil {
 		return nil, err
 	}
+	e.parallelTasks.Add(stats.ParallelTasks)
+	e.emitFlushes.Add(stats.EmitFlushes)
 	stats.PlanCacheHit = hit
 	stats.PlanTime = planTime
 	return stats, nil

@@ -28,11 +28,13 @@ func NewExecutor(c *memcloud.Cluster, opts Options) *Executor {
 	return &Executor{cluster: c, opts: normalizeOptions(opts)}
 }
 
-// Run executes plan, calling emit once per match (from multiple goroutines
-// but never concurrently; returning false stops the run and sets
-// Stats.Truncated). Engine stamps the returned stats with plan-cache
-// provenance; Run itself fills everything execution-derived.
-func (ex *Executor) Run(ctx context.Context, plan *Plan, emit func(Match) bool) (*ExecStats, error) {
+// Run executes plan, delivering matches in blocks: emit is called with
+// each flushed block (from multiple goroutines but never concurrently) and
+// returns how many of the block's matches it accepted plus whether to
+// continue; a false return stops the run and sets Stats.Truncated. Engine
+// stamps the returned stats with plan-cache provenance; Run itself fills
+// everything execution-derived.
+func (ex *Executor) Run(ctx context.Context, plan *Plan, emit func([]Match) (int, bool)) (*ExecStats, error) {
 	if !plan.Resolvable {
 		return &ExecStats{}, nil
 	}
@@ -45,8 +47,25 @@ func (ex *Executor) Run(ctx context.Context, plan *Plan, emit func(Match) bool) 
 type execution struct {
 	ex   *Executor
 	plan *Plan
-	emit func(Match) bool
+	emit func([]Match) (int, bool)
 	pt   phaseTimer
+
+	// Intra-machine parallelism state: pool is the run's worker pool (nil
+	// when effective parallelism is 1), par its size, tasks/flushes the
+	// counters surfaced in ExecStats.
+	pool    *workerPool
+	par     int
+	tasks   atomic.Uint64
+	flushes atomic.Uint64
+}
+
+// dispatch runs tasks on the run's worker pool (inline when sequential),
+// counting pool dispatches for ExecStats.ParallelTasks.
+func (r *execution) dispatch(tasks []func()) {
+	if r.pool != nil && len(tasks) > 1 {
+		r.tasks.Add(uint64(len(tasks)))
+	}
+	r.pool.runAll(tasks)
 }
 
 // phaseTimer accumulates modeled times across a query's parallel sections.
@@ -89,6 +108,10 @@ func (r *execution) run(ctx context.Context) (*ExecStats, error) {
 		ex.cluster.AccountProxyTransfer(plan.planWords)
 	}
 
+	r.par = ex.opts.effectiveParallelism()
+	r.pool = newWorkerPool(r.par)
+	defer r.pool.close()
+
 	wallStart := time.Now()
 
 	// Exploration phase.
@@ -118,6 +141,9 @@ func (r *execution) run(ctx context.Context) (*ExecStats, error) {
 		JoinTime:          joinTime,
 		Truncated:         truncated,
 		PerMachineMatches: perMachine,
+		Parallelism:       r.par,
+		ParallelTasks:     r.tasks.Load(),
+		EmitFlushes:       r.flushes.Load(),
 	}
 	for t := range plan.Decomposition.Twigs {
 		for k := 0; k < ex.cluster.NumMachines(); k++ {
@@ -158,7 +184,7 @@ func (r *execution) explore(ctx context.Context) ([][][]STwigMatch, error) {
 		perTwig[t] = make([][]STwigMatch, k)
 		perMachineDeltas := make([][]bindingDelta, k)
 		r.forEachMachine(func(m *memcloud.Machine) {
-			ms := matchSTwigOnMachine(m, twig, labels, bindings)
+			ms := r.matchSTwigParallel(m, twig, labels, bindings)
 			perTwig[t][m.ID()] = ms
 			if bindings != nil {
 				deltas := collectDeltas(twig, ms, numNodes)
@@ -178,24 +204,28 @@ func (r *execution) explore(ctx context.Context) ([][][]STwigMatch, error) {
 		}
 		// Proxy merge: union the per-machine contributions per query vertex
 		// (a word-parallel OR over bitsets) and replace the binding sets.
-		merged := make(map[int]bitset)
-		for _, deltas := range perMachineDeltas {
-			for _, d := range deltas {
-				if acc := merged[d.vertex]; acc == nil {
-					merged[d.vertex] = d.bits
-				} else {
-					acc.or(d.bits)
+		// Every machine's collectDeltas returns the same vertices in the
+		// same order (root, then each leaf), so the merge shards per query
+		// vertex across the worker pool: machine 0's bitset accumulates the
+		// rest, and the shards touch disjoint bitsets.
+		deltas := perMachineDeltas[0]
+		merge := make([]func(), len(deltas))
+		for di := range deltas {
+			di := di
+			merge[di] = func() {
+				acc := deltas[di].bits
+				for j := 1; j < k; j++ {
+					acc.or(perMachineDeltas[j][di].bits)
 				}
 			}
 		}
-		for v, bits := range merged {
-			bindings.setBits(v, bits)
-		}
+		r.dispatch(merge)
 		// Broadcast the updated bindings to every machine, again as
 		// bitsets: only the sets updated this step need to go out.
 		words := 0
-		for _, bits := range merged {
-			words += len(bits)
+		for _, d := range deltas {
+			bindings.setBits(d.vertex, d.bits)
+			words += len(d.bits)
 		}
 		for i := 0; i < k; i++ {
 			ex.cluster.AccountProxyTransfer(words)
@@ -221,23 +251,31 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 		budget.Store(int64(ex.opts.MatchBudget))
 	}
 
-	// Serialize the user callback across machine goroutines; a false
-	// return (or a done context) stops every machine's join.
+	// Serialize the user callback across machine goroutines and join
+	// workers; a false return (or a done context) stops every joiner.
+	// Joiners deliver whole blocks, so the mutex is taken once per block
+	// rather than once per match. perMachineCounts writes also happen
+	// under it; the forEachMachine barrier publishes them to the reader.
 	var emitMu sync.Mutex
 	var stopAll atomic.Bool
 	var truncatedFlag atomic.Bool
-	sharedEmit := func(m Match) bool {
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		if stopAll.Load() {
-			return false
+	perMachineCounts := make([]int, k)
+	emitBlockFor := func(machine int) func([]Match) bool {
+		return func(ms []Match) bool {
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			if stopAll.Load() {
+				return false
+			}
+			r.flushes.Add(1)
+			n, ok := r.emit(ms)
+			perMachineCounts[machine] += n
+			if !ok {
+				stopAll.Store(true)
+				truncatedFlag.Store(true)
+			}
+			return ok
 		}
-		if !r.emit(m) {
-			stopAll.Store(true)
-			truncatedFlag.Store(true)
-			return false
-		}
-		return true
 	}
 	aborted := func() bool {
 		if stopAll.Load() {
@@ -251,7 +289,6 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 		}
 	}
 
-	perMachineCounts := make([]int, k)
 	r.forEachMachine(func(mach *memcloud.Machine) {
 		machine := mach.ID()
 		rng := rand.New(rand.NewSource(ex.opts.Seed + int64(machine)))
@@ -292,11 +329,10 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 		sortRelationsDeterministic(rels)
 		// Semi-join reduction pays on selective (often cyclic) queries
 		// but is pure overhead when relations are huge and
-		// unselective; gate it by volume. It mutates leaf sets, and
-		// the match arrays are shared with other machines' concurrent
-		// joins, so it operates on a deep copy.
-		const semijoinWordCap = 30_000
-		if !ex.opts.NoSemijoin && totalWords <= semijoinWordCap {
+		// unselective; gate it by volume (Options.SemijoinWordCap). It
+		// mutates leaf sets, and the match arrays are shared with other
+		// machines' concurrent joins, so it operates on a deep copy.
+		if !ex.opts.NoSemijoin && totalWords <= ex.opts.SemijoinWordCap {
 			for _, rel := range rels {
 				rel.matches = copyMatches(nil, rel.matches)
 				rel.buildIndexes()
@@ -305,26 +341,50 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 		}
 		rels = orderRelations(rels, !ex.opts.NoJoinOrderOpt)
 
-		count := 0
-		jn := &joiner{
-			q:         q,
-			rels:      rels,
-			budget:    budget,
-			blockSize: ex.opts.BlockSize,
-			abort:     aborted,
-			emit: func(m Match) bool {
-				if !sharedEmit(m) {
-					return false
+		emitBlock := emitBlockFor(machine)
+		newJoiner := func() *joiner {
+			return &joiner{
+				q:         q,
+				rels:      rels,
+				budget:    budget,
+				blockSize: ex.opts.BlockSize,
+				abort:     aborted,
+				emitBlock: emitBlock,
+			}
+		}
+		driverLen := 0
+		if len(rels) > 0 {
+			driverLen = len(rels[0].matches)
+		}
+		// Fan the driver relation's blocks out to the worker pool when a
+		// chunk per worker exists; each chunk gets its own joiner (private
+		// assignment/used scratch and emit buffer) while budget and stop
+		// flags stay shared. Lazy leaf-index builds would race across
+		// chunk joiners, so the statically probe-able indexes are built
+		// up front.
+		if r.pool == nil || driverLen < 2*ex.opts.BlockSize {
+			jn := newJoiner()
+			jn.run()
+			if jn.budgetHit {
+				truncatedFlag.Store(true)
+			}
+			return
+		}
+		prebuildLeafIndexes(rels)
+		ranges := chunkRanges(driverLen, 4*r.par, ex.opts.BlockSize)
+		joinTasks := make([]func(), len(ranges))
+		for i, rg := range ranges {
+			rg := rg
+			joinTasks[i] = func() {
+				jn := newJoiner()
+				jn.init()
+				jn.runRange(rg[0], rg[1])
+				if jn.budgetHit {
+					truncatedFlag.Store(true)
 				}
-				count++
-				return true
-			},
+			}
 		}
-		jn.run()
-		if jn.budgetHit {
-			truncatedFlag.Store(true)
-		}
-		perMachineCounts[machine] = count
+		r.dispatch(joinTasks)
 	})
 	return perMachineCounts, truncatedFlag.Load()
 }

@@ -52,11 +52,15 @@ func (r *relation) buildIndexes() {
 }
 
 // leafIndex returns the posting map for leaf li, building it on first use.
-// The join runs single-goroutine per machine and relations are per-machine,
-// so no synchronization is needed.
+// Lazy building is only safe single-goroutine: sequential joins qualify,
+// and the parallel join calls prebuildLeafIndexes before fanning chunks
+// out, so concurrent probes only ever see already-built maps.
 func (r *relation) leafIndex(li int) map[graph.NodeID][]int32 {
 	if r.byLeaf[li] == nil {
-		idx := make(map[graph.NodeID][]int32)
+		// Pre-size from the match count: each match contributes at least
+		// one posting per leaf, so this bounds rehashing without
+		// materializing exact cardinalities first.
+		idx := make(map[graph.NodeID][]int32, len(r.matches))
 		for i, m := range r.matches {
 			for _, id := range m.LeafSets[li] {
 				idx[id] = append(idx[id], int32(i))
@@ -65,6 +69,27 @@ func (r *relation) leafIndex(li int) map[graph.NodeID][]int32 {
 		r.byLeaf[li] = idx
 	}
 	return r.byLeaf[li]
+}
+
+// prebuildLeafIndexes materializes every leaf posting map the join order
+// can probe, so chunked joiners running concurrently never hit the lazy
+// build path. Which probes are possible is static: when nextRelation
+// reaches depth d, exactly the vertices of rels[0..d-1] are bound, and a
+// leaf index is consulted only when the relation's root is not among them.
+func prebuildLeafIndexes(rels []*relation) {
+	bound := make(map[int]bool)
+	for d, rel := range rels {
+		if d > 0 && !bound[rel.twig.Root] {
+			for li, leafVar := range rel.twig.Leaves {
+				if bound[leafVar] {
+					rel.leafIndex(li)
+				}
+			}
+		}
+		for _, v := range rel.twig.Vertices() {
+			bound[v] = true
+		}
+	}
 }
 
 // totalWords estimates the wire/memory size of the relation in 8-byte
@@ -151,12 +176,18 @@ func orderRelations(rels []*relation, optimize bool) []*relation {
 	return ordered
 }
 
-// joiner runs the pipelined multiway join on one machine.
+// joiner runs the pipelined multiway join over one driver range. Several
+// joiners may work one machine's relations concurrently (one per driver
+// chunk); each owns its scratch state, while budget and abort are shared.
 type joiner struct {
 	q      *Query
 	rels   []*relation
-	budget *atomic.Int64 // shared across machines; nil means unlimited
-	// emit receives each match; returning false stops this joiner.
+	budget *atomic.Int64 // shared across machines and chunks; nil means unlimited
+	// emitBlock receives each flushed block of matches; returning false
+	// stops this joiner. The slice is reused between flushes.
+	emitBlock func([]Match) bool
+	// emit is the per-match variant (tests, ad-hoc callers); used when
+	// emitBlock is nil.
 	emit func(Match) bool
 	// abort, when non-nil, is polled between relation advances so context
 	// cancellation and cross-machine stops propagate into deep expansions.
@@ -164,38 +195,92 @@ type joiner struct {
 
 	assignment []graph.NodeID
 	used       map[graph.NodeID]int // data vertex -> count of uses (always 1)
+	buf        []Match              // matches accepted but not yet flushed
+	bufCap     int                  // flush threshold, set by init
 	stopped    bool
 	budgetHit  bool
 	blockSize  int
 }
 
-// run consumes the driver relation in blocks, expanding each block through
-// the remaining relations.
+// maxEmitBuffer clamps the emit buffer: a single driver block can expand
+// into arbitrarily many matches, and a flush is also the cancellation
+// granularity the consumer observes, so the buffer must not grow with the
+// expansion factor or an oversized block size.
+const maxEmitBuffer = 1024
+
+// run consumes the whole driver relation; the parallel path uses init +
+// runRange per chunk instead.
 func (j *joiner) run() {
+	j.init()
+	if len(j.rels) == 0 {
+		return
+	}
+	j.runRange(0, len(j.rels[0].matches))
+}
+
+// init prepares the joiner's private scratch state.
+func (j *joiner) init() {
 	n := j.q.NumVertices()
 	j.assignment = make([]graph.NodeID, n)
 	for i := range j.assignment {
 		j.assignment[i] = graph.InvalidNode
 	}
 	j.used = make(map[graph.NodeID]int, n)
-	if len(j.rels) == 0 {
-		return
+	j.bufCap = j.blockSize
+	if j.bufCap <= 0 {
+		j.bufCap = 256
 	}
+	if j.bufCap > maxEmitBuffer {
+		j.bufCap = maxEmitBuffer
+	}
+}
+
+// runRange consumes driver matches [lo,hi) in blocks, expanding each block
+// through the remaining relations and flushing accepted matches at block
+// boundaries — the serialized emit path is taken once per block, not once
+// per match.
+func (j *joiner) runRange(lo, hi int) {
 	driver := j.rels[0]
 	bs := j.blockSize
 	if bs <= 0 {
 		bs = 256
 	}
-	for lo := 0; lo < len(driver.matches) && !j.stopped; lo += bs {
-		hi := lo + bs
-		if hi > len(driver.matches) {
-			hi = len(driver.matches)
+	for ; lo < hi && !j.stopped; lo += bs {
+		end := lo + bs
+		if end > hi {
+			end = hi
 		}
-		for _, m := range driver.matches[lo:hi] {
+		for _, m := range driver.matches[lo:end] {
 			j.expandMatch(0, m)
 			if j.stopped {
-				return
+				break
 			}
+		}
+		j.flushBuf()
+	}
+	// Matches still buffered after a stop already passed the budget, so
+	// they are flushed rather than dropped (a refused emit empties the
+	// buffer itself).
+	j.flushBuf()
+}
+
+// flushBuf delivers the buffered matches through the emit callback.
+func (j *joiner) flushBuf() {
+	if len(j.buf) == 0 {
+		return
+	}
+	ms := j.buf
+	j.buf = j.buf[:0]
+	if j.emitBlock != nil {
+		if !j.emitBlock(ms) {
+			j.stopped = true
+		}
+		return
+	}
+	for _, m := range ms {
+		if !j.emit(m) {
+			j.stopped = true
+			return
 		}
 	}
 }
@@ -303,6 +388,9 @@ func (j *joiner) nextRelation(depth int) {
 	}
 }
 
+// emitCurrent books the current assignment against the shared budget and
+// buffers it for the next flush. The budget check stays per-match (and
+// atomic) so truncation points are identical to unbatched emission.
 func (j *joiner) emitCurrent() {
 	if j.abort != nil && j.abort() {
 		j.stopped = true
@@ -317,8 +405,9 @@ func (j *joiner) emitCurrent() {
 	}
 	out := make([]graph.NodeID, len(j.assignment))
 	copy(out, j.assignment)
-	if !j.emit(Match{Assignment: out}) {
-		j.stopped = true
+	j.buf = append(j.buf, Match{Assignment: out})
+	if len(j.buf) >= j.bufCap {
+		j.flushBuf()
 	}
 }
 

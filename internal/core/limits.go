@@ -66,6 +66,35 @@ func (sl *StreamLimiter) Wrap(emit func(Match) bool) func(Match) bool {
 	}
 }
 
+// WrapBlock adapts a MatchStreamBlocks emit the same way: a block that
+// would overshoot the cap is clipped, the clipped prefix is still
+// delivered, and the stream stops once the cap is reached. Count advances
+// by however many matches the downstream reports consumed, so a write
+// failure mid-block is accounted exactly, mirroring Wrap.
+func (sl *StreamLimiter) WrapBlock(emitBlock func([]Match) (int, bool)) func([]Match) (int, bool) {
+	return func(ms []Match) (int, bool) {
+		if sl.max > 0 {
+			if sl.n >= sl.max {
+				sl.hit = true
+				return 0, false
+			}
+			if rest := sl.max - sl.n; len(ms) > rest {
+				ms = ms[:rest]
+			}
+		}
+		n, ok := emitBlock(ms)
+		sl.n += n
+		if !ok {
+			return n, false
+		}
+		if sl.max > 0 && sl.n >= sl.max {
+			sl.hit = true
+			return n, false
+		}
+		return n, true
+	}
+}
+
 // Count returns how many matches passed through the limiter.
 func (sl *StreamLimiter) Count() int { return sl.n }
 

@@ -56,15 +56,25 @@ func (m STwigMatch) words() int {
 // transmission" (§2.2), which turns tens of thousands of per-root round
 // trips into at most machines-1 messages per STwig step.
 func matchSTwigOnMachine(m *memcloud.Machine, t STwig, labels []graph.LabelID, b *Bindings) []STwigMatch {
-	roots := m.LocalIDs(labels[t.Root])
+	cells, nbrLabels := gatherRootCells(m, t, labels, b)
+	return matchCells(cells, nbrLabels, t, labels, b)
+}
 
-	// Pass 1: gather the surviving roots' neighbor lists and flatten every
-	// neighbor ID into one batch.
-	type rootCell struct {
-		id    graph.NodeID
-		nbrs  []graph.NodeID
-		start int // offset of nbrs' labels in the flat batch
-	}
+// rootCell is one surviving root's neighborhood, positioned in the
+// machine-wide flat label batch.
+type rootCell struct {
+	id    graph.NodeID
+	nbrs  []graph.NodeID
+	start int // offset of nbrs' labels in the flat batch
+}
+
+// gatherRootCells is pass 1: collect the surviving roots' neighbor lists,
+// flatten every neighbor ID into one batch, and resolve its labels with a
+// single batched call. This is where the step's network traffic happens,
+// so it always runs on one goroutine — message and byte accounting must
+// not depend on the parallelism setting.
+func gatherRootCells(m *memcloud.Machine, t STwig, labels []graph.LabelID, b *Bindings) ([]rootCell, []graph.LabelID) {
+	roots := m.LocalIDs(labels[t.Root])
 	cells := make([]rootCell, 0, len(roots))
 	var flat []graph.NodeID
 	for _, n := range roots {
@@ -78,9 +88,14 @@ func matchSTwigOnMachine(m *memcloud.Machine, t STwig, labels []graph.LabelID, b
 		cells = append(cells, rootCell{id: n, nbrs: cell.Neighbors, start: len(flat)})
 		flat = append(flat, cell.Neighbors...)
 	}
-	nbrLabels := m.LabelsOfBatch(flat, nil)
+	return cells, m.LabelsOfBatch(flat, nil)
+}
 
-	// Pass 2: per root, build factored leaf sets from the resolved labels.
+// matchCells is pass 2: per root cell, build factored leaf sets from the
+// resolved labels. Cells carry absolute offsets into nbrLabels, so any
+// contiguous subslice of cells can be processed independently — the
+// parallel path chunks here.
+func matchCells(cells []rootCell, nbrLabels []graph.LabelID, t STwig, labels []graph.LabelID, b *Bindings) []STwigMatch {
 	var out []STwigMatch
 rootLoop:
 	for _, rc := range cells {
@@ -109,6 +124,44 @@ rootLoop:
 			continue
 		}
 		out = append(out, STwigMatch{Root: rc.id, LeafSets: leafSets})
+	}
+	return out
+}
+
+// matchChunkMinCells is the smallest per-chunk root count worth a pool
+// dispatch; below 2 chunks of it, the sequential path wins.
+const matchChunkMinCells = 64
+
+// matchSTwigParallel is matchSTwigOnMachine with pass 2 chunked across the
+// run's worker pool. Chunk outputs are concatenated in chunk order, so the
+// returned match slice is identical to the sequential result regardless of
+// worker scheduling, and pass 1 (the network-accounting pass) stays
+// sequential — parallelism changes neither results nor traffic stats.
+func (r *execution) matchSTwigParallel(m *memcloud.Machine, t STwig, labels []graph.LabelID, b *Bindings) []STwigMatch {
+	cells, nbrLabels := gatherRootCells(m, t, labels, b)
+	if r.pool == nil || len(cells) < 2*matchChunkMinCells {
+		return matchCells(cells, nbrLabels, t, labels, b)
+	}
+	ranges := chunkRanges(len(cells), 4*r.par, matchChunkMinCells)
+	outs := make([][]STwigMatch, len(ranges))
+	tasks := make([]func(), len(ranges))
+	for i, rg := range ranges {
+		i, rg := i, rg
+		tasks[i] = func() {
+			outs[i] = matchCells(cells[rg[0]:rg[1]], nbrLabels, t, labels, b)
+		}
+	}
+	r.dispatch(tasks)
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]STwigMatch, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
 	}
 	return out
 }

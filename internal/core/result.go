@@ -57,6 +57,16 @@ type ExecStats struct {
 	// PerMachineMatches[k] is how many final matches machine k produced
 	// (their disjoint union is the answer).
 	PerMachineMatches []int
+	// Parallelism is the effective intra-machine worker count this run
+	// used (Options.Parallelism resolved against GOMAXPROCS; 1 under
+	// SimulateParallel).
+	Parallelism int
+	// ParallelTasks counts chunk tasks dispatched to the run's worker
+	// pool across matching, proxy merge, and join; 0 in sequential runs.
+	ParallelTasks uint64
+	// EmitFlushes counts batched deliveries through the serialized emit
+	// path; each flush carries a block of matches.
+	EmitFlushes uint64
 
 	// Modeled times, populated only under Options.SimulateParallel:
 

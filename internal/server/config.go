@@ -55,6 +55,11 @@ type Config struct {
 	MaxBytes int64
 	// MaxRequestBytes bounds request bodies (default 1 MiB).
 	MaxRequestBytes int64
+	// Parallelism is the per-query intra-machine worker count engines use
+	// (core.Options.Parallelism): 0 (the default) resolves to GOMAXPROCS,
+	// 1 disables intra-machine parallelism. Namespace specs may override
+	// it per tenant with parallelism=N.
+	Parallelism int
 	// RetryAfter is the Retry-After hint attached to 429 responses
 	// (default 1s).
 	RetryAfter time.Duration
@@ -165,6 +170,9 @@ func (cfg Config) Validate() error {
 	if cfg.MaxMatches < 0 || cfg.MaxBytes < 0 {
 		return fmt.Errorf("server: negative cap")
 	}
+	if cfg.Parallelism < 0 {
+		return fmt.Errorf("server: Parallelism %d < 0", cfg.Parallelism)
+	}
 	if cfg.UpdateQueueDepth < 1 {
 		return fmt.Errorf("server: UpdateQueueDepth %d < 1", cfg.UpdateQueueDepth)
 	}
@@ -199,6 +207,7 @@ func (cfg Config) Validate() error {
 //	STWIGD_MAX_MATCHES        int       per-request match cap
 //	STWIGD_MAX_BYTES          int       per-response byte cap
 //	STWIGD_MAX_REQUEST_BYTES  int       request body bound
+//	STWIGD_PARALLELISM        int       per-query intra-machine workers (0 = GOMAXPROCS)
 //	STWIGD_RETRY_AFTER        duration  Retry-After hint on 429/503
 //	STWIGD_UPDATE_LOCK_WAIT   duration  writer-window patience before a batch fails 503
 //	STWIGD_UPDATE_QUEUE_DEPTH int       per-tenant update queue capacity (503 when full)
@@ -250,6 +259,7 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	envInt("STWIGD_MAX_MATCHES", &cfg.MaxMatches)
 	envInt64("STWIGD_MAX_BYTES", &cfg.MaxBytes)
 	envInt64("STWIGD_MAX_REQUEST_BYTES", &cfg.MaxRequestBytes)
+	envInt("STWIGD_PARALLELISM", &cfg.Parallelism)
 	envDur("STWIGD_RETRY_AFTER", &cfg.RetryAfter)
 	envDur("STWIGD_UPDATE_LOCK_WAIT", &cfg.UpdateLockWait)
 	envInt("STWIGD_UPDATE_QUEUE_DEPTH", &cfg.UpdateQueueDepth)
@@ -314,9 +324,11 @@ func ValidateNamespaceName(name string) error {
 //	text:/path/to/graph.txt[,OPT...]
 //
 // where OPT is any of machines=N, plancache=N, relabel=degree,
-// inflight=N, maxmatches=N, maxbytes=N. inflight/maxmatches/maxbytes
-// override the server's defaults for this tenant only; the rest shape the
-// cluster the graph is loaded onto.
+// inflight=N, maxmatches=N, maxbytes=N, parallelism=N, semijoincap=N.
+// inflight/maxmatches/maxbytes override the server's defaults for this
+// tenant only; parallelism/semijoincap tune the tenant engine's intra-
+// machine workers and semi-join volume gate; the rest shape the cluster
+// the graph is loaded onto.
 type NamespaceSpec struct {
 	Name string
 
@@ -342,6 +354,14 @@ type NamespaceSpec struct {
 	MaxInFlight int
 	MaxMatches  int
 	MaxBytes    int64
+
+	// Parallelism overrides the server's per-query intra-machine worker
+	// count for this tenant's engine; 0 inherits Config.Parallelism.
+	Parallelism int
+	// SemijoinCap overrides the engine's semi-join volume gate in words
+	// (core.Options.SemijoinWordCap); 0 keeps the engine default, negative
+	// disables the reduction.
+	SemijoinCap int
 }
 
 // ParseNamespaceFlag parses stwigd's -ns flag form "name=spec".
@@ -403,7 +423,7 @@ func ParseNamespaceSpec(name, spec string) (NamespaceSpec, error) {
 			if nerr != nil {
 				return NamespaceSpec{}, perr()
 			}
-		case "machines", "plancache", "inflight", "maxmatches", "maxbytes":
+		case "machines", "plancache", "inflight", "maxmatches", "maxbytes", "parallelism", "semijoincap":
 			if nerr != nil {
 				return NamespaceSpec{}, perr()
 			}
@@ -429,6 +449,10 @@ func ParseNamespaceSpec(name, spec string) (NamespaceSpec, error) {
 			out.MaxMatches = int(n)
 		case "maxbytes":
 			out.MaxBytes = n
+		case "parallelism":
+			out.Parallelism = int(n)
+		case "semijoincap":
+			out.SemijoinCap = int(n)
 		}
 	}
 	if kind == "rmat" && out.Scale <= 0 {
@@ -437,7 +461,7 @@ func ParseNamespaceSpec(name, spec string) (NamespaceSpec, error) {
 	if out.Machines < 1 {
 		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: machines=%d < 1", name, out.Machines)
 	}
-	if out.MaxInFlight < 0 || out.MaxMatches < 0 || out.MaxBytes < 0 {
+	if out.MaxInFlight < 0 || out.MaxMatches < 0 || out.MaxBytes < 0 || out.Parallelism < 0 {
 		return NamespaceSpec{}, fmt.Errorf("server: namespace %q: negative limit override", name)
 	}
 	return out, nil
@@ -472,6 +496,12 @@ func (spec NamespaceSpec) SpecString() string {
 	if spec.MaxBytes != 0 {
 		fmt.Fprintf(&b, ",maxbytes=%d", spec.MaxBytes)
 	}
+	if spec.Parallelism != 0 {
+		fmt.Fprintf(&b, ",parallelism=%d", spec.Parallelism)
+	}
+	if spec.SemijoinCap != 0 {
+		fmt.Fprintf(&b, ",semijoincap=%d", spec.SemijoinCap)
+	}
 	return b.String()
 }
 
@@ -486,6 +516,9 @@ func (spec NamespaceSpec) configFor(base Config) Config {
 	}
 	if spec.MaxBytes > 0 {
 		base.MaxBytes = spec.MaxBytes
+	}
+	if spec.Parallelism > 0 {
+		base.Parallelism = spec.Parallelism
 	}
 	return base
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -74,6 +75,22 @@ func (h *histogram) snapshot() LatencyStats {
 	return s
 }
 
+// bucketCounts returns the histogram's cumulative bucket counts in
+// latencyBucketsMS order with the implicit +Inf bucket last, plus the
+// observation count and sum in seconds — the raw form the Prometheus
+// exposition needs (its histogram buckets are cumulative by contract).
+func (h *histogram) bucketCounts() (cum []uint64, count uint64, sumSeconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.buckets))
+	var c uint64
+	for i, n := range h.buckets {
+		c += n
+		cum[i] = c
+	}
+	return cum, h.count, float64(h.sum) / float64(time.Second)
+}
+
 // endpointMetrics accumulates one route's counters.
 type endpointMetrics struct {
 	mu       sync.Mutex
@@ -112,6 +129,22 @@ func (m *metrics) record(route string, d time.Duration, isErr bool) {
 	}
 	ep.mu.Unlock()
 	ep.lat.observe(d)
+}
+
+// forEach calls fn for every known route in sorted order. Used by the
+// Prometheus exposition, which needs the raw endpoint structs (for bucket
+// counts) rather than the summarized EndpointStats.
+func (m *metrics) forEach(fn func(route string, ep *endpointMetrics)) {
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.eps))
+	for r := range m.eps {
+		routes = append(routes, r)
+	}
+	m.mu.Unlock()
+	sort.Strings(routes)
+	for _, r := range routes {
+		fn(r, m.endpoint(r))
+	}
 }
 
 func (m *metrics) snapshot() map[string]EndpointStats {

@@ -572,9 +572,9 @@ func recoverEngineRetry(spec NamespaceSpec, dir string, cfg Config, depth int) (
 			return fail(err)
 		}
 		cluster.RestoreEpoch(epoch)
-		eng = core.NewEngine(cluster, core.Options{PlanCacheSize: spec.PlanCache})
+		eng = core.NewEngine(cluster, spec.engineOptions(cfg))
 	} else {
-		eng, err = spec.Build()
+		eng, err = spec.Build(cfg)
 		if err != nil {
 			return fail(err)
 		}

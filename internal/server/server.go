@@ -121,6 +121,7 @@ func NewMulti(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /ns", s.instrument("/ns", s.handleCreateNamespace))
 	mux.HandleFunc("DELETE /ns/{ns}", s.instrument("/ns", s.handleDropNamespace))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux = mux
 	return s, nil
 }
@@ -353,18 +354,17 @@ func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Reque
 
 	sl := lim.NewStreamLimiter()
 	matchesSent := 0
-	emit := sl.Wrap(func(m core.Match) bool {
+	emitBlock := sl.WrapBlock(func(ms []core.Match) (int, bool) {
 		writeHeader()
-		ok := sw.writeRecord(Record{Type: RecordMatch, Assignment: assignmentInt64(m)})
-		if !sw.failed {
-			// The record reached the wire even when ok is false (byte cap
-			// hit on this very record), so the stats trailer must count it.
-			matchesSent++
-		}
-		return ok
+		// Whole blocks go to the wire with one flush; records that reached
+		// the wire count toward the stats trailer even when the block's
+		// last record hit the byte cap.
+		sent, ok := sw.writeMatchBlock(ms)
+		matchesSent += sent
+		return sent, ok
 	})
 	start := time.Now()
-	stats, err := ns.eng.MatchStream(ctx, q, emit)
+	stats, err := ns.eng.MatchStreamBlocks(ctx, q, emitBlock)
 	elapsed := time.Since(start)
 	if err != nil {
 		msg := err.Error()
@@ -397,6 +397,9 @@ func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Reque
 		ElapsedMicros: elapsed.Microseconds(),
 		NetMessages:   stats.Net.Messages,
 		NetBytes:      stats.Net.Bytes,
+		Parallelism:   stats.Parallelism,
+		ParallelTasks: stats.ParallelTasks,
+		EmitFlushes:   stats.EmitFlushes,
 	}})
 	return false
 }
@@ -564,6 +567,9 @@ func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Reque
 		Engine: EngineInfo{
 			Queries:        snap.Queries,
 			MatchesEmitted: snap.MatchesEmitted,
+			Parallelism:    snap.Parallelism,
+			ParallelTasks:  snap.ParallelTasks,
+			EmitFlushes:    snap.EmitFlushes,
 		},
 		PlanCache: PlanCacheInfo{
 			Hits:      snap.PlanCache.Hits,

@@ -500,7 +500,10 @@ func TestConcurrentStreamingAdmissionCancelAndStats(t *testing.T) {
 		}
 	}
 
-	// Live observability must agree with everything this test did.
+	// Live observability must agree with everything this test did. The
+	// handler releases its admission slot after the client has read the
+	// last response byte, so drain before asserting on in-flight counts.
+	waitNoInFlight(t, c)
 	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)

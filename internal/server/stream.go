@@ -3,12 +3,15 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+
+	"stwig/internal/core"
 )
 
 // streamWriter encodes Records as NDJSON over a ResponseWriter, flushing
-// after every record so matches reach the client as they are found, and
-// enforcing the per-response byte cap. It is not safe for concurrent use;
-// the handler serializes writes through the engine's emit callback.
+// per record (terminal records) or per engine block (matches) so results
+// reach the client as they are found, and enforcing the per-response byte
+// cap. It is not safe for concurrent use; the handler serializes writes
+// through the engine's emit callback.
 type streamWriter struct {
 	w        http.ResponseWriter
 	flusher  http.Flusher // nil when the writer cannot flush
@@ -54,4 +57,32 @@ func (sw *streamWriter) writeRecord(rec Record) bool {
 		return false
 	}
 	return true
+}
+
+// writeMatchBlock encodes one engine block of match records and flushes
+// once at the end — the batched counterpart of writeRecord, amortizing the
+// flush (and any underlying chunked write) over the whole block. The byte
+// cap is still checked per record so it cuts inside a block at the same
+// match it would have under per-record writes. sent is how many of the
+// block's records reached the wire (the cap-hitting record included); ok
+// reports whether the stream can accept further matches.
+func (sw *streamWriter) writeMatchBlock(ms []core.Match) (sent int, ok bool) {
+	if sw.failed {
+		return 0, false
+	}
+	for _, m := range ms {
+		if err := sw.enc.Encode(Record{Type: RecordMatch, Assignment: assignmentInt64(m)}); err != nil {
+			sw.failed = true
+			break
+		}
+		sent++
+		if sw.maxBytes > 0 && sw.written >= sw.maxBytes {
+			sw.capHit = true
+			break
+		}
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	return sent, !sw.failed && !sw.capHit
 }
