@@ -21,11 +21,17 @@
 //	GET  /ns                                                    → list namespaces
 //	POST /ns                 {"name": "t", "spec": "rmat:scale=10"} → create tenant
 //	DELETE /ns/{name}                                           → drop tenant
-//	GET  /healthz                                               → liveness
+//	GET  /healthz                                               → liveness + build info
+//	GET  /version                                               → build identity
+//	GET  /debug/pprof/                                          → live profiling (admin token)
 //
-// POST /ns and DELETE /ns/{name} require the -admin-token (or
-// STWIGD_ADMIN_TOKEN) bearer token and are disabled when none is set —
+// POST /ns, DELETE /ns/{name}, and /debug/pprof require the -admin-token
+// (or STWIGD_ADMIN_TOKEN) bearer token and are disabled when none is set —
 // the admin surface shares the listener with untrusted tenant traffic.
+//
+// Every request is logged as one structured line on stderr carrying a
+// trace ID (X-Stwig-Trace, honored from the client or minted); -slow-query
+// DURATION additionally logs a per-phase span breakdown for slow queries.
 //
 // The unprefixed /query, /explain, /update, and /stats routes alias the
 // "default" namespace. Server limits may also come from STWIGD_* env vars
@@ -41,6 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -96,10 +103,32 @@ func main() {
 		dataDir     = flag.String("data-dir", envCfg.DataDir, "durability root: journal every update batch, checkpoint periodically, and recover namespaces on boot (empty disables persistence)")
 		ckptEvery   = flag.Int("checkpoint-every", intOr(envCfg.CheckpointEvery, 256), "journaled update batches between checkpoint/compaction cycles")
 		jrnlFsync   = flag.Bool("journal-fsync", !envCfg.JournalNoSync, "fsync the journal before applying each batch (disabling voids crash durability)")
+		slowQuery   = flag.Duration("slow-query", envCfg.SlowQuery, "log a Warn-level span breakdown for queries whose execution exceeds this duration (0 disables; STWIGD_SLOW_QUERY)")
+		logLevel    = flag.String("log-level", "info", "minimum request-log level: debug, info, warn, or error")
+		logJSON     = flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
+		showVersion = flag.Bool("version", false, "print build identity and exit")
 	)
 	var namespaces nsFlags
 	flag.Var(&namespaces, "ns", "additional namespace as name=spec, e.g. 'tenantA=rmat:scale=12,labels=8,inflight=4' or 'b=file:/data/g.bin' (repeatable)")
 	flag.Parse()
+	if *showVersion {
+		bv := server.BuildVersion()
+		fmt.Printf("stwigd %s %s", bv.Version, bv.GoVersion)
+		if bv.Revision != "" {
+			fmt.Printf(" (%s", bv.Revision)
+			if bv.Dirty {
+				fmt.Print("-dirty")
+			}
+			fmt.Print(")")
+		}
+		fmt.Println()
+		return
+	}
+	logger, err := buildLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stwigd:", err)
+		os.Exit(1)
+	}
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if err := run(daemonConfig{
@@ -126,12 +155,39 @@ func main() {
 			DataDir:              *dataDir,
 			CheckpointEvery:      *ckptEvery,
 			JournalNoSync:        !*jrnlFsync,
+			SlowQuery:            *slowQuery,
+			Logger:               logger,
 		},
 		drain: *drain,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "stwigd:", err)
 		os.Exit(1)
 	}
+}
+
+// buildLogger assembles the daemon's structured logger: logfmt-style text
+// (or JSON) on stderr, filtered at the requested level. Request summary
+// lines, slow-query breakdowns, and client-correlatable trace IDs all flow
+// through it; stdout stays reserved for the human boot banner.
+func buildLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
 }
 
 // intOr / durOr pick the env-supplied value when set, else the flag's
@@ -213,7 +269,9 @@ func run(cfg daemonConfig) error {
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: svc}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("stwigd listening on %s, namespaces %v\n", cfg.addr, svc.Namespaces())
+		bv := server.BuildVersion()
+		fmt.Printf("stwigd %s (%s) listening on %s, namespaces %v\n",
+			bv.Version, bv.GoVersion, cfg.addr, svc.Namespaces())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -6,6 +6,8 @@
 //	stwigql -graph data.bin -query q.txt [-machines 8] [-budget 1024]
 //	        [-timeout 30s] [-max-matches 100] [-verify] [-show 10] [-stats]
 //	stwigql -graph data.bin -pattern '(a:author)-(p:paper), (p)-(v:venue)'
+//	stwigql -graph data.bin -pattern '...' -analyze      # plan + phase spans
+//	stwigql -graph data.bin -pattern '...' -trace job42  # tag spans with an ID
 //
 // The query file uses the same line format as text graphs:
 //
@@ -44,6 +46,8 @@ func main() {
 		show       = flag.Int("show", 10, "matches to print (0 = none)")
 		showStats  = flag.Bool("stats", true, "print execution statistics")
 		explain    = flag.Bool("explain", false, "print the query plan instead of executing")
+		analyze    = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute the query and print the plan with a per-phase span breakdown")
+		traceID    = flag.String("trace", "", "trace ID for this run (default: minted when -analyze; empty otherwise disables span recording)")
 		timeout    = flag.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 		maxMatches = flag.Int("max-matches", 0, "stop after this many matches (0 = unlimited); same request cap the stwigd server applies")
 	)
@@ -53,13 +57,28 @@ func main() {
 		os.Exit(2)
 	}
 	lim := core.Limits{Timeout: *timeout, MaxMatches: *maxMatches}
-	if err := run(*graphPath, *textGraph, *queryPath, *patternStr, *machines, *budget, *parallel, *verify, *show, *showStats, *explain, lim); err != nil {
+	opts := cliOptions{
+		machines: *machines, budget: *budget, parallel: *parallel,
+		verify: *verify, show: *show, showStats: *showStats,
+		explain: *explain, analyze: *analyze, traceID: *traceID,
+	}
+	if err := run(*graphPath, *textGraph, *queryPath, *patternStr, opts, lim); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, textGraph bool, queryPath, patternStr string, machines, budget, parallel int, verify bool, show int, showStats, explain bool, lim core.Limits) error {
+// cliOptions bundles the execution-shaping flags run threads through.
+type cliOptions struct {
+	machines, budget, parallel int
+	verify                     bool
+	show                       int
+	showStats                  bool
+	explain, analyze           bool
+	traceID                    string
+}
+
+func run(graphPath string, textGraph bool, queryPath, patternStr string, cli cliOptions, lim core.Limits) error {
 	gf, err := os.Open(graphPath)
 	if err != nil {
 		return err
@@ -95,7 +114,7 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 	}
 	fmt.Printf("query: %d vertices, %d edges — %s\n", q.NumVertices(), q.NumEdges(), pattern.Format(q))
 
-	cluster, err := memcloud.NewCluster(memcloud.Config{Machines: machines})
+	cluster, err := memcloud.NewCluster(memcloud.Config{Machines: cli.machines})
 	if err != nil {
 		return err
 	}
@@ -104,10 +123,16 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 		return err
 	}
 	fmt.Printf("loaded onto %d machines in %v (string index: %d bytes)\n",
-		machines, time.Since(loadStart).Round(time.Millisecond), cluster.StringIndexBytes())
+		cli.machines, time.Since(loadStart).Round(time.Millisecond), cluster.StringIndexBytes())
 
-	eng := core.NewEngine(cluster, core.Options{MatchBudget: budget, Parallelism: parallel})
-	if explain {
+	// -trace turns on span recording for the run; -analyze mints an ID when
+	// the caller did not pick one, since its whole point is the span tree.
+	eng := core.NewEngine(cluster, core.Options{
+		MatchBudget: cli.budget,
+		Parallelism: cli.parallel,
+		TraceID:     cli.traceID,
+	})
+	if cli.explain {
 		plan, err := eng.Explain(q)
 		if err != nil {
 			return err
@@ -120,6 +145,14 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 	// CLI and the server enforce identical semantics.
 	ctx, cancel := lim.WithContext(context.Background())
 	defer cancel()
+	if cli.analyze {
+		ar, err := eng.ExplainAnalyze(ctx, q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ar)
+		return nil
+	}
 	sl := lim.NewStreamLimiter()
 	res := &core.Result{}
 	start := time.Now()
@@ -141,11 +174,16 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 	case sl.LimitHit():
 		fmt.Printf(" (stopped at -max-matches %d)", lim.MaxMatches)
 	case res.Stats.Truncated:
-		fmt.Printf(" (truncated at budget %d)", budget)
+		fmt.Printf(" (truncated at budget %d)", cli.budget)
 	}
 	fmt.Println()
 
-	if showStats {
+	if res.Stats.TraceID != "" {
+		fmt.Printf("trace: %s\n", res.Stats.TraceID)
+		fmt.Print(core.FormatSpans(res.Stats.Spans))
+	}
+
+	if cli.showStats {
 		s := res.Stats
 		fmt.Printf("decomposition: %v\n", s.Decomposition)
 		fmt.Printf("stwig matches: %v\n", s.STwigMatchCounts)
@@ -156,7 +194,7 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 		fmt.Printf("per-machine matches: %v\n", s.PerMachineMatches)
 	}
 
-	if verify {
+	if cli.verify {
 		for _, m := range res.Matches {
 			if err := core.VerifyMatch(cluster, q, m); err != nil {
 				return fmt.Errorf("stwigql: VERIFICATION FAILED for %v: %w", m, err)
@@ -167,8 +205,8 @@ func run(graphPath string, textGraph bool, queryPath, patternStr string, machine
 
 	core.SortMatches(res.Matches)
 	for i, m := range res.Matches {
-		if i >= show {
-			fmt.Printf("... and %d more\n", len(res.Matches)-show)
+		if i >= cli.show {
+			fmt.Printf("... and %d more\n", len(res.Matches)-cli.show)
 			break
 		}
 		fmt.Println(m)

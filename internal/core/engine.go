@@ -36,6 +36,13 @@ type Options struct {
 	// pure overhead. 0 selects the default (30000); negative disables the
 	// reduction for any volume. Ignored when NoSemijoin is set.
 	SemijoinWordCap int
+	// TraceID, when non-empty, traces every run of this engine that does
+	// not already carry a trace ID in its context: ExecStats.TraceID is
+	// stamped and ExecStats.Spans records the phase tree. Per-request
+	// tracing (the daemon) uses WithTraceID on the context instead; this
+	// field serves per-invocation embedders like the CLI. Empty (the
+	// default) leaves untraced runs free of any recording overhead.
+	TraceID string
 
 	// Ablation switches (all false in the paper's configuration):
 
@@ -288,6 +295,13 @@ func (e *Engine) MatchStreamBlocks(ctx context.Context, q *Query, emitBlock func
 
 // matchStream runs q through whichever emit variant is non-nil.
 func (e *Engine) matchStream(ctx context.Context, q *Query, emit func(Match) bool, emitBlock func([]Match) (int, bool)) (*ExecStats, error) {
+	traceID := TraceIDFromContext(ctx)
+	if traceID == "" && e.opts.TraceID != "" {
+		// Options.TraceID traces engine-wide; publish it on the context so
+		// the Executor sees one mechanism.
+		traceID = e.opts.TraceID
+		ctx = WithTraceID(ctx, traceID)
+	}
 	planStart := time.Now()
 	plan, hit, err := e.planFor(q)
 	if err != nil {
@@ -332,5 +346,11 @@ func (e *Engine) matchStream(ctx context.Context, q *Query, emit func(Match) boo
 	e.emitFlushes.Add(stats.EmitFlushes)
 	stats.PlanCacheHit = hit
 	stats.PlanTime = planTime
+	if traceID != "" {
+		stats.TraceID = traceID
+		// The plan span belongs to the Engine (the Executor never sees plan
+		// resolution); prepend it so top-level spans cover the whole run.
+		stats.Spans = append([]Span{{Name: "plan", Duration: planTime}}, stats.Spans...)
+	}
 	return stats, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -38,7 +39,8 @@ func (ex *Executor) Run(ctx context.Context, plan *Plan, emit func([]Match) (int
 	if !plan.Resolvable {
 		return &ExecStats{}, nil
 	}
-	r := &execution{ex: ex, plan: plan, emit: emit}
+	r := &execution{ex: ex, plan: plan, emit: emit,
+		traced: TraceIDFromContext(ctx) != "" || ex.opts.TraceID != ""}
 	return r.run(ctx)
 }
 
@@ -57,6 +59,16 @@ type execution struct {
 	par     int
 	tasks   atomic.Uint64
 	flushes atomic.Uint64
+
+	// Tracing state, populated only when traced (a trace ID in the context
+	// or in Options.TraceID): twigSpans collects one span per exploration
+	// step; machSpans one per machine during the join, indexed by machine
+	// ID so the concurrent per-machine closures write disjoint slots;
+	// emitTime accumulates serialized emit time under the join's emitMu.
+	traced    bool
+	twigSpans []Span
+	machSpans []Span
+	emitTime  time.Duration
 }
 
 // dispatch runs tasks on the run's worker pool (inline when sequential),
@@ -121,6 +133,12 @@ func (r *execution) run(ctx context.Context) (*ExecStats, error) {
 		return nil, err
 	}
 	exploreTime := time.Since(exploreStart)
+	var exploreTasks uint64
+	var netAfterExplore memcloud.NetStats
+	if r.traced {
+		exploreTasks = r.tasks.Load()
+		netAfterExplore = ex.cluster.NetStats()
+	}
 
 	// Exchange + join phase.
 	joinStart := time.Now()
@@ -150,6 +168,9 @@ func (r *execution) run(ctx context.Context) (*ExecStats, error) {
 			stats.STwigMatchCounts[t] += len(perTwig[t][k])
 		}
 	}
+	if r.traced {
+		stats.Spans = r.buildSpans(stats, exploreTime, joinTime, exploreTasks, netAfterExplore)
+	}
 	if ex.opts.SimulateParallel {
 		// Modeled cluster wall time: serial proxy sections (wall minus the
 		// sequentialized machine time) + per-phase maxima + network.
@@ -159,6 +180,39 @@ func (r *execution) run(ctx context.Context) (*ExecStats, error) {
 		stats.ModeledNetTime = netTime
 	}
 	return stats, nil
+}
+
+// buildSpans assembles a traced run's span tree from the phase timers and
+// the per-step/per-machine records the phases left behind. Top-level spans
+// (explore, join) are sequential; join's machine children overlap in time.
+func (r *execution) buildSpans(stats *ExecStats, exploreTime, joinTime time.Duration, exploreTasks uint64, netAfterExplore memcloud.NetStats) []Span {
+	exploreSpan := Span{
+		Name:     "explore",
+		Duration: exploreTime,
+		Tasks:    exploreTasks,
+		Children: r.twigSpans,
+	}
+	for i := range r.twigSpans {
+		exploreSpan.Matches += r.twigSpans[i].Matches
+		exploreSpan.Words += r.twigSpans[i].Words
+	}
+	var joinMatches int64
+	for _, n := range stats.PerMachineMatches {
+		joinMatches += int64(n)
+	}
+	joinSpan := Span{
+		Name:     "join",
+		Duration: joinTime,
+		Matches:  joinMatches,
+		Words:    int64(r.ex.cluster.NetStats().Sub(netAfterExplore).Bytes / 8),
+		Tasks:    r.tasks.Load() - exploreTasks,
+		Children: append(r.machSpans, Span{
+			Name:     "emit",
+			Duration: r.emitTime,
+			Matches:  joinMatches,
+		}),
+	}
+	return []Span{exploreSpan, joinSpan}
 }
 
 // explore runs the ordered STwig matching (§4.2 step 2): every machine
@@ -181,6 +235,12 @@ func (r *execution) explore(ctx context.Context) ([][][]STwigMatch, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var stepStart time.Time
+		var netBefore memcloud.NetStats
+		if r.traced {
+			stepStart = time.Now()
+			netBefore = ex.cluster.NetStats()
+		}
 		perTwig[t] = make([][]STwigMatch, k)
 		perMachineDeltas := make([][]bindingDelta, k)
 		r.forEachMachine(func(m *memcloud.Machine) {
@@ -199,36 +259,48 @@ func (r *execution) explore(ctx context.Context) ([][][]STwigMatch, error) {
 				m.Cluster().AccountProxyTransfer(words)
 			}
 		})
-		if bindings == nil {
-			continue
-		}
-		// Proxy merge: union the per-machine contributions per query vertex
-		// (a word-parallel OR over bitsets) and replace the binding sets.
-		// Every machine's collectDeltas returns the same vertices in the
-		// same order (root, then each leaf), so the merge shards per query
-		// vertex across the worker pool: machine 0's bitset accumulates the
-		// rest, and the shards touch disjoint bitsets.
-		deltas := perMachineDeltas[0]
-		merge := make([]func(), len(deltas))
-		for di := range deltas {
-			di := di
-			merge[di] = func() {
-				acc := deltas[di].bits
-				for j := 1; j < k; j++ {
-					acc.or(perMachineDeltas[j][di].bits)
+		if bindings != nil {
+			// Proxy merge: union the per-machine contributions per query
+			// vertex (a word-parallel OR over bitsets) and replace the
+			// binding sets. Every machine's collectDeltas returns the same
+			// vertices in the same order (root, then each leaf), so the
+			// merge shards per query vertex across the worker pool: machine
+			// 0's bitset accumulates the rest, and the shards touch
+			// disjoint bitsets.
+			deltas := perMachineDeltas[0]
+			merge := make([]func(), len(deltas))
+			for di := range deltas {
+				di := di
+				merge[di] = func() {
+					acc := deltas[di].bits
+					for j := 1; j < k; j++ {
+						acc.or(perMachineDeltas[j][di].bits)
+					}
 				}
 			}
+			r.dispatch(merge)
+			// Broadcast the updated bindings to every machine, again as
+			// bitsets: only the sets updated this step need to go out.
+			words := 0
+			for _, d := range deltas {
+				bindings.setBits(d.vertex, d.bits)
+				words += len(d.bits)
+			}
+			for i := 0; i < k; i++ {
+				ex.cluster.AccountProxyTransfer(words)
+			}
 		}
-		r.dispatch(merge)
-		// Broadcast the updated bindings to every machine, again as
-		// bitsets: only the sets updated this step need to go out.
-		words := 0
-		for _, d := range deltas {
-			bindings.setBits(d.vertex, d.bits)
-			words += len(d.bits)
-		}
-		for i := 0; i < k; i++ {
-			ex.cluster.AccountProxyTransfer(words)
+		if r.traced {
+			matches := 0
+			for j := 0; j < k; j++ {
+				matches += len(perTwig[t][j])
+			}
+			r.twigSpans = append(r.twigSpans, Span{
+				Name:     fmt.Sprintf("stwig %d (root %d)", t+1, twig.Root),
+				Duration: time.Since(stepStart),
+				Matches:  int64(matches),
+				Words:    int64(ex.cluster.NetStats().Sub(netBefore).Bytes / 8),
+			})
 		}
 	}
 	return perTwig, nil
@@ -268,7 +340,14 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 				return false
 			}
 			r.flushes.Add(1)
+			var emitStart time.Time
+			if r.traced {
+				emitStart = time.Now()
+			}
 			n, ok := r.emit(ms)
+			if r.traced {
+				r.emitTime += time.Since(emitStart)
+			}
 			perMachineCounts[machine] += n
 			if !ok {
 				stopAll.Store(true)
@@ -289,9 +368,46 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 		}
 	}
 
+	if r.traced {
+		r.machSpans = make([]Span, k)
+	}
 	r.forEachMachine(func(mach *memcloud.Machine) {
 		machine := mach.ID()
 		rng := rand.New(rand.NewSource(ex.opts.Seed + int64(machine)))
+
+		// Per-machine tracing: the phases below stamp exchangeD/semijoinD
+		// as they finish; the deferred record derives blockjoin time as the
+		// remainder and writes this machine's (disjoint) machSpans slot.
+		// perMachineCounts[machine] is complete here because both join
+		// paths deliver every block before the closure returns.
+		var machStart time.Time
+		var exchangeD, semijoinD time.Duration
+		var semijoinRounds, joinTaskCount int
+		if r.traced {
+			machStart = time.Now()
+			defer func() {
+				total := time.Since(machStart)
+				children := []Span{{Name: "exchange", Duration: exchangeD}}
+				if semijoinRounds > 0 {
+					children = append(children, Span{
+						Name:     fmt.Sprintf("semijoin (%d rounds)", semijoinRounds),
+						Duration: semijoinD,
+					})
+				}
+				children = append(children, Span{
+					Name:     "blockjoin",
+					Duration: total - exchangeD - semijoinD,
+					Tasks:    uint64(joinTaskCount),
+				})
+				r.machSpans[machine] = Span{
+					Name:     fmt.Sprintf("machine %d", machine),
+					Duration: total,
+					Matches:  int64(perMachineCounts[machine]),
+					Tasks:    uint64(joinTaskCount),
+					Children: children,
+				}
+			}()
+		}
 
 		// Assemble R_k(q_t) = G_k(q_t) ∪ ⋃_{j ∈ F_{k,t}} G_j(q_t).
 		// Matches are aliased, not copied: the join only mutates them
@@ -327,6 +443,9 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 			rels = append(rels, rel)
 		}
 		sortRelationsDeterministic(rels)
+		if r.traced {
+			exchangeD = time.Since(machStart)
+		}
 		// Semi-join reduction pays on selective (often cyclic) queries
 		// but is pure overhead when relations are huge and
 		// unselective; gate it by volume (Options.SemijoinWordCap). It
@@ -337,7 +456,10 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 				rel.matches = copyMatches(nil, rel.matches)
 				rel.buildIndexes()
 			}
-			semijoinReduce(q, rels, rng)
+			semijoinRounds = semijoinReduce(q, rels, rng)
+			if r.traced {
+				semijoinD = time.Since(machStart) - exchangeD
+			}
 		}
 		rels = orderRelations(rels, !ex.opts.NoJoinOrderOpt)
 
@@ -372,6 +494,7 @@ func (r *execution) exchangeAndJoin(ctx context.Context, perTwig [][][]STwigMatc
 		}
 		prebuildLeafIndexes(rels)
 		ranges := chunkRanges(driverLen, 4*r.par, ex.opts.BlockSize)
+		joinTaskCount = len(ranges)
 		joinTasks := make([]func(), len(ranges))
 		for i, rg := range ranges {
 			rg := rg

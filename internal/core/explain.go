@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // EXPLAIN support: rendering a Plan (the Planner's immutable artifact,
@@ -29,6 +31,57 @@ func (e *Engine) ExplainCached(q *Query) (*Plan, bool, error) {
 		return nil, false, err
 	}
 	return plan.clone(), hit, nil
+}
+
+// AnalyzeResult is EXPLAIN ANALYZE's payload: the plan a run of the query
+// uses, plus the statistics and span tree of an actual traced execution.
+type AnalyzeResult struct {
+	Plan    *Plan
+	Stats   ExecStats
+	Matches int
+	// Wall is the measured wall clock of the whole run (plan resolution
+	// included); the top-level span durations sum to within it.
+	Wall time.Duration
+}
+
+// ExplainAnalyze is EXPLAIN ANALYZE: it runs q for real — discarding the
+// matches — under a trace, and returns the plan alongside the recorded
+// span tree. The trace ID is taken from ctx, then Options.TraceID, then
+// minted. The run pays full execution cost and counts in the engine's
+// workload counters like any query.
+func (e *Engine) ExplainAnalyze(ctx context.Context, q *Query) (*AnalyzeResult, error) {
+	if TraceIDFromContext(ctx) == "" {
+		id := e.opts.TraceID
+		if id == "" {
+			id = NewTraceID()
+		}
+		ctx = WithTraceID(ctx, id)
+	}
+	start := time.Now()
+	matches := 0
+	stats, err := e.MatchStreamBlocks(ctx, q, func(ms []Match) (int, bool) {
+		matches += len(ms)
+		return len(ms), true
+	})
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	plan, _, err := e.ExplainCached(q)
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyzeResult{Plan: plan, Stats: *stats, Matches: matches, Wall: wall}, nil
+}
+
+// String renders the plan followed by the executed span tree.
+func (ar *AnalyzeResult) String() string {
+	var b strings.Builder
+	b.WriteString(ar.Plan.String())
+	fmt.Fprintf(&b, "\nEXPLAIN ANALYZE trace=%s: %d matches in %v (net %s)\n",
+		ar.Stats.TraceID, ar.Matches, ar.Wall.Round(time.Microsecond), ar.Stats.Net)
+	b.WriteString(FormatSpans(ar.Stats.Spans))
+	return b.String()
 }
 
 // String renders the plan in a compact, human-readable layout.

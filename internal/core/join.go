@@ -445,8 +445,9 @@ func sortRelationsDeterministic(rels []*relation) {
 // forward along the STwig order, the semi-join pass prunes backward.
 //
 // Runs passes until a fixpoint (bounded for safety); each pass is linear in
-// the total relation size.
-func semijoinReduce(q *Query, rels []*relation, rng *rand.Rand) {
+// the total relation size. Returns how many passes (rounds) ran, for the
+// traced span tree.
+func semijoinReduce(q *Query, rels []*relation, rng *rand.Rand) int {
 	const maxPasses = 4
 	n := q.NumVertices()
 	for pass := 0; pass < maxPasses; pass++ {
@@ -476,12 +477,13 @@ func semijoinReduce(q *Query, rels []*relation, rng *rand.Rand) {
 			}
 		}
 		if !changed {
-			return
+			return pass + 1
 		}
 		for _, r := range rels {
 			rebuildRelation(r, rng)
 		}
 	}
+	return maxPasses
 }
 
 // relationValueSets collects, per query vertex of r's STwig, the set of

@@ -67,6 +67,14 @@ type ExecStats struct {
 	// EmitFlushes counts batched deliveries through the serialized emit
 	// path; each flush carries a block of matches.
 	EmitFlushes uint64
+	// TraceID identifies a traced run (WithTraceID on the context, or
+	// Options.TraceID); empty for untraced runs.
+	TraceID string
+	// Spans is the traced run's phase tree — plan, explore (per-STwig
+	// children), join (per-machine children plus emit). Nil for untraced
+	// runs; the hot path records nothing. Top-level spans are sequential,
+	// so SpanTotal(Spans) is within the run's wall clock.
+	Spans []Span
 
 	// Modeled times, populated only under Options.SimulateParallel:
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Per-query tracing. A query run is "traced" when a trace ID reaches the
+// Executor — either carried by the context (WithTraceID, the daemon's
+// per-request mechanism) or set statically in Options.TraceID (the CLI's
+// per-invocation mechanism). Traced runs record a span tree of phase
+// timings in ExecStats.Spans and stamp ExecStats.TraceID; untraced runs
+// skip every recording branch so the hot path allocates nothing extra.
+
+// traceKey is the context key carrying a query's trace ID.
+type traceKey struct{}
+
+// NewTraceID mints a 16-hex-character random trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The platform entropy source failing is not worth failing a query
+		// over; a fixed sentinel still ties the surfaces together.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying id; an empty id leaves ctx
+// unchanged. Runs under the returned context are traced.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFromContext returns the trace ID carried by ctx, or "".
+func TraceIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// Span is one timed phase of a traced query execution. The Executor builds
+// a small tree per run: top-level plan, explore (per-STwig children), and
+// join (per-machine children plus the serialized emit). Top-level spans are
+// sequential, so their durations sum to within the run's wall clock;
+// children of join run concurrently across machines and need not.
+type Span struct {
+	Name string `json:"name"`
+	// Duration is the span's wall-clock time.
+	Duration time.Duration `json:"duration"`
+	// Matches counts matches attributed to the span: factored STwig matches
+	// for exploration spans, final matches for join/machine/emit spans.
+	Matches int64 `json:"matches,omitempty"`
+	// Words is the network traffic (8-byte words) the span moved.
+	Words int64 `json:"words,omitempty"`
+	// Tasks counts worker-pool tasks dispatched during the span.
+	Tasks uint64 `json:"tasks,omitempty"`
+	// Children are nested spans (per-STwig under explore, per-machine and
+	// emit under join).
+	Children []Span `json:"children,omitempty"`
+}
+
+// SpanByName returns the first span named name in a depth-first walk of the
+// tree, or nil.
+func SpanByName(spans []Span, name string) *Span {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if s := SpanByName(spans[i].Children, name); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// SpanTotal sums the top-level span durations — the traced portion of the
+// run's wall clock.
+func SpanTotal(spans []Span) time.Duration {
+	var total time.Duration
+	for i := range spans {
+		total += spans[i].Duration
+	}
+	return total
+}
+
+// FormatSpans renders a span tree, one span per line, children indented
+// with box-drawing connectors.
+func FormatSpans(spans []Span) string {
+	var b strings.Builder
+	for i := range spans {
+		writeSpan(&b, &spans[i], "", "")
+	}
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, "  %v", s.Duration.Round(time.Microsecond))
+	if s.Matches > 0 {
+		fmt.Fprintf(b, "  matches=%d", s.Matches)
+	}
+	if s.Words > 0 {
+		fmt.Fprintf(b, "  net=%dw", s.Words)
+	}
+	if s.Tasks > 0 {
+		fmt.Fprintf(b, "  tasks=%d", s.Tasks)
+	}
+	b.WriteByte('\n')
+	for i := range s.Children {
+		branch, indent := "├─ ", "│  "
+		if i == len(s.Children)-1 {
+			branch, indent = "└─ ", "   "
+		}
+		writeSpan(b, &s.Children[i], childPrefix+branch, childPrefix+indent)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"stwig/internal/core"
 	"stwig/internal/server"
 )
 
@@ -40,11 +42,15 @@ type Client struct {
 	base       string
 	hc         *http.Client
 	adminToken string
+	logger     *slog.Logger
 	// updateRetries is how many times Update retries a 503 before
 	// surfacing it; updateRetryWait caps each backoff sleep.
 	updateRetries   int
 	updateRetryWait time.Duration
 }
+
+// discardLogger swallows client logs until SetLogger installs a real one.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 // New builds a client for the given base address. "host:port" is promoted
 // to "http://host:port". The default http.Client (no overall timeout —
@@ -57,6 +63,7 @@ func New(base string) *Client {
 	return &Client{
 		base:            strings.TrimRight(base, "/"),
 		hc:              &http.Client{},
+		logger:          discardLogger,
 		updateRetries:   DefaultUpdateRetries,
 		updateRetryWait: DefaultUpdateRetryWait,
 	}
@@ -65,6 +72,18 @@ func New(base string) *Client {
 // SetHTTPClient replaces the underlying HTTP client (tests, custom
 // transports).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// SetLogger installs a structured logger for client-side retry decisions:
+// each Update backoff sleep and each abandoned retry budget is logged at
+// Debug with the request's trace_id and attempt number, so server request
+// logs and client retries line up under one grep. nil restores the default
+// (discard).
+func (c *Client) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = discardLogger
+	}
+	c.logger = l
+}
 
 // SetUpdateRetry tunes Update's handling of 503 "busy"/"queue full"
 // responses: up to retries extra attempts, sleeping between them for the
@@ -98,15 +117,33 @@ func (c *Client) Namespace(name string) *Client {
 		base:            c.base + "/ns/" + url.PathEscape(name),
 		hc:              c.hc,
 		adminToken:      c.adminToken,
+		logger:          c.logger,
 		updateRetries:   c.updateRetries,
 		updateRetryWait: c.updateRetryWait,
 	}
 }
 
+// traceFor picks the trace ID a request will carry: the context's ID when
+// the caller threaded one in (core.WithTraceID), otherwise a freshly minted
+// one. Either way every RPC leaves with an X-Stwig-Trace header, so the
+// server's request log line, the response header, and any StatusError all
+// share the same ID.
+func traceFor(ctx context.Context) string {
+	if id := core.TraceIDFromContext(ctx); id != "" {
+		return id
+	}
+	return core.NewTraceID()
+}
+
+// withTrace stamps the trace ID onto an outgoing request.
+func withTrace(trace string) func(*http.Request) {
+	return func(req *http.Request) { req.Header.Set(server.TraceHeader, trace) }
+}
+
 // CreateNamespace asks the server to materialize a new tenant from spec
 // (see server.NamespaceSpec for the grammar) and returns its summary.
 func (c *Client) CreateNamespace(ctx context.Context, req server.CreateNamespaceRequest) (*server.NamespaceInfo, error) {
-	resp, err := c.postJSON(ctx, "/ns", req, c.authorize)
+	resp, err := c.postJSON(ctx, "/ns", req, c.authorize, withTrace(traceFor(ctx)))
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +166,7 @@ func (c *Client) DropNamespace(ctx context.Context, name string) error {
 		return err
 	}
 	c.authorize(req)
+	withTrace(traceFor(ctx))(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -147,6 +185,7 @@ func (c *Client) ListNamespaces(ctx context.Context) ([]server.NamespaceInfo, er
 	if err != nil {
 		return nil, err
 	}
+	withTrace(traceFor(ctx))(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -162,12 +201,19 @@ func (c *Client) ListNamespaces(ctx context.Context) ([]server.NamespaceInfo, er
 type StatusError struct {
 	StatusCode int
 	Message    string
+	// TraceID is the server's X-Stwig-Trace response header — the same ID
+	// the server logged the failure under, so a failed call can be grepped
+	// straight to its request log line.
+	TraceID string
 	// RetryAfter is the server's Retry-After hint on 429/503 responses,
 	// zero when absent.
 	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("stwigd: HTTP %d (trace %s): %s", e.StatusCode, e.TraceID, e.Message)
+	}
 	return fmt.Sprintf("stwigd: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
@@ -211,7 +257,11 @@ func statusError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil {
 		msg = er.Error
 	}
-	se := &StatusError{StatusCode: resp.StatusCode, Message: msg}
+	se := &StatusError{
+		StatusCode: resp.StatusCode,
+		Message:    msg,
+		TraceID:    resp.Header.Get(server.TraceHeader),
+	}
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
 		se.RetryAfter = time.Duration(secs) * time.Second
 	}
@@ -232,7 +282,8 @@ func decodeJSON(resp *http.Response, v any) error {
 // trailing stats record is returned; a mid-stream error record becomes an
 // error.
 func (c *Client) Query(ctx context.Context, req server.QueryRequest, onMatch func(assignment []int64) bool) (*server.StreamStats, error) {
-	resp, err := c.postJSON(ctx, "/query", req)
+	trace := traceFor(ctx)
+	resp, err := c.postJSON(ctx, "/query", req, withTrace(trace))
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +310,9 @@ func (c *Client) Query(ctx context.Context, req server.QueryRequest, onMatch fun
 		case server.RecordStats:
 			return rec.Stats, nil
 		case server.RecordError:
+			if rec.TraceID != "" {
+				return nil, fmt.Errorf("stwigd: query failed (trace %s): %s", rec.TraceID, rec.Error)
+			}
 			return nil, fmt.Errorf("stwigd: query failed: %s", rec.Error)
 		default:
 			return nil, fmt.Errorf("stwigd: unknown record type %q", rec.Type)
@@ -271,8 +325,10 @@ func (c *Client) Query(ctx context.Context, req server.QueryRequest, onMatch fun
 }
 
 // Explain returns the rendered execution plan for the request's query.
+// Setting req.Analyze additionally executes the query server-side and
+// returns the per-phase span breakdown in ExplainResponse.Analyze.
 func (c *Client) Explain(ctx context.Context, req server.QueryRequest) (*server.ExplainResponse, error) {
-	resp, err := c.postJSON(ctx, "/explain", req)
+	resp, err := c.postJSON(ctx, "/explain", req, withTrace(traceFor(ctx)))
 	if err != nil {
 		return nil, err
 	}
@@ -292,8 +348,11 @@ func (c *Client) Explain(ctx context.Context, req server.QueryRequest) (*server.
 // server draining) cannot clear and is surfaced verbatim, as is any other
 // failure and a transient 503 that outlives the budget.
 func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.UpdateResponse, error) {
+	// One trace ID covers every attempt: retries of the same logical update
+	// show up in the server log as repeated lines under a single trace_id.
+	trace := traceFor(ctx)
 	for attempt := 0; ; attempt++ {
-		resp, err := c.postJSON(ctx, "/update", req)
+		resp, err := c.postJSON(ctx, "/update", req, withTrace(trace))
 		if err != nil {
 			return nil, err
 		}
@@ -303,10 +362,20 @@ func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.
 			if !ok || se.RetryAfter <= 0 {
 				return nil, serr
 			}
+			c.logger.Debug("stwigd update busy, retrying",
+				"trace_id", trace,
+				"attempt", attempt+1,
+				"retries_left", c.updateRetries-attempt,
+				"retry_after", se.RetryAfter)
 			if err := sleepRetry(ctx, se.RetryAfter, c.updateRetryWait); err != nil {
 				return nil, err
 			}
 			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && c.updateRetries > 0 {
+			c.logger.Debug("stwigd update retry budget exhausted",
+				"trace_id", trace,
+				"attempts", attempt+1)
 		}
 		var out server.UpdateResponse
 		if err := decodeJSON(resp, &out); err != nil {
@@ -347,11 +416,30 @@ func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	withTrace(traceFor(ctx))(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	var out server.StatsResponse
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Version fetches the server's build identity (/version).
+func (c *Client) Version(ctx context.Context) (*server.VersionResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/version", nil)
+	if err != nil {
+		return nil, err
+	}
+	withTrace(traceFor(ctx))(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out server.VersionResponse
 	if err := decodeJSON(resp, &out); err != nil {
 		return nil, err
 	}
@@ -364,6 +452,7 @@ func (c *Client) Healthz(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	withTrace(traceFor(ctx))(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

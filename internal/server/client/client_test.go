@@ -1,14 +1,18 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"stwig/internal/core"
 	"stwig/internal/server"
 	"stwig/internal/server/client"
 )
@@ -261,5 +265,127 @@ func TestStatsDecodesJournalAndCoalesced(t *testing.T) {
 	}
 	if *j != want {
 		t.Fatalf("journal decoded as %+v, want %+v", *j, want)
+	}
+}
+
+// traceServer records the X-Stwig-Trace header of every request it sees and
+// echoes it back, like stwigd does.
+func traceServer(t *testing.T, busyCount int32) (*httptest.Server, *[]string, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	var traces []string
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get("X-Stwig-Trace")
+		mu.Lock()
+		traces = append(traces, trace)
+		mu.Unlock()
+		w.Header().Set("X-Stwig-Trace", trace)
+		if hits.Add(1) <= busyCount {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "busy"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.UpdateResponse{Epoch: 1})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &traces, &mu
+}
+
+// TestUpdateTraceStableAcrossRetries: every attempt of one logical Update
+// carries the same X-Stwig-Trace value — the caller's when the context has
+// one, a minted one otherwise — so a retry chain greps as one trace.
+func TestUpdateTraceStableAcrossRetries(t *testing.T) {
+	ts, traces, mu := traceServer(t, 2)
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(3, time.Millisecond)
+
+	ctx := core.WithTraceID(context.Background(), "retry-chain-7")
+	if _, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*traces) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(*traces))
+	}
+	for i, tr := range *traces {
+		if tr != "retry-chain-7" {
+			t.Fatalf("attempt %d carried trace %q, want retry-chain-7", i+1, tr)
+		}
+	}
+}
+
+// TestUpdateTraceMintedWithoutContext: with no context trace ID the client
+// mints one, still stable across the whole retry chain and non-empty.
+func TestUpdateTraceMintedWithoutContext(t *testing.T) {
+	ts, traces, mu := traceServer(t, 1)
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(2, time.Millisecond)
+
+	if _, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*traces) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(*traces))
+	}
+	if (*traces)[0] == "" {
+		t.Fatal("client sent no trace ID")
+	}
+	if (*traces)[0] != (*traces)[1] {
+		t.Fatalf("minted trace changed across retries: %q then %q", (*traces)[0], (*traces)[1])
+	}
+}
+
+// TestSetLoggerRetryLogs: an installed slog logger sees each backoff
+// decision at Debug, tagged with the trace ID and attempt number.
+func TestSetLoggerRetryLogs(t *testing.T) {
+	ts, _, _ := traceServer(t, 2)
+	c := client.New(ts.URL)
+	c.SetUpdateRetry(3, time.Millisecond)
+	var buf bytes.Buffer
+	c.SetLogger(slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+
+	ctx := core.WithTraceID(context.Background(), "logged-trace")
+	if _, err := c.Update(ctx, server.UpdateRequest{Op: server.OpAddNode, Label: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("logged %d retry lines, want 2 (one per busy attempt):\n%s", len(lines), buf.String())
+	}
+	for i, m := range lines {
+		if m["trace_id"] != "logged-trace" {
+			t.Fatalf("retry log line %d trace_id = %v", i, m["trace_id"])
+		}
+		if m["attempt"] != float64(i+1) {
+			t.Fatalf("retry log line %d attempt = %v, want %d", i, m["attempt"], i+1)
+		}
+	}
+
+	// StatusError carries the echoed trace for a terminal failure too.
+	ts2, _, _ := traceServer(t, 100)
+	c2 := client.New(ts2.URL)
+	c2.SetUpdateRetry(1, time.Millisecond)
+	_, err := c2.Update(core.WithTraceID(context.Background(), "doomed-trace"), server.UpdateRequest{Op: server.OpAddNode, Label: "x"})
+	se, ok := err.(*client.StatusError)
+	if !ok {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.TraceID != "doomed-trace" {
+		t.Fatalf("StatusError.TraceID = %q, want doomed-trace", se.TraceID)
 	}
 }

@@ -26,6 +26,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -105,14 +107,25 @@ type Config struct {
 	// crash may then lose acknowledged updates, voiding the recovery
 	// contract the crash tests pin.
 	JournalNoSync bool
-	// AdminToken, when non-empty, is the bearer token POST /ns and
-	// DELETE /ns/{name} require (Authorization: Bearer <token>). Empty
-	// (the default) disables namespace mutation over HTTP entirely, the
+	// AdminToken, when non-empty, is the bearer token POST /ns,
+	// DELETE /ns/{name}, and the /debug/pprof endpoints require
+	// (Authorization: Bearer <token>). Empty (the default) disables
+	// namespace mutation and live profiling over HTTP entirely, the
 	// same opt-in posture as NamespaceRoot: creating and destroying
 	// tenants is operator business, and the admin surface shares the
 	// listener with untrusted tenant traffic. GET /ns and the tenant
 	// routes are unaffected.
 	AdminToken string
+	// Logger receives the structured request log: one summary line per
+	// query/update/admin call (trace_id, namespace, route, status,
+	// wait/exec/emit durations, matches, bytes) plus slow-query and boot
+	// lines. Nil discards everything — the library default, so embedding a
+	// Server stays silent unless the host wires a logger.
+	Logger *slog.Logger
+	// SlowQuery, when positive, is the execution-time threshold past which
+	// a query's full span breakdown is logged at warn level. 0 disables
+	// the slow-query log.
+	SlowQuery time.Duration
 }
 
 func (cfg Config) normalize() Config {
@@ -142,6 +155,9 @@ func (cfg Config) normalize() Config {
 	}
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 256
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if cfg.UpdateFairnessWindow == 0 {
 		// The cutoff only matters if it fires before the writer gives up;
@@ -185,6 +201,9 @@ func (cfg Config) Validate() error {
 	if cfg.CheckpointEvery < 1 {
 		return fmt.Errorf("server: CheckpointEvery %d < 1", cfg.CheckpointEvery)
 	}
+	if cfg.SlowQuery < 0 {
+		return fmt.Errorf("server: SlowQuery %v < 0", cfg.SlowQuery)
+	}
 	// A fairness window at or beyond the writer's patience means the
 	// reader cutoff can never fire before the writer gives up — silently
 	// reintroducing the writer starvation the pipeline exists to prevent.
@@ -218,6 +237,7 @@ func (cfg Config) Validate() error {
 //	STWIGD_DATA_DIR           path      durability root (journal + checkpoints + manifest; unset disables)
 //	STWIGD_CHECKPOINT_EVERY   int       journaled batches between checkpoint/compaction cycles
 //	STWIGD_JOURNAL_FSYNC      bool      false skips the per-batch fsync (crash durability lost)
+//	STWIGD_SLOW_QUERY         duration  span-breakdown log threshold for slow queries (0 disables)
 func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	if lookup == nil {
 		lookup = os.LookupEnv
@@ -285,6 +305,7 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 		cfg.DataDir = v
 	}
 	envInt("STWIGD_CHECKPOINT_EVERY", &cfg.CheckpointEvery)
+	envDur("STWIGD_SLOW_QUERY", &cfg.SlowQuery)
 	fsync := !cfg.JournalNoSync
 	envBool("STWIGD_JOURNAL_FSYNC", &fsync)
 	cfg.JournalNoSync = !fsync

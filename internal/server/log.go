@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"stwig/internal/core"
+)
+
+// TraceHeader is the request/response header carrying the query trace ID.
+// Clients may set it to tie a retry chain (or a whole batch job) to the
+// server-side work it causes; the server mints an ID when it is absent and
+// always echoes the effective ID on the response.
+const TraceHeader = "X-Stwig-Trace"
+
+// maxTraceIDLen bounds accepted client trace IDs; longer (or malformed)
+// values are replaced with a minted ID rather than echoed into logs.
+const maxTraceIDLen = 64
+
+// sanitizeTraceID returns id if it is safe to echo into headers and logs —
+// non-empty, at most maxTraceIDLen bytes, [0-9a-zA-Z_-] only — and ""
+// otherwise, which makes the caller mint a fresh ID.
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > maxTraceIDLen {
+		return ""
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// requestLog accumulates the fields of one request's summary log line as
+// the handler runs: the trace ID, the phases' durations, and the stream
+// outcome. One line is emitted per request by logRequest.
+type requestLog struct {
+	route     string
+	method    string
+	trace     string
+	namespace string
+	sw        *statusWriter
+
+	// wait is time spent queued (reader gate, update queue); exec the
+	// engine or dispatcher work; emit the serialized match emission inside
+	// exec. Zero when the route has no such phase.
+	wait, exec, emit time.Duration
+	matches          int
+	// spans is the traced execution's phase tree, kept for the slow-query
+	// log.
+	spans []core.Span
+}
+
+// statusWriter captures the status code and body bytes a handler writes,
+// for the request summary log. It forwards Flush so NDJSON streaming keeps
+// working through it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// beginRequest starts per-request observability: it resolves the trace ID
+// (client-sent X-Stwig-Trace honored when well-formed, minted otherwise),
+// echoes it as a response header before any handler output, threads it
+// into the request context for the engine, and wraps the ResponseWriter so
+// status and bytes are captured for the summary log.
+func (s *Server) beginRequest(route string, w http.ResponseWriter, r *http.Request) (*requestLog, *statusWriter, *http.Request) {
+	trace := sanitizeTraceID(r.Header.Get(TraceHeader))
+	if trace == "" {
+		trace = core.NewTraceID()
+	}
+	w.Header().Set(TraceHeader, trace)
+	r = r.WithContext(core.WithTraceID(r.Context(), trace))
+	sw := &statusWriter{ResponseWriter: w}
+	return &requestLog{route: route, method: r.Method, trace: trace, sw: sw}, sw, r
+}
+
+// logRequest emits the one structured summary line every request gets, and
+// the slow-query breakdown when the query's execution time crosses
+// Config.SlowQuery. Scrape-style routes log at debug so a 10s-interval
+// monitor does not drown the query log.
+func (s *Server) logRequest(rl *requestLog, d time.Duration, isErr bool) {
+	logger := s.cfg.Logger
+	level := slog.LevelInfo
+	if rl.route == "/healthz" || rl.route == "/metrics" {
+		level = slog.LevelDebug
+	}
+	status := rl.sw.status
+	if status == 0 {
+		// The handler wrote nothing (e.g. the client vanished mid-update);
+		// net/http would have sent 200 with an empty body.
+		status = http.StatusOK
+	}
+	logger.LogAttrs(context.Background(), level, "request",
+		slog.String("trace_id", rl.trace),
+		slog.String("route", rl.route),
+		slog.String("method", rl.method),
+		slog.String("namespace", rl.namespace),
+		slog.Int("status", status),
+		slog.Bool("error", isErr),
+		slog.Duration("duration", d),
+		slog.Duration("wait", rl.wait),
+		slog.Duration("exec", rl.exec),
+		slog.Duration("emit", rl.emit),
+		slog.Int("matches", rl.matches),
+		slog.Int64("bytes", rl.sw.bytes),
+	)
+	if s.cfg.SlowQuery > 0 && rl.exec >= s.cfg.SlowQuery && len(rl.spans) > 0 {
+		logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query",
+			slog.String("trace_id", rl.trace),
+			slog.String("namespace", rl.namespace),
+			slog.Duration("exec", rl.exec),
+			slog.String("spans", core.FormatSpans(rl.spans)),
+		)
+	}
+}

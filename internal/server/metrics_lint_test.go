@@ -1,0 +1,242 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"stwig/internal/server"
+	"stwig/internal/server/client"
+)
+
+// scrapeMetrics fetches /metrics and returns the exposition text.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// lintExposition enforces the Prometheus text-format invariants a scraper
+// relies on: each family is declared exactly once, HELP and TYPE come as a
+// pair before any of the family's samples, and every sample line belongs to
+// a declared family (histogram suffixes included).
+func lintExposition(t *testing.T, text string) {
+	t.Helper()
+	declaredType := map[string]string{}
+	helped := map[string]bool{}
+	sampled := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				t.Errorf("line %d: HELP without text: %q", ln+1, line)
+				continue
+			}
+			name := fields[2]
+			if helped[name] {
+				t.Errorf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helped[name] = true
+			if sampled[name] {
+				t.Errorf("line %d: HELP for %s after its samples", ln+1, name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+				continue
+			}
+			name, typ := fields[2], fields[3]
+			if _, dup := declaredType[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("line %d: unknown type %q for %s", ln+1, typ, name)
+			}
+			declaredType[name] = typ
+			if !helped[name] {
+				t.Errorf("line %d: TYPE for %s without a preceding HELP", ln+1, name)
+			}
+			if sampled[name] {
+				t.Errorf("line %d: TYPE for %s after its samples", ln+1, name)
+			}
+		case strings.HasPrefix(line, "#"):
+			// comment; fine anywhere
+		default:
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name {
+					if typ := declaredType[base]; typ == "histogram" || typ == "summary" {
+						family = base
+					}
+					break
+				}
+			}
+			typ, ok := declaredType[family]
+			if !ok {
+				t.Errorf("line %d: sample %s has no TYPE declaration", ln+1, name)
+				continue
+			}
+			if (typ == "histogram" || typ == "summary") && family == name {
+				t.Errorf("line %d: bare %s sample for %s family", ln+1, typ, name)
+			}
+			sampled[family] = true
+		}
+	}
+	if len(declaredType) == 0 {
+		t.Fatal("no metric families in exposition")
+	}
+}
+
+// TestMetricsExpositionLint lints a populated scrape: after traffic on two
+// namespaces the full exposition must still declare each family exactly
+// once with HELP/TYPE ahead of its samples.
+func TestMetricsExpositionLint(t *testing.T) {
+	svc, err := server.NewMulti(server.Config{AdminToken: testAdminToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ns := range []string{"lint1", "lint2"} {
+		if err := svc.AddNamespace(ns, newEngine(t, 7, 6, 4, 2), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := newHTTPServer(t, svc)
+	for _, ns := range []string{"lint1", "lint2"} {
+		c := client.New(ts.URL).Namespace(ns)
+		if _, err := c.Query(context.Background(), server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 3}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lintExposition(t, scrapeMetrics(t, ts.URL))
+}
+
+// TestMetricsConcurrentScrape races scrapes against namespace churn and
+// live queries: /metrics must stay 200 and well-formed while tenants are
+// created, queried, and dropped underneath it. Run under -race this also
+// proves the registry's lock discipline.
+func TestMetricsConcurrentScrape(t *testing.T) {
+	svc, err := server.NewMulti(server.Config{AdminToken: testAdminToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddNamespace("steady", newEngine(t, 7, 6, 4, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, svc)
+	root := client.New(ts.URL)
+	root.SetAdminToken(testAdminToken)
+
+	const scrapers = 4
+	const churns = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers hammer /metrics until churn finishes; every response must
+	// lint clean even mid-create/drop.
+	scrapeErrs := make(chan string, scrapers*64)
+	for range scrapers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					scrapeErrs <- err.Error()
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					scrapeErrs <- err.Error()
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					scrapeErrs <- fmt.Sprintf("scrape status %d", resp.StatusCode)
+					return
+				}
+				if !strings.Contains(string(body), "# TYPE stwig_uptime_seconds gauge") {
+					scrapeErrs <- "scrape missing uptime family"
+					return
+				}
+			}
+		}()
+	}
+
+	// Query traffic on the steady namespace keeps engine counters moving.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := root.Namespace("steady")
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Query(context.Background(), server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 2}, nil)
+		}
+	}()
+
+	// Namespace churn: create + query + drop, serially, while scrapes run.
+	for i := range churns {
+		name := fmt.Sprintf("churn%d", i)
+		if _, err := root.CreateNamespace(context.Background(), server.CreateNamespaceRequest{
+			Name: name, Spec: "rmat:scale=4,degree=3,labels=2,seed=7,machines=1",
+		}); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		if _, err := root.Namespace(name).Query(context.Background(), server.QueryRequest{Pattern: "(a:L0)-(b:L1)", MaxMatches: 1}, nil); err != nil {
+			if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest {
+				t.Fatalf("query %s: %v", name, err)
+			}
+		}
+		if err := root.DropNamespace(context.Background(), name); err != nil {
+			t.Fatalf("drop %s: %v", name, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(scrapeErrs)
+	for msg := range scrapeErrs {
+		t.Error(msg)
+	}
+
+	// After the churn settles the exposition must still lint clean.
+	lintExposition(t, scrapeMetrics(t, ts.URL))
+}

@@ -121,7 +121,10 @@ func NewMulti(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /ns", s.instrument("/ns", s.handleCreateNamespace))
 	mux.HandleFunc("DELETE /ns/{ns}", s.instrument("/ns", s.handleDropNamespace))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /version", s.instrument("/version", s.handleVersion))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	// Admin-token-gated live profiling.
+	s.registerDebug(mux)
 	s.mux = mux
 	return s, nil
 }
@@ -194,38 +197,51 @@ func (s *Server) recoverPersisted() error {
 	return nil
 }
 
-// instrument wraps a non-tenant handler with request counting and latency
-// observation; the handler reports whether the request ended in an error.
+// instrument wraps a non-tenant handler with per-request observability:
+// trace ID resolution/echo, request counting, latency observation, and the
+// structured summary log line; the handler reports whether the request
+// ended in an error.
 func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		isErr := h(w, r)
-		s.met.record(route, time.Since(start), isErr)
+		rl, sw, r := s.beginRequest(route, w, r)
+		isErr := h(sw, r)
+		d := time.Since(start)
+		s.met.record(route, d, isErr)
+		s.logRequest(rl, d, isErr)
 	}
 }
 
 // nsRoute resolves the request's namespace ({ns} path segment, or
 // "default" on the legacy unprefixed routes) and dispatches to h. Metrics
 // are recorded against the tenant's own counters under the logical
-// endpoint name, so /query and /ns/default/query share one series.
-func (s *Server) nsRoute(endpoint string, h func(*namespace, http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
+// endpoint name, so /query and /ns/default/query share one series. Like
+// instrument, it owns the request's trace ID and summary log line; the
+// handler fills rl's phase fields as it goes.
+func (s *Server) nsRoute(endpoint string, h func(*namespace, *requestLog, http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rl, sw, r := s.beginRequest(endpoint, w, r)
 		name := r.PathValue("ns")
 		if name == "" {
 			name = DefaultNamespace
 		}
+		rl.namespace = name
 		ns, ok := s.reg.get(name)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown namespace %q", name))
+			writeError(sw, http.StatusNotFound, fmt.Sprintf("unknown namespace %q", name))
 			// A dedicated key: these requests belong to no tenant, so they
 			// must not collide with (or hide behind) any namespace's own
 			// endpoint series in the default tenant's stats fold.
-			s.met.record("/ns/{unknown}", time.Since(start), true)
+			d := time.Since(start)
+			s.met.record("/ns/{unknown}", d, true)
+			s.logRequest(rl, d, true)
 			return
 		}
-		isErr := h(ns, w, r)
-		ns.met.record(endpoint, time.Since(start), isErr)
+		isErr := h(ns, rl, sw, r)
+		d := time.Since(start)
+		ns.met.record(endpoint, d, isErr)
+		s.logRequest(rl, d, isErr)
 	}
 }
 
@@ -308,7 +324,7 @@ func (s *Server) requestContext(r *http.Request, lim core.Limits) (context.Conte
 	return ctx, func() { stopWatch(); cancel() }
 }
 
-func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
@@ -333,10 +349,12 @@ func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Reque
 	// fairness window holds the gate against new readers; the park here is
 	// bounded by the writer's patience (UpdateLockWait) and this request's
 	// own deadline.
+	gateStart := time.Now()
 	if err := ns.gate.rlock(ctx); err != nil {
 		writeGateError(w, err)
 		return true
 	}
+	rl.wait = time.Since(gateStart)
 	defer ns.gate.runlock()
 
 	// The 200 header is deferred to the first record: execution errors
@@ -366,6 +384,14 @@ func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Reque
 	start := time.Now()
 	stats, err := ns.eng.MatchStreamBlocks(ctx, q, emitBlock)
 	elapsed := time.Since(start)
+	rl.exec = elapsed
+	rl.matches = matchesSent
+	if stats != nil {
+		rl.spans = stats.Spans
+		if emit := core.SpanByName(stats.Spans, "emit"); emit != nil {
+			rl.emit = emit.Duration
+		}
+	}
 	if err != nil {
 		msg := err.Error()
 		errStatus := http.StatusInternalServerError
@@ -381,11 +407,12 @@ func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Reque
 			writeError(w, errStatus, msg)
 			return true
 		}
-		sw.writeRecord(Record{Type: RecordError, Error: msg})
+		sw.writeRecord(Record{Type: RecordError, Error: msg, TraceID: rl.trace})
 		return true
 	}
 	writeHeader()
 	sw.writeRecord(Record{Type: RecordStats, Stats: &StreamStats{
+		TraceID:       rl.trace,
 		Matches:       matchesSent,
 		Truncated:     stats.Truncated || sw.capHit,
 		LimitHit:      sl.LimitHit(),
@@ -421,7 +448,7 @@ func assignmentInt64(m core.Match) []int64 {
 	return out
 }
 
-func (s *Server) handleExplain(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleExplain(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
@@ -429,13 +456,14 @@ func (s *Server) handleExplain(ns *namespace, w http.ResponseWriter, r *http.Req
 	// Explain is query work: a cache miss pays full planning and holds the
 	// read lock, so it goes through the same admission gate as /query —
 	// otherwise an explain loop evades the in-flight limit and starves
-	// updates unobserved.
+	// updates unobserved. EXPLAIN ANALYZE runs the whole query, so the
+	// shared gate matters doubly there.
 	if !ns.adm.tryAcquire() {
 		s.rejectOverloaded(w, ns)
 		return true
 	}
 	defer ns.adm.release()
-	_, q, status, err := s.decodeQueryRequest(ns, w, r)
+	req, q, status, err := s.decodeQueryRequest(ns, w, r)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return true
@@ -445,14 +473,36 @@ func (s *Server) handleExplain(ns *namespace, w http.ResponseWriter, r *http.Req
 	// status split for the two ways the wait can end.
 	ctx, cancel := s.requestContext(r, core.Limits{Timeout: ns.cfg.DefaultTimeout})
 	defer cancel()
+	gateStart := time.Now()
 	if err := ns.gate.rlock(ctx); err != nil {
 		writeGateError(w, err)
 		return true
 	}
+	rl.wait = time.Since(gateStart)
 	// Deferred like every other gate exit: if ExplainCached panics (and
 	// net/http's recover swallows it), a non-deferred release would leak
 	// the reader forever and brick this tenant's update path.
 	defer ns.gate.runlock()
+	if req.Analyze {
+		// EXPLAIN ANALYZE: execute the query under this request's trace,
+		// discarding matches, and return the span tree alongside the plan.
+		execStart := time.Now()
+		ar, err := ns.eng.ExplainAnalyze(ctx, q)
+		rl.exec = time.Since(execStart)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return true
+		}
+		rl.matches = ar.Matches
+		rl.spans = ar.Stats.Spans
+		writeJSON(w, http.StatusOK, ExplainResponse{
+			Plan:         ar.Plan.String(),
+			PlanCacheHit: ar.Stats.PlanCacheHit,
+			Analyze:      ar.String(),
+			TraceID:      ar.Stats.TraceID,
+		})
+		return false
+	}
 	plan, hit, err := ns.eng.ExplainCached(q)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -462,7 +512,7 @@ func (s *Server) handleExplain(ns *namespace, w http.ResponseWriter, r *http.Req
 	return false
 }
 
-func (s *Server) handleUpdate(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleUpdate(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
@@ -529,6 +579,7 @@ func (s *Server) handleUpdate(ns *namespace, w http.ResponseWriter, r *http.Requ
 			writeError(w, http.StatusConflict, out.res.Err.Error())
 			return true
 		}
+		rl.wait = time.Duration(out.waitMicros) * time.Microsecond
 		resp := UpdateResponse{Epoch: out.res.Epoch, WaitMicros: out.waitMicros}
 		if out.res.NodeID != graph.InvalidNode {
 			resp.NodeID = int64(out.res.NodeID)
@@ -542,7 +593,7 @@ func (s *Server) handleUpdate(ns *namespace, w http.ResponseWriter, r *http.Requ
 	}
 }
 
-func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleStats(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	snap := ns.eng.Snapshot()
 	endpoints := ns.met.snapshot()
 	if ns.name == DefaultNamespace {
@@ -603,15 +654,22 @@ func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, r *http.Reque
 // recovered byte by byte from response timing. GET /ns stays open: listing
 // reveals nothing a tenant's own stats route does not.
 func (s *Server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+	return s.authorizeBearer(w, r, "namespace mutation over the admin API")
+}
+
+// authorizeBearer is the shared admin-token check behind authorizeAdmin and
+// the /debug/pprof gate; what names the protected capability in the error
+// body.
+func (s *Server) authorizeBearer(w http.ResponseWriter, r *http.Request, what string) bool {
 	if s.cfg.AdminToken == "" {
 		writeError(w, http.StatusForbidden,
-			"namespace mutation over the admin API is disabled (start stwigd with -admin-token or STWIGD_ADMIN_TOKEN)")
+			what+" is disabled (start stwigd with -admin-token or STWIGD_ADMIN_TOKEN)")
 		return false
 	}
 	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 	if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.AdminToken)) != 1 {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="stwigd admin"`)
-		writeError(w, http.StatusUnauthorized, "namespace mutation requires the admin bearer token")
+		writeError(w, http.StatusUnauthorized, what+" requires the admin bearer token")
 		return false
 	}
 	return true
@@ -719,10 +777,11 @@ func (s *Server) handleDropNamespace(w http.ResponseWriter, r *http.Request) boo
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
+	status := "ok"
+	httpStatus := http.StatusOK
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return true
+		status, httpStatus = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	return false
+	writeJSON(w, httpStatus, HealthzResponse{Status: status, Build: BuildVersion()})
+	return httpStatus != http.StatusOK
 }

@@ -19,6 +19,10 @@ type QueryRequest struct {
 	// TimeoutMS overrides the server's default per-request deadline,
 	// clamped to the server's maximum. 0 selects the default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Analyze (POST /explain only) selects EXPLAIN ANALYZE: the query is
+	// executed for real — matches discarded — and the response carries the
+	// rendered span tree and its trace ID alongside the plan.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // Record is one NDJSON line of a streamed /query response. A stream is any
@@ -31,6 +35,9 @@ type Record struct {
 	Assignment []int64 `json:"assignment,omitempty"`
 	// Error is set on "error" records.
 	Error string `json:"error,omitempty"`
+	// TraceID is set on "error" records: the request's trace ID, so a
+	// mid-stream failure is greppable in the server log.
+	TraceID string `json:"trace_id,omitempty"`
 	// Stats is set on "stats" records.
 	Stats *StreamStats `json:"stats,omitempty"`
 }
@@ -44,6 +51,9 @@ const (
 
 // StreamStats is the trailing summary of a successful query stream.
 type StreamStats struct {
+	// TraceID is the request's trace ID — identical to the X-Stwig-Trace
+	// response header and the server's request log line.
+	TraceID string `json:"trace_id,omitempty"`
 	// Matches is how many match records the server emitted.
 	Matches int `json:"matches"`
 	// Truncated reports the engine stopped enumeration early for any
@@ -79,6 +89,30 @@ type ExplainResponse struct {
 	// PlanCacheHit reports the plan was served from the cache, meaning a
 	// prior query already paid for planning it.
 	PlanCacheHit bool `json:"plan_cache_hit"`
+	// Analyze is the rendered EXPLAIN ANALYZE report (plan + executed span
+	// tree); set only when the request asked for it.
+	Analyze string `json:"analyze,omitempty"`
+	// TraceID is the executed run's trace ID (EXPLAIN ANALYZE only).
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// VersionResponse is the body of GET /version: the build identity from the
+// -ldflags version stamp plus runtime/debug.ReadBuildInfo.
+type VersionResponse struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// HealthzResponse is the body of GET /healthz.
+type HealthzResponse struct {
+	// Status is "ok", or "draining" (with a 503) during graceful shutdown.
+	Status string `json:"status"`
+	// Build identifies the binary, so health probes and bug reports name
+	// the exact build.
+	Build VersionResponse `json:"build"`
 }
 
 // Update operations accepted by POST /update.
