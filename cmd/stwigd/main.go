@@ -101,6 +101,7 @@ func main() {
 		nsRoot      = flag.String("ns-root", envCfg.NamespaceRoot, "directory POST /ns may load file:/text: graphs from (empty disables runtime file sources)")
 		adminToken  = flag.String("admin-token", envCfg.AdminToken, "bearer token required by POST /ns and DELETE /ns/{name} (empty disables namespace mutation over HTTP)")
 		dataDir     = flag.String("data-dir", envCfg.DataDir, "durability root: journal every update batch, checkpoint periodically, and recover namespaces on boot (empty disables persistence)")
+		follow      = flag.String("follow", envCfg.FollowURL, "leader base URL (host:port or http://...): run as a read-only replica that bootstraps and tails every namespace the leader persists; writes answer 403 until POST /v1/admin/promote (STWIGD_FOLLOW)")
 		ckptEvery   = flag.Int("checkpoint-every", intOr(envCfg.CheckpointEvery, 256), "journaled update batches between checkpoint/compaction cycles")
 		jrnlFsync   = flag.Bool("journal-fsync", !envCfg.JournalNoSync, "fsync the journal before applying each batch (disabling voids crash durability)")
 		slowQuery   = flag.Duration("slow-query", envCfg.SlowQuery, "log a Warn-level span breakdown for queries whose execution exceeds this duration (0 disables; STWIGD_SLOW_QUERY)")
@@ -153,6 +154,7 @@ func main() {
 			NamespaceRoot:        *nsRoot,
 			AdminToken:           *adminToken,
 			DataDir:              *dataDir,
+			FollowURL:            *follow,
 			CheckpointEvery:      *ckptEvery,
 			JournalNoSync:        !*jrnlFsync,
 			SlowQuery:            *slowQuery,
@@ -245,8 +247,16 @@ func run(cfg daemonConfig) error {
 	// when recovery already produced tenants. All tenants — default
 	// included — go through the same NamespaceSpec.Build path, so loading
 	// behavior cannot drift between the legacy flags and the spec grammar.
-	specs, err := bootSpecs(cfg, len(recovered))
-	if err != nil {
+	// A follower takes no boot specs at all: its namespaces come from the
+	// leader's replication manifest.
+	var specs []server.NamespaceSpec
+	if cfg.srv.FollowURL != "" {
+		if cfg.graphPath != "" || cfg.rmatScale > 0 || len(cfg.namespaces) > 0 {
+			svc.Close()
+			return fmt.Errorf("-follow replicates the leader's namespaces; drop -graph, -rmat-scale, and -ns")
+		}
+		fmt.Printf("stwigd: read-only follower of %s (promote with POST /v1/admin/promote)\n", cfg.srv.FollowURL)
+	} else if specs, err = bootSpecs(cfg, len(recovered)); err != nil {
 		return err
 	}
 	already := make(map[string]bool, len(recovered))

@@ -1,0 +1,108 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden wire pins for the replication frame format. TailAfter's result is
+// shipped verbatim as the /v1/ns/{name}/wal response body and re-scanned by
+// every follower, so the byte layout — u32 len | u32 crc32(IEEE, payload) |
+// u64 seq | body, all little-endian — is a wire contract, not an
+// implementation detail. These hex literals fail on any drift: endianness,
+// CRC polynomial, header width, or seq placement.
+
+const (
+	goldenFrame1 = "0d00000013689abe01000000000000007374776967" // seq 1, body "stwig"
+	goldenFrame2 = "0b0000006d01b75a020000000000000077616c"     // seq 2, body "wal"
+)
+
+func writeGoldenJournal(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, err := OpenWriter(path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, body := range []string{"stwig", "wal"} {
+		if _, err := w.Append([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGoldenFrameBytes pins the exact on-disk (and on-wire) bytes the
+// writer produces for two known records.
+func TestGoldenFrameBytes(t *testing.T) {
+	raw, err := os.ReadFile(writeGoldenJournal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := hex.EncodeToString(raw), goldenFrame1+goldenFrame2; got != want {
+		t.Fatalf("journal bytes drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestGoldenTailAfter pins the wal-tail response body for every cursor
+// position: a byte suffix of the golden file, never re-encoded.
+func TestGoldenTailAfter(t *testing.T) {
+	path := writeGoldenJournal(t)
+	cases := []struct {
+		after             uint64
+		want              string
+		firstSeq, lastSeq uint64
+	}{
+		{0, goldenFrame1 + goldenFrame2, 1, 2},
+		{1, goldenFrame2, 2, 2},
+		{2, "", 0, 0}, // caught up
+		{9, "", 0, 0}, // cursor past the tail: still just empty
+	}
+	for _, tc := range cases {
+		tail, err := TailAfter(path, tc.after)
+		if err != nil {
+			t.Fatalf("TailAfter(%d): %v", tc.after, err)
+		}
+		if got := hex.EncodeToString(tail.Frames); got != tc.want {
+			t.Errorf("TailAfter(%d) frames:\n got %s\nwant %s", tc.after, got, tc.want)
+		}
+		if tail.FirstSeq != tc.firstSeq || tail.LastSeq != tc.lastSeq {
+			t.Errorf("TailAfter(%d) seqs = [%d, %d], want [%d, %d]",
+				tc.after, tail.FirstSeq, tail.LastSeq, tc.firstSeq, tc.lastSeq)
+		}
+	}
+}
+
+// TestGoldenTailScansBack closes the loop a follower runs: the shipped
+// suffix must scan back to the original records, and a suffix cut
+// mid-frame — a connection dropped partway through a response — must scan
+// to the intact prefix with the cut frame reported torn, not failed.
+func TestGoldenTailScansBack(t *testing.T) {
+	raw, _ := hex.DecodeString(goldenFrame1 + goldenFrame2)
+	recs, rep, err := Scan(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || rep.Torn {
+		t.Fatalf("scan of full tail: %d records, torn=%v", len(recs), rep.Torn)
+	}
+	if string(recs[0].Body) != "stwig" || recs[0].Seq != 1 || string(recs[1].Body) != "wal" || recs[1].Seq != 2 {
+		t.Fatalf("decoded records drifted: %+v", recs)
+	}
+
+	cut := raw[:len(raw)-5] // sever inside frame 2
+	recs, rep, err = Scan(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("a cut frame must be a torn tail, not an error: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 || !rep.Torn {
+		t.Fatalf("scan of cut tail: %d records, torn=%v; want the intact first record only", len(recs), rep.Torn)
+	}
+}

@@ -1,0 +1,59 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+)
+
+// Tail is the result of TailAfter: the raw, still-framed bytes of every
+// intact record past a cursor, ready to ship over the wire verbatim. A
+// receiver runs Scan on the bytes to decode them — the CRC framing doubles
+// as the transport integrity check, so a connection cut mid-frame is
+// indistinguishable from (and handled exactly like) a torn tail.
+type Tail struct {
+	// Frames is the committed suffix of the journal file after the cursor;
+	// empty when the cursor is caught up.
+	Frames []byte
+	// FirstSeq and LastSeq bound the records in Frames (both zero when
+	// Frames is empty).
+	FirstSeq, LastSeq uint64
+}
+
+// TailAfter reads the journal at path and returns every intact record with
+// Seq > after, as raw frames. A missing file is an empty journal. Records
+// in one journal file carry strictly increasing sequence numbers, so the
+// result is a byte suffix of the committed prefix; a torn tail is simply
+// excluded, exactly as recovery would exclude it.
+//
+// The caller must ensure no writer is mid-append (stwigd serves tails under
+// the namespace's reader gate, which excludes the writer window).
+func TailAfter(path string, after uint64) (Tail, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Tail{}, nil
+	}
+	if err != nil {
+		return Tail{}, err
+	}
+	recs, rep, err := Scan(bytes.NewReader(raw))
+	if err != nil {
+		return Tail{}, err
+	}
+	var t Tail
+	var start int64
+	for _, rec := range recs {
+		if rec.Seq <= after {
+			start = rec.End
+			continue
+		}
+		if t.FirstSeq == 0 {
+			t.FirstSeq = rec.Seq
+		}
+		t.LastSeq = rec.Seq
+	}
+	if t.FirstSeq == 0 {
+		return Tail{}, nil
+	}
+	t.Frames = raw[start:rep.Committed]
+	return t, nil
+}

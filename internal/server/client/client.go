@@ -2,6 +2,12 @@
 // shares the wire structs with internal/server, so client and service
 // cannot drift, and it decodes /query NDJSON streams incrementally — the
 // caller sees each match as it arrives, exactly like core.Engine.MatchStream.
+//
+// All calls target the versioned /v1 surface; the unversioned legacy
+// routes stay served (with a Deprecation header) for older clients.
+// Tenant data-plane calls live on Client; control-plane calls (namespace
+// lifecycle, promotion, profiling) live on Admin, obtained via
+// Client.Admin().
 package client
 
 import (
@@ -30,15 +36,20 @@ var ErrStopped = errors.New("stwigd: stream stopped by caller")
 
 // Update retry defaults: a busy server (503 behind a pinned stream or a
 // full update queue) is transient by contract, so Update retries it a few
-// times, honoring the server's Retry-After hint capped at a client-side
-// bound with jitter. SetUpdateRetry tunes or disables this.
+// times, honoring the server's retry hint capped at a client-side bound
+// with jitter. WithRetry tunes or disables this.
 const (
 	DefaultUpdateRetries   = 3
 	DefaultUpdateRetryWait = 500 * time.Millisecond
 )
 
-// Client talks to one stwigd instance.
+// Client talks to one stwigd instance, addressing either the default
+// namespace (from New) or one tenant (from Namespace).
 type Client struct {
+	// origin is scheme://host:port with no path; base is origin plus the
+	// scope prefix — "/v1" for the default namespace, "/v1/ns/{name}" for a
+	// scoped client. Control-plane calls always resolve against origin.
+	origin     string
 	base       string
 	hc         *http.Client
 	adminToken string
@@ -49,35 +60,87 @@ type Client struct {
 	updateRetryWait time.Duration
 }
 
-// discardLogger swallows client logs until SetLogger installs a real one.
+// Option configures a Client at construction time.
+type Option func(*Client)
+
+// WithToken sets the bearer token the control-plane calls send (namespace
+// lifecycle, promote, pprof); the server refuses them without it (see
+// server.Config.AdminToken). The token is attached only to those calls,
+// never to tenant traffic.
+func WithToken(token string) Option {
+	return func(c *Client) { c.adminToken = token }
+}
+
+// WithHTTPClient replaces the underlying HTTP client (tests, custom
+// transports). nil keeps the default.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithLogger installs a structured logger for client-side retry decisions:
+// each Update backoff sleep and each abandoned retry budget is logged at
+// Debug with the request's trace_id and attempt number, so server request
+// logs and client retries line up under one grep. nil keeps the default
+// (discard).
+func WithLogger(l *slog.Logger) Option {
+	return func(c *Client) {
+		if l != nil {
+			c.logger = l
+		}
+	}
+}
+
+// WithRetry tunes Update's handling of 503 "busy"/"queue full" responses:
+// up to retries extra attempts, sleeping between them for the server's
+// retry hint capped at maxWait (with jitter, so a thundering herd of
+// clients does not re-collide). retries 0 disables retrying and surfaces
+// the first 503 verbatim.
+func WithRetry(retries int, maxWait time.Duration) Option {
+	return func(c *Client) {
+		c.updateRetries = retries
+		c.updateRetryWait = maxWait
+	}
+}
+
+// discardLogger swallows client logs until WithLogger installs a real one.
 var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 // New builds a client for the given base address. "host:port" is promoted
 // to "http://host:port". The default http.Client (no overall timeout —
-// streams are long-lived; use contexts) is used unless SetHTTPClient
+// streams are long-lived; use contexts) is used unless WithHTTPClient
 // replaces it.
-func New(base string) *Client {
+func New(base string, opts ...Option) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{
-		base:            strings.TrimRight(base, "/"),
+	origin := strings.TrimRight(base, "/")
+	c := &Client{
+		origin:          origin,
+		base:            origin + "/v1",
 		hc:              &http.Client{},
 		logger:          discardLogger,
 		updateRetries:   DefaultUpdateRetries,
 		updateRetryWait: DefaultUpdateRetryWait,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// SetHTTPClient replaces the underlying HTTP client (tests, custom
-// transports).
-func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+// SetHTTPClient replaces the underlying HTTP client.
+//
+// Deprecated: pass WithHTTPClient to New.
+func (c *Client) SetHTTPClient(hc *http.Client) { WithHTTPClient(hc)(c) }
 
-// SetLogger installs a structured logger for client-side retry decisions:
-// each Update backoff sleep and each abandoned retry budget is logged at
-// Debug with the request's trace_id and attempt number, so server request
-// logs and client retries line up under one grep. nil restores the default
-// (discard).
+// SetLogger installs a structured logger for retry decisions; nil restores
+// the default (discard).
+//
+// Deprecated: pass WithLogger to New.
 func (c *Client) SetLogger(l *slog.Logger) {
 	if l == nil {
 		l = discardLogger
@@ -85,20 +148,14 @@ func (c *Client) SetLogger(l *slog.Logger) {
 	c.logger = l
 }
 
-// SetUpdateRetry tunes Update's handling of 503 "busy"/"queue full"
-// responses: up to retries extra attempts, sleeping between them for the
-// server's Retry-After hint capped at maxWait (with jitter, so a thundering
-// herd of clients does not re-collide). retries 0 disables retrying and
-// surfaces the first 503 verbatim.
-func (c *Client) SetUpdateRetry(retries int, maxWait time.Duration) {
-	c.updateRetries = retries
-	c.updateRetryWait = maxWait
-}
+// SetUpdateRetry tunes Update's 503 retry budget.
+//
+// Deprecated: pass WithRetry to New.
+func (c *Client) SetUpdateRetry(retries int, maxWait time.Duration) { WithRetry(retries, maxWait)(c) }
 
-// SetAdminToken sets the bearer token CreateNamespace and DropNamespace
-// send; the server refuses namespace mutation without it (see
-// server.Config.AdminToken). The token is attached only to those admin
-// calls, never to tenant traffic.
+// SetAdminToken sets the bearer token the control-plane calls send.
+//
+// Deprecated: pass WithToken to New.
 func (c *Client) SetAdminToken(token string) { c.adminToken = token }
 
 // authorize attaches the admin bearer token, if one is set.
@@ -109,18 +166,13 @@ func (c *Client) authorize(req *http.Request) {
 }
 
 // Namespace returns a client scoped to one tenant: Query, Explain, Update,
-// and Stats address /ns/{name}/... instead of the default namespace's
-// legacy routes. The scoped client shares the parent's HTTP client.
-// Healthz and the namespace admin calls remain on the root client.
+// Stats, Follow, and ReplicationStatus address /v1/ns/{name}/... instead
+// of the default namespace. The scoped client shares the parent's HTTP
+// client and credentials; Healthz, Version, and Admin remain origin-wide.
 func (c *Client) Namespace(name string) *Client {
-	return &Client{
-		base:            c.base + "/ns/" + url.PathEscape(name),
-		hc:              c.hc,
-		adminToken:      c.adminToken,
-		logger:          c.logger,
-		updateRetries:   c.updateRetries,
-		updateRetryWait: c.updateRetryWait,
-	}
+	nc := *c
+	nc.base = c.origin + "/v1/ns/" + url.PathEscape(name)
+	return &nc
 }
 
 // traceFor picks the trace ID a request will carry: the context's ID when
@@ -140,81 +192,33 @@ func withTrace(trace string) func(*http.Request) {
 	return func(req *http.Request) { req.Header.Set(server.TraceHeader, trace) }
 }
 
-// CreateNamespace asks the server to materialize a new tenant from spec
-// (see server.NamespaceSpec for the grammar) and returns its summary.
-func (c *Client) CreateNamespace(ctx context.Context, req server.CreateNamespaceRequest) (*server.NamespaceInfo, error) {
-	resp, err := c.postJSON(ctx, "/ns", req, c.authorize, withTrace(traceFor(ctx)))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return nil, statusError(resp)
-	}
-	var out server.NamespaceInfo
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// DropNamespace removes a tenant; its in-flight requests finish, new ones
-// 404.
-func (c *Client) DropNamespace(ctx context.Context, name string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/ns/"+url.PathEscape(name), nil)
-	if err != nil {
-		return err
-	}
-	c.authorize(req)
-	withTrace(traceFor(ctx))(req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return statusError(resp)
-	}
-	io.Copy(io.Discard, resp.Body)
-	return nil
-}
-
-// ListNamespaces returns every tenant's summary, sorted by name.
-func (c *Client) ListNamespaces(ctx context.Context) ([]server.NamespaceInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/ns", nil)
-	if err != nil {
-		return nil, err
-	}
-	withTrace(traceFor(ctx))(req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	var out server.NamespaceListResponse
-	if err := decodeJSON(resp, &out); err != nil {
-		return nil, err
-	}
-	return out.Namespaces, nil
-}
-
-// StatusError is a non-2xx reply, carrying the decoded server error.
+// StatusError is a non-2xx reply, carrying the decoded server error
+// envelope.
 type StatusError struct {
 	StatusCode int
 	Message    string
-	// TraceID is the server's X-Stwig-Trace response header — the same ID
-	// the server logged the failure under, so a failed call can be grepped
-	// straight to its request log line.
+	// Code is the envelope's machine-readable error code ("overloaded",
+	// "read_only", "not_found", ...), empty on responses predating the
+	// envelope.
+	Code string
+	// TraceID is the ID the server logged the failure under, so a failed
+	// call can be grepped straight to its request log line.
 	TraceID string
-	// RetryAfter is the server's Retry-After hint on 429/503 responses,
-	// zero when absent.
+	// RetryAfter is the server's backoff hint on 429/503 responses, zero
+	// when absent. The envelope's retry_after_ms field is preferred over
+	// the whole-second Retry-After header, so sub-second hints survive.
 	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
-	if e.TraceID != "" {
-		return fmt.Sprintf("stwigd: HTTP %d (trace %s): %s", e.StatusCode, e.TraceID, e.Message)
+	code := ""
+	if e.Code != "" {
+		code = " [" + e.Code + "]"
 	}
-	return fmt.Sprintf("stwigd: HTTP %d: %s", e.StatusCode, e.Message)
+	if e.TraceID != "" {
+		return fmt.Sprintf("stwigd: HTTP %d%s (trace %s): %s", e.StatusCode, code, e.TraceID, e.Message)
+	}
+	return fmt.Sprintf("stwigd: HTTP %d%s: %s", e.StatusCode, code, e.Message)
 }
 
 // IsOverloaded reports whether err is a 429 admission rejection, the signal
@@ -225,20 +229,27 @@ func IsOverloaded(err error) bool {
 }
 
 // IsBusy reports whether err is a 503 update refusal (writer window busy or
-// update queue full) — transient by contract, carrying a Retry-After hint.
+// update queue full) — transient by contract, carrying a retry hint.
 func IsBusy(err error) bool {
 	se, ok := err.(*StatusError)
 	return ok && se.StatusCode == http.StatusServiceUnavailable
 }
 
+// IsReadOnly reports whether err is a 403 read-only refusal from an
+// unpromoted follower; writes belong on the leader.
+func IsReadOnly(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == server.CodeReadOnly
+}
+
 // postJSON sends body as a JSON POST; mutators (e.g. authorize) adjust the
-// request before it is issued.
-func (c *Client) postJSON(ctx context.Context, path string, body any, mutate ...func(*http.Request)) (*http.Response, error) {
+// request before it is issued. url must be absolute.
+func (c *Client) postJSON(ctx context.Context, url string, body any, mutate ...func(*http.Request)) (*http.Response, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
 	if err != nil {
 		return nil, err
 	}
@@ -249,20 +260,40 @@ func (c *Client) postJSON(ctx context.Context, path string, body any, mutate ...
 	return c.hc.Do(req)
 }
 
+// getJSON performs a GET of an absolute URL and decodes the 200 body.
+func (c *Client) getJSON(ctx context.Context, url string, out any, mutate ...func(*http.Request)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	withTrace(traceFor(ctx))(req)
+	for _, m := range mutate {
+		m(req)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
 // statusError drains a non-2xx response into a StatusError.
 func statusError(resp *http.Response) error {
 	defer resp.Body.Close()
 	var er server.ErrorResponse
-	msg := ""
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil {
-		msg = er.Error
-	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er)
 	se := &StatusError{
 		StatusCode: resp.StatusCode,
-		Message:    msg,
+		Message:    er.Error,
+		Code:       er.Code,
 		TraceID:    resp.Header.Get(server.TraceHeader),
 	}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+	if er.TraceID != "" {
+		se.TraceID = er.TraceID
+	}
+	if er.RetryAfterMS > 0 {
+		se.RetryAfter = time.Duration(er.RetryAfterMS) * time.Millisecond
+	} else if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
 		se.RetryAfter = time.Duration(secs) * time.Second
 	}
 	return se
@@ -283,7 +314,7 @@ func decodeJSON(resp *http.Response, v any) error {
 // error.
 func (c *Client) Query(ctx context.Context, req server.QueryRequest, onMatch func(assignment []int64) bool) (*server.StreamStats, error) {
 	trace := traceFor(ctx)
-	resp, err := c.postJSON(ctx, "/query", req, withTrace(trace))
+	resp, err := c.postJSON(ctx, c.base+"/query", req, withTrace(trace))
 	if err != nil {
 		return nil, err
 	}
@@ -328,7 +359,7 @@ func (c *Client) Query(ctx context.Context, req server.QueryRequest, onMatch fun
 // Setting req.Analyze additionally executes the query server-side and
 // returns the per-phase span breakdown in ExplainResponse.Analyze.
 func (c *Client) Explain(ctx context.Context, req server.QueryRequest) (*server.ExplainResponse, error) {
-	resp, err := c.postJSON(ctx, "/explain", req, withTrace(traceFor(ctx)))
+	resp, err := c.postJSON(ctx, c.base+"/explain", req, withTrace(traceFor(ctx)))
 	if err != nil {
 		return nil, err
 	}
@@ -340,19 +371,19 @@ func (c *Client) Explain(ctx context.Context, req server.QueryRequest) (*server.
 }
 
 // Update applies one dynamic graph mutation. A 503 "busy"/"queue full"
-// refusal is retried up to the configured retry budget (see
-// SetUpdateRetry), sleeping between attempts for the server's Retry-After
-// hint capped at the configured bound, with jitter. Only 503s carrying a
-// positive Retry-After are retried — the server attaches the hint to
-// exactly the transient refusals; a 503 without one (namespace dropped,
-// server draining) cannot clear and is surfaced verbatim, as is any other
-// failure and a transient 503 that outlives the budget.
+// refusal is retried up to the configured retry budget (see WithRetry),
+// sleeping between attempts for the server's retry hint capped at the
+// configured bound, with jitter. Only 503s carrying a positive hint are
+// retried — the server attaches the hint to exactly the transient
+// refusals; a 503 without one (namespace dropped, server draining) cannot
+// clear and is surfaced verbatim, as is any other failure and a transient
+// 503 that outlives the budget.
 func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.UpdateResponse, error) {
 	// One trace ID covers every attempt: retries of the same logical update
 	// show up in the server log as repeated lines under a single trace_id.
 	trace := traceFor(ctx)
 	for attempt := 0; ; attempt++ {
-		resp, err := c.postJSON(ctx, "/update", req, withTrace(trace))
+		resp, err := c.postJSON(ctx, c.base+"/update", req, withTrace(trace))
 		if err != nil {
 			return nil, err
 		}
@@ -385,8 +416,8 @@ func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.
 	}
 }
 
-// sleepRetry backs off before an Update retry: the server's Retry-After
-// hint, capped at maxWait, jittered to [1/2, 1) of the target so retrying
+// sleepRetry backs off before an Update retry: the server's retry hint,
+// capped at maxWait, jittered to [1/2, 1) of the target so retrying
 // clients fan out instead of re-colliding. A zero/absent hint uses maxWait
 // as the target; maxWait is an unconditional ceiling (0 means retry
 // immediately — the server's hint must never control client sleep time
@@ -410,37 +441,19 @@ func sleepRetry(ctx context.Context, hint, maxWait time.Duration) error {
 	}
 }
 
-// Stats scrapes the server's live counters.
+// Stats scrapes the namespace's live counters.
 func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
-	if err != nil {
-		return nil, err
-	}
-	withTrace(traceFor(ctx))(req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
 	var out server.StatsResponse
-	if err := decodeJSON(resp, &out); err != nil {
+	if err := c.getJSON(ctx, c.base+"/stats", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Version fetches the server's build identity (/version).
+// Version fetches the server's build identity (/v1/version).
 func (c *Client) Version(ctx context.Context) (*server.VersionResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/version", nil)
-	if err != nil {
-		return nil, err
-	}
-	withTrace(traceFor(ctx))(req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
 	var out server.VersionResponse
-	if err := decodeJSON(resp, &out); err != nil {
+	if err := c.getJSON(ctx, c.origin+"/v1/version", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -448,7 +461,7 @@ func (c *Client) Version(ctx context.Context) (*server.VersionResponse, error) {
 
 // Healthz returns nil when the server is live and accepting work.
 func (c *Client) Healthz(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.origin+"/v1/healthz", nil)
 	if err != nil {
 		return err
 	}

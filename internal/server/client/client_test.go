@@ -23,7 +23,7 @@ func flakyUpdateServer(t *testing.T, busyCount int32, retryAfter string) (*httpt
 	t.Helper()
 	var hits atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/update" {
+		if r.URL.Path != "/v1/update" {
 			t.Errorf("unexpected path %q", r.URL.Path)
 		}
 		n := hits.Add(1)
@@ -191,7 +191,7 @@ func TestUpdateNoRetryOnOtherStatuses(t *testing.T) {
 func TestNamespaceClientInheritsRetryPolicy(t *testing.T) {
 	var hits atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/ns/t/update" {
+		if r.URL.Path != "/v1/ns/t/update" {
 			t.Errorf("unexpected path %q", r.URL.Path)
 		}
 		if hits.Add(1) == 1 {
@@ -240,7 +240,7 @@ func TestStatsDecodesJournalAndCoalesced(t *testing.T) {
 		"endpoints": {}
 	}`
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/stats" {
+		if r.URL.Path != "/v1/stats" {
 			t.Errorf("unexpected path %q", r.URL.Path)
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,75 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stwig/internal/journal"
+	"stwig/internal/server"
+)
+
+// WALPosition is the leader's replication position after one Follow round,
+// read from the response headers.
+type WALPosition struct {
+	// LeaderSeq is the leader's newest journaled sequence.
+	LeaderSeq uint64
+	// CheckpointSeq is the highest sequence compacted into the leader's
+	// checkpoint; cursors at or below it must re-bootstrap from a snapshot.
+	CheckpointSeq uint64
+}
+
+// Follow performs one wal long-poll round against this client's namespace:
+// GET {base}/wal?from=N. Every record with sequence > from is delivered to
+// onRecord (seq plus the raw encoded batch body — journal.DecodeBatch
+// turns it into mutations); returning false stops early. When the leader
+// is caught up the call blocks server-side up to wait, possibly delivering
+// nothing. A connection cut mid-record surfaces as a clean short read —
+// the intact prefix is delivered and the next round resumes from the last
+// full record. Callers loop: each round returns the leader's position so
+// lag is observable between rounds.
+func (c *Client) Follow(ctx context.Context, from uint64, wait time.Duration, onRecord func(seq uint64, body []byte) bool) (WALPosition, error) {
+	var pos WALPosition
+	u := fmt.Sprintf("%s/wal?from=%d&wait_ms=%d", c.base, from, wait.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return pos, err
+	}
+	withTrace(traceFor(ctx))(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return pos, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return pos, statusError(resp)
+	}
+	if n, err := strconv.ParseUint(resp.Header.Get(server.LeaderSeqHeader), 10, 64); err == nil {
+		pos.LeaderSeq = n
+	}
+	if n, err := strconv.ParseUint(resp.Header.Get(server.CheckpointSeqHeader), 10, 64); err == nil {
+		pos.CheckpointSeq = n
+	}
+	recs, _, scanErr := journal.Scan(resp.Body)
+	for _, rec := range recs {
+		if onRecord != nil && !onRecord(rec.Seq, rec.Body) {
+			break
+		}
+	}
+	// A torn tail (cut mid-frame) is already absorbed by Scan; only real
+	// reader failures surface.
+	return pos, scanErr
+}
+
+// ReplicationStatus returns this namespace's replication block from
+// /stats: nil when the server is a plain leader that never followed
+// anyone.
+func (c *Client) ReplicationStatus(ctx context.Context) (*server.ReplicationInfo, error) {
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return st.Replication, nil
+}

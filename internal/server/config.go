@@ -107,6 +107,14 @@ type Config struct {
 	// crash may then lose acknowledged updates, voiding the recovery
 	// contract the crash tests pin.
 	JournalNoSync bool
+	// FollowURL, when non-empty, starts the server as a read-only follower
+	// of the leader at this base URL: on boot the replicator fetches the
+	// leader's replication manifest, bootstraps each listed namespace (from
+	// a snapshot when needed), and tails each journal over
+	// GET /v1/ns/{name}/wal, replaying batches through the same apply path
+	// recovery uses. Mutating endpoints answer 403 read_only until
+	// POST /v1/admin/promote. A bare host:port is promoted to http://.
+	FollowURL string
 	// AdminToken, when non-empty, is the bearer token POST /ns,
 	// DELETE /ns/{name}, and the /debug/pprof endpoints require
 	// (Authorization: Bearer <token>). Empty (the default) disables
@@ -159,6 +167,10 @@ func (cfg Config) normalize() Config {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.FollowURL != "" && !strings.Contains(cfg.FollowURL, "://") {
+		cfg.FollowURL = "http://" + cfg.FollowURL
+	}
+	cfg.FollowURL = strings.TrimRight(cfg.FollowURL, "/")
 	if cfg.UpdateFairnessWindow == 0 {
 		// The cutoff only matters if it fires before the writer gives up;
 		// adapt the default to short writer patience instead of silently
@@ -235,6 +247,7 @@ func (cfg Config) Validate() error {
 //	STWIGD_NS_ROOT            path      root for admin-API file:/text: sources
 //	STWIGD_ADMIN_TOKEN        string    bearer token for POST/DELETE /ns (unset disables them)
 //	STWIGD_DATA_DIR           path      durability root (journal + checkpoints + manifest; unset disables)
+//	STWIGD_FOLLOW             url       leader base URL; start as a read-only WAL-shipping follower
 //	STWIGD_CHECKPOINT_EVERY   int       journaled batches between checkpoint/compaction cycles
 //	STWIGD_JOURNAL_FSYNC      bool      false skips the per-batch fsync (crash durability lost)
 //	STWIGD_SLOW_QUERY         duration  span-breakdown log threshold for slow queries (0 disables)
@@ -303,6 +316,9 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	}
 	if v, ok := lookup("STWIGD_DATA_DIR"); ok {
 		cfg.DataDir = v
+	}
+	if v, ok := lookup("STWIGD_FOLLOW"); ok {
+		cfg.FollowURL = v
 	}
 	envInt("STWIGD_CHECKPOINT_EVERY", &cfg.CheckpointEvery)
 	envDur("STWIGD_SLOW_QUERY", &cfg.SlowQuery)

@@ -281,6 +281,10 @@ type nsStorage struct {
 	info      JournalInfo
 	sinceCkpt int
 	closed    bool
+	// change is closed (and replaced) on every append, waking wal long-poll
+	// waiters; lazily created by appendWait so namespaces nobody tails pay
+	// nothing.
+	change chan struct{}
 	// failed fail-stops the write path: set when the journal and the live
 	// graph can no longer be proven to agree (a rollback of a bad record
 	// itself failed). Every further append is refused — serving reads while
@@ -339,8 +343,51 @@ func (st *nsStorage) appendBatch(muts []memcloud.Mutation) (journal.Mark, error)
 	st.info.LastSeq = seq
 	st.info.SizeBytes = st.w.Size()
 	st.sinceCkpt++
+	st.notifyLocked()
 	st.mu.Unlock()
 	return mark, nil
+}
+
+// notifyLocked wakes every appendWait waiter. Caller holds st.mu.
+func (st *nsStorage) notifyLocked() {
+	if st.change != nil {
+		close(st.change)
+		st.change = nil
+	}
+}
+
+// appendWait returns a channel that is closed at the next append (or close)
+// plus the current last sequence, so a wal long-poll can park without
+// holding any lock a writer needs.
+func (st *nsStorage) appendWait() (<-chan struct{}, uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.change == nil {
+		st.change = make(chan struct{})
+	}
+	return st.change, st.info.LastSeq
+}
+
+// tailState snapshots the positions the replication endpoints need: the
+// newest journaled sequence and the highest sequence compacted into the
+// checkpoint (records at or below it are no longer tailable).
+func (st *nsStorage) tailState() (lastSeq, ckptSeq uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.info.LastSeq, st.info.CheckpointSeq
+}
+
+// sealTail fsyncs the journal so everything a follower replicated is
+// durable before promotion opens the namespace for writes of its own.
+// Called only after the replication loops have fully stopped.
+func (st *nsStorage) sealTail() error {
+	st.mu.Lock()
+	closed := st.closed
+	st.mu.Unlock()
+	if closed {
+		return nil
+	}
+	return st.w.Sync()
 }
 
 // rollback undoes the append since mark (and any partial write under it).
@@ -449,10 +496,26 @@ func (st *nsStorage) close() {
 		return
 	}
 	st.closed = true
+	st.notifyLocked() // wake parked wal long-polls so they re-check and exit
 	st.w.Close()
 }
 
 // --- checkpoint file -------------------------------------------------------
+
+// writeCheckpointTo streams the checkpoint format to w. The same frame is
+// the snapshot-bootstrap wire format of GET /v1/ns/{name}/snapshot, so a
+// follower can save the response body as its checkpoint file verbatim.
+func writeCheckpointTo(w io.Writer, g *graph.Graph, seq, epoch uint64) error {
+	var hdr [24]byte
+	copy(hdr[:4], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint64(hdr[16:24], epoch)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return graph.WriteBinary(w, g)
+}
 
 // writeCheckpoint publishes the snapshot atomically:
 //
@@ -464,16 +527,7 @@ func writeCheckpoint(path string, g *graph.Graph, seq, epoch uint64) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	var hdr [24]byte
-	copy(hdr[:4], ckptMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], ckptVersion)
-	binary.LittleEndian.PutUint64(hdr[8:16], seq)
-	binary.LittleEndian.PutUint64(hdr[16:24], epoch)
-	if _, err := tmp.Write(hdr[:]); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := graph.WriteBinary(tmp, g); err != nil {
+	if err := writeCheckpointTo(tmp, g, seq, epoch); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -490,6 +544,28 @@ func writeCheckpoint(path string, g *graph.Graph, seq, epoch uint64) error {
 	return syncDir(dir)
 }
 
+// readCheckpointFrom decodes a checkpoint stream (file or snapshot
+// response body).
+func readCheckpointFrom(r io.Reader, what string) (*graph.Graph, uint64, uint64, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint header: %w", err)
+	}
+	if string(hdr[:4]) != ckptMagic {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: bad magic %q", what, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != ckptVersion {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: unsupported version %d", what, v)
+	}
+	seq := binary.LittleEndian.Uint64(hdr[8:16])
+	epoch := binary.LittleEndian.Uint64(hdr[16:24])
+	g, err := graph.ReadBinary(r)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: %w", what, err)
+	}
+	return g, seq, epoch, nil
+}
+
 // readCheckpoint loads a checkpoint. A missing file returns (nil, 0, 0,
 // nil): recovery then rebuilds from the spec.
 func readCheckpoint(path string) (*graph.Graph, uint64, uint64, error) {
@@ -501,23 +577,33 @@ func readCheckpoint(path string) (*graph.Graph, uint64, uint64, error) {
 		return nil, 0, 0, err
 	}
 	defer f.Close()
-	var hdr [24]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, 0, 0, fmt.Errorf("server: checkpoint header: %w", err)
-	}
-	if string(hdr[:4]) != ckptMagic {
-		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: bad magic %q", path, hdr[:4])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != ckptVersion {
-		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: unsupported version %d", path, v)
-	}
-	seq := binary.LittleEndian.Uint64(hdr[8:16])
-	epoch := binary.LittleEndian.Uint64(hdr[16:24])
-	g, err := graph.ReadBinary(f)
+	return readCheckpointFrom(f, path)
+}
+
+// saveCheckpointStream copies a leader snapshot (already in checkpoint-file
+// format) into a namespace dir atomically, so a follower bootstrap can then
+// run ordinary recovery over it.
+func saveCheckpointStream(dir string, r io.Reader) error {
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("server: checkpoint %s: %w", path, err)
+		return err
 	}
-	return g, seq, epoch, nil
+	defer os.Remove(tmp.Name())
+	if _, err := io.Copy(tmp, r); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // --- recovery --------------------------------------------------------------

@@ -239,6 +239,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) bool {
 			func(j *JournalInfo) float64 { return float64(j.CheckpointErrors) })
 	}
 
+	// Replication. Families only materialize on a server started with
+	// -follow; every sample reflects that namespace's tail position versus
+	// the leader it replicates from (or replicated from, after promotion).
+	if s.repl != nil {
+		perRepl := func(name, typ, help string, get func(ri *ReplicationInfo) float64) {
+			p.family(name, typ, help)
+			for i := range states {
+				if ri := s.repl.infoFor(states[i].ns.name); ri != nil {
+					p.sample(name, states[i].label, get(ri))
+				}
+			}
+		}
+		perRepl("stwig_replication_last_seq", "gauge", "Newest leader record applied locally.",
+			func(ri *ReplicationInfo) float64 { return float64(ri.LastSeq) })
+		perRepl("stwig_replication_leader_seq", "gauge", "Leader's newest journaled sequence at last contact.",
+			func(ri *ReplicationInfo) float64 { return float64(ri.LeaderSeq) })
+		perRepl("stwig_replication_lag_records", "gauge", "Records the follower is behind the leader.",
+			func(ri *ReplicationInfo) float64 { return float64(ri.LagRecords) })
+		perRepl("stwig_replication_lag_seconds", "gauge", "Seconds the follower has been behind (0 when caught up).",
+			func(ri *ReplicationInfo) float64 { return float64(ri.LagMS) / 1000 })
+		perRepl("stwig_replication_connected", "gauge", "1 while the wal tail to the leader is healthy.",
+			func(ri *ReplicationInfo) float64 {
+				if ri.Connected {
+					return 1
+				}
+				return 0
+			})
+		perRepl("stwig_replication_records_total", "counter", "Leader records replayed locally.",
+			func(ri *ReplicationInfo) float64 { return float64(ri.RecordsReplicated) })
+		perRepl("stwig_replication_resyncs_total", "counter", "Snapshot re-bootstraps forced by checkpoint truncation or divergence.",
+			func(ri *ReplicationInfo) float64 { return float64(ri.Resyncs) })
+		p.family("stwig_replication_promoted", "gauge", "1 once this replica has been promoted to leader.")
+		promoted := 0.0
+		if s.repl.isPromoted() {
+			promoted = 1
+		}
+		p.sample("stwig_replication_promoted", "", promoted)
+	}
+
 	// HTTP endpoints: per-tenant series labeled {ns, route}; the non-tenant
 	// routes (healthz, admin) under ns="".
 	p.family("stwig_http_requests_total", "counter", "Requests routed to the endpoint, including refused ones.")

@@ -46,6 +46,10 @@ type Server struct {
 	// loading are CPU- and memory-hungry, so unbounded concurrent creates
 	// are a denial-of-service on every live tenant. Excess creates get 429.
 	buildSem chan struct{}
+	// repl is the WAL-shipping follower runtime (Config.FollowURL); nil on
+	// a plain leader. While it is active and unpromoted every mutating
+	// endpoint answers 403 read_only.
+	repl *replicator
 
 	draining atomic.Bool
 	// runCtx is canceled by Abort; every request context is joined to it
@@ -106,27 +110,70 @@ func NewMulti(cfg Config) (*Server, error) {
 		}
 	}
 	mux := http.NewServeMux()
-	// Legacy unprefixed routes alias the default namespace…
-	mux.HandleFunc("POST /query", s.nsRoute("/query", s.handleQuery))
-	mux.HandleFunc("POST /explain", s.nsRoute("/explain", s.handleExplain))
-	mux.HandleFunc("POST /update", s.nsRoute("/update", s.handleUpdate))
-	mux.HandleFunc("GET /stats", s.nsRoute("/stats", s.handleStats))
+	// route mounts one handler at its canonical /v1 path and at the legacy
+	// unversioned alias. The alias serves the exact same handler instance
+	// (one metrics series per logical endpoint) but answers with a
+	// Deprecation header and a Link to its /v1 successor, so consumers can
+	// migrate mechanically.
+	route := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("server: route pattern must be \"METHOD /path\"")
+		}
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, deprecateLegacy(h))
+	}
+	// Unprefixed tenant routes alias the default namespace…
+	route("POST /query", s.nsRoute("/query", s.handleQuery))
+	route("POST /explain", s.nsRoute("/explain", s.handleExplain))
+	route("POST /update", s.nsRoute("/update", s.handleUpdate))
+	route("GET /stats", s.nsRoute("/stats", s.handleStats))
 	// …and the routed forms address any tenant.
-	mux.HandleFunc("POST /ns/{ns}/query", s.nsRoute("/query", s.handleQuery))
-	mux.HandleFunc("POST /ns/{ns}/explain", s.nsRoute("/explain", s.handleExplain))
-	mux.HandleFunc("POST /ns/{ns}/update", s.nsRoute("/update", s.handleUpdate))
-	mux.HandleFunc("GET /ns/{ns}/stats", s.nsRoute("/stats", s.handleStats))
+	route("POST /ns/{ns}/query", s.nsRoute("/query", s.handleQuery))
+	route("POST /ns/{ns}/explain", s.nsRoute("/explain", s.handleExplain))
+	route("POST /ns/{ns}/update", s.nsRoute("/update", s.handleUpdate))
+	route("GET /ns/{ns}/stats", s.nsRoute("/stats", s.handleStats))
 	// Admin: list, create, drop.
-	mux.HandleFunc("GET /ns", s.instrument("/ns", s.handleListNamespaces))
-	mux.HandleFunc("POST /ns", s.instrument("/ns", s.handleCreateNamespace))
-	mux.HandleFunc("DELETE /ns/{ns}", s.instrument("/ns", s.handleDropNamespace))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.HandleFunc("GET /version", s.instrument("/version", s.handleVersion))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	// Admin-token-gated live profiling.
+	route("GET /ns", s.instrument("/ns", s.handleListNamespaces))
+	route("POST /ns", s.instrument("/ns", s.handleCreateNamespace))
+	route("DELETE /ns/{ns}", s.instrument("/ns", s.handleDropNamespace))
+	route("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	route("GET /version", s.instrument("/version", s.handleVersion))
+	route("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	// Replication wire protocol and promotion are /v1-only: they are new
+	// with the versioned surface, so no legacy alias exists to deprecate.
+	mux.HandleFunc("GET /v1/ns/{ns}/wal", s.nsRoute("/wal", s.handleWALTail))
+	mux.HandleFunc("GET /v1/ns/{ns}/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/wal", s.nsRoute("/wal", s.handleWALTail))
+	mux.HandleFunc("GET /v1/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/replication/manifest", s.instrument("/replication/manifest", s.handleReplicationManifest))
+	mux.HandleFunc("POST /v1/admin/promote", s.instrument("/admin/promote", s.handlePromote))
+	// Unknown paths get the uniform error envelope instead of net/http's
+	// plain-text 404.
+	mux.HandleFunc("/", s.instrument("/{unknown}", func(w http.ResponseWriter, r *http.Request) bool {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+		return true
+	}))
+	// Admin-token-gated live profiling. /debug stays unversioned: it is an
+	// operator surface with net/http-dictated paths, not part of the API.
 	s.registerDebug(mux)
 	s.mux = mux
+	if s.cfg.FollowURL != "" {
+		s.repl = newReplicator(s, s.cfg.FollowURL)
+		s.repl.start()
+	}
 	return s, nil
+}
+
+// deprecateLegacy wraps a legacy unversioned route: same handler, plus the
+// RFC 9745 Deprecation header and a successor-version Link so clients know
+// where the route moved.
+func deprecateLegacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // MustNew is New that panics on error.
@@ -162,6 +209,11 @@ func (s *Server) Abort() { s.abort() }
 // down (tests, daemon exit); in-flight query streams are not interrupted —
 // use Abort for that. Idempotent.
 func (s *Server) Close() {
+	if s.repl != nil {
+		// Stop tailing before namespaces close, so no replication apply
+		// races a closing journal.
+		s.repl.stop()
+	}
 	for _, ns := range s.reg.seal() {
 		ns.close()
 	}
@@ -252,8 +304,64 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError sends the uniform error envelope with the code derived from
+// the status. Call sites with a sharper cause use writeErrorCode; retryable
+// refusals use writeRetryError so the envelope carries the sub-second hint.
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg})
+	writeErrorCode(w, status, defaultErrorCode(status), msg)
+}
+
+// defaultErrorCode maps an HTTP status to the envelope code writeError uses
+// when the call site did not name a sharper one.
+func defaultErrorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusUnauthorized:
+		return CodeUnauthorized
+	case http.StatusForbidden:
+		return CodeForbidden
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return CodeDeadline
+	default:
+		return CodeInternal
+	}
+}
+
+// writeErrorCode sends the envelope {error, code, trace_id}. The trace ID is
+// read back from the response header beginRequest set before any handler
+// ran, so every error body is greppable in the server log.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{
+		Error:   msg,
+		Code:    code,
+		TraceID: w.Header().Get(TraceHeader),
+	})
+}
+
+// writeRetryError is writeErrorCode plus the retry hint, in both shapes: the
+// Retry-After header (whole seconds, rounded up — RFC 9110 allows nothing
+// finer) and the envelope's exact retry_after_ms, which clients prefer.
+func writeRetryError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	setRetryAfter(w, retryAfter)
+	ms := retryAfter.Milliseconds()
+	if ms == 0 && retryAfter > 0 {
+		ms = 1
+	}
+	writeJSON(w, status, ErrorResponse{
+		Error:        msg,
+		Code:         code,
+		TraceID:      w.Header().Get(TraceHeader),
+		RetryAfterMS: ms,
+	})
 }
 
 // setRetryAfter attaches the Retry-After hint, rounded up to whole seconds.
@@ -267,17 +375,19 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 // cutoff, 503 for every other cancellation.
 func writeGateError(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while waiting for a graph update")
+		writeErrorCode(w, http.StatusGatewayTimeout, CodeDeadline,
+			"deadline exceeded while waiting for a graph update")
 		return
 	}
-	writeError(w, http.StatusServiceUnavailable, "canceled while waiting for a graph update")
+	writeErrorCode(w, http.StatusServiceUnavailable, CodeCanceled,
+		"canceled while waiting for a graph update")
 }
 
 // rejectOverloaded sends the 429 admission refusal with a Retry-After hint.
 func (s *Server) rejectOverloaded(w http.ResponseWriter, ns *namespace) {
-	setRetryAfter(w, ns.cfg.RetryAfter)
-	writeError(w, http.StatusTooManyRequests,
-		fmt.Sprintf("overloaded: namespace %q has too many in-flight queries", ns.name))
+	writeRetryError(w, http.StatusTooManyRequests, CodeOverloaded,
+		fmt.Sprintf("overloaded: namespace %q has too many in-flight queries", ns.name),
+		ns.cfg.RetryAfter)
 }
 
 // decodeQueryRequest parses and compiles the body of /query and /explain.
@@ -326,7 +436,7 @@ func (s *Server) requestContext(r *http.Request, lim core.Limits) (context.Conte
 
 func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return true
 	}
 	if !ns.adm.tryAcquire() {
@@ -393,21 +503,21 @@ func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWrite
 		}
 	}
 	if err != nil {
-		msg := err.Error()
+		msg, code := err.Error(), CodeInternal
 		errStatus := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			msg = "deadline exceeded"
+			msg, code = "deadline exceeded", CodeDeadline
 			errStatus = http.StatusGatewayTimeout
 		case errors.Is(err, context.Canceled):
-			msg = "canceled"
+			msg, code = "canceled", CodeCanceled
 			errStatus = http.StatusServiceUnavailable
 		}
 		if !headerDone {
-			writeError(w, errStatus, msg)
+			writeErrorCode(w, errStatus, code, msg)
 			return true
 		}
-		sw.writeRecord(Record{Type: RecordError, Error: msg, TraceID: rl.trace})
+		sw.writeRecord(Record{Type: RecordError, Error: msg, Code: code, TraceID: rl.trace})
 		return true
 	}
 	writeHeader()
@@ -450,7 +560,7 @@ func assignmentInt64(m core.Match) []int64 {
 
 func (s *Server) handleExplain(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return true
 	}
 	// Explain is query work: a cache miss pays full planning and holds the
@@ -512,9 +622,26 @@ func (s *Server) handleExplain(ns *namespace, rl *requestLog, w http.ResponseWri
 	return false
 }
 
+// readOnly reports the server is an unpromoted follower: every mutating
+// endpoint is refused so replicated state can only advance by WAL shipping
+// from the leader.
+func (s *Server) readOnly() bool { return s.repl != nil && !s.repl.isPromoted() }
+
+// writeReadOnly is the follower's refusal of a mutating request; the header
+// names the leader so a client (or proxy) can redirect the write itself.
+func (s *Server) writeReadOnly(w http.ResponseWriter) {
+	w.Header().Set("X-Stwig-Leader", s.repl.leader)
+	writeErrorCode(w, http.StatusForbidden, CodeReadOnly,
+		fmt.Sprintf("read-only follower: send writes to the leader at %s (or promote this replica)", s.repl.leader))
+}
+
 func (s *Server) handleUpdate(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	if s.readOnly() {
+		s.writeReadOnly(w)
 		return true
 	}
 	var req UpdateRequest
@@ -553,9 +680,9 @@ func (s *Server) handleUpdate(ns *namespace, rl *requestLog, w http.ResponseWrit
 	job, full, err := ns.pipe.enqueue(mut)
 	switch {
 	case full:
-		setRetryAfter(w, ns.cfg.RetryAfter)
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Sprintf("update queue full: namespace %q has %d updates pending; retry", ns.name, ns.cfg.UpdateQueueDepth))
+		writeRetryError(w, http.StatusServiceUnavailable, CodeQueueFull,
+			fmt.Sprintf("update queue full: namespace %q has %d updates pending; retry", ns.name, ns.cfg.UpdateQueueDepth),
+			ns.cfg.RetryAfter)
 		return true
 	case err != nil: // queue closed: the namespace was dropped
 		writeError(w, http.StatusServiceUnavailable, "namespace is shutting down")
@@ -566,8 +693,8 @@ func (s *Server) handleUpdate(ns *namespace, rl *requestLog, w http.ResponseWrit
 	case out := <-job.done:
 		switch {
 		case errors.Is(out.err, errUpdateBusy):
-			setRetryAfter(w, ns.cfg.RetryAfter)
-			writeError(w, http.StatusServiceUnavailable, "update busy: in-flight queries hold the graph; retry")
+			writeRetryError(w, http.StatusServiceUnavailable, CodeBusy,
+				"update busy: in-flight queries hold the graph; retry", ns.cfg.RetryAfter)
 			return true
 		case errors.Is(out.err, errUpdateQueueClosed):
 			writeError(w, http.StatusServiceUnavailable, "namespace dropped while the update was queued")
@@ -639,6 +766,7 @@ func (s *Server) handleStats(ns *namespace, rl *requestLog, w http.ResponseWrite
 		Admission:   ns.adm.stats(),
 		UpdateQueue: ns.pipe.stats(),
 		Journal:     journalStatsOf(ns),
+		Replication: s.replicationInfoFor(ns.name),
 		Endpoints:   endpoints,
 	})
 	return false
@@ -690,7 +818,11 @@ func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) b
 		return true
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	if s.readOnly() {
+		s.writeReadOnly(w)
 		return true
 	}
 	var req CreateNamespaceRequest
@@ -706,20 +838,19 @@ func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) b
 	}
 	spec, err = s.checkRuntimeSpec(spec)
 	if err != nil {
-		status := http.StatusBadRequest
 		if errors.Is(err, ErrNamespaceCapacity) {
-			status = http.StatusTooManyRequests
-			setRetryAfter(w, s.cfg.RetryAfter)
+			writeRetryError(w, http.StatusTooManyRequests, CodeCapacity, err.Error(), s.cfg.RetryAfter)
+			return true
 		}
-		writeError(w, status, err.Error())
+		writeError(w, http.StatusBadRequest, err.Error())
 		return true
 	}
 	select {
 	case s.buildSem <- struct{}{}:
 		defer func() { <-s.buildSem }()
 	default:
-		setRetryAfter(w, s.cfg.RetryAfter)
-		writeError(w, http.StatusTooManyRequests, "overloaded: too many namespace builds in progress")
+		writeRetryError(w, http.StatusTooManyRequests, CodeOverloaded,
+			"overloaded: too many namespace builds in progress", s.cfg.RetryAfter)
 		return true
 	}
 	if err := s.addNamespaceSpec(spec, maxRuntimeNamespaces); err != nil {
@@ -732,8 +863,8 @@ func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) b
 		case errors.Is(err, ErrNamespaceExists):
 			status = http.StatusConflict
 		case errors.Is(err, ErrNamespaceCapacity):
-			status = http.StatusTooManyRequests
-			setRetryAfter(w, s.cfg.RetryAfter)
+			writeRetryError(w, http.StatusTooManyRequests, CodeCapacity, err.Error(), s.cfg.RetryAfter)
+			return true
 		case spec.Source != "rmat" && !errors.Is(err, fs.ErrNotExist):
 			status = http.StatusInternalServerError
 		}
@@ -756,7 +887,11 @@ func (s *Server) handleDropNamespace(w http.ResponseWriter, r *http.Request) boo
 		return true
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	if s.readOnly() {
+		s.writeReadOnly(w)
 		return true
 	}
 	name := r.PathValue("ns")

@@ -437,19 +437,9 @@ func (p *updatePipeline) apply(batch []*updateJob) {
 			return
 		}
 	}
-	results, panicErr := p.runBatch(muts)
+	results, panicErr := p.runBatch(muts, mark)
 	applyTime := time.Since(acquired)
 	if panicErr != nil {
-		// The cluster's own locks were released by their defers; the graph
-		// may hold the batch's earlier mutations (best effort, like a
-		// crashed inline handler). Fail the batch, keep the tenant alive —
-		// but the journaled record must not survive to replay: every job is
-		// being answered 500, so recovery re-applying the batch would make
-		// the replayed history disagree with everything the clients were
-		// told (and shift every later vertex ID by the phantom mutations).
-		if p.store != nil {
-			p.store.discardAppended(mark)
-		}
 		for _, j := range batch {
 			j.done <- updateJobResult{err: panicErr}
 		}
@@ -493,12 +483,21 @@ func (p *updatePipeline) apply(batch []*updateJob) {
 // runBatch applies the batch under the already-acquired writer window,
 // releasing the gate and converting a panic into errUpdateInternal — the
 // blast radius of a poisoned mutation must stay one batch, not the
-// process.
-func (p *updatePipeline) runBatch(muts []memcloud.Mutation) (results []memcloud.MutationResult, err error) {
+// process. On a panic the journaled record is rolled back BEFORE the gate
+// is released (the deferred recover runs first, LIFO): every job is being
+// answered 500, so the record must not survive to replay — and a wal tail
+// reader entering the gate after this window must never see a record that
+// is about to be discarded. The cluster's own locks were released by their
+// defers; the graph may hold the batch's earlier mutations (best effort,
+// like a crashed inline handler).
+func (p *updatePipeline) runBatch(muts []memcloud.Mutation, mark journal.Mark) (results []memcloud.MutationResult, err error) {
 	defer p.gate.unlock()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", errUpdateInternal, r)
+			if p.store != nil {
+				p.store.discardAppended(mark)
+			}
 		}
 	}()
 	return p.eng.Cluster().ApplyBatch(muts), nil

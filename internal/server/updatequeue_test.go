@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"stwig/internal/journal"
 	"stwig/internal/memcloud"
 )
 
@@ -20,7 +21,7 @@ func TestRunBatchContainsPanic(t *testing.T) {
 	if !gate.lock(time.Second, time.Millisecond, p.stop) {
 		t.Fatal("writer window not acquired on an idle gate")
 	}
-	_, err := p.runBatch([]memcloud.Mutation{{Op: memcloud.MutAddNode, Label: "x"}})
+	_, err := p.runBatch([]memcloud.Mutation{{Op: memcloud.MutAddNode, Label: "x"}}, journal.Mark{})
 	if !errors.Is(err, errUpdateInternal) {
 		t.Fatalf("runBatch err = %v, want errUpdateInternal", err)
 	}

@@ -35,6 +35,10 @@ type Record struct {
 	Assignment []int64 `json:"assignment,omitempty"`
 	// Error is set on "error" records.
 	Error string `json:"error,omitempty"`
+	// Code is set on "error" records: the same machine-readable error code
+	// ErrorResponse carries, so stream and non-stream failures share one
+	// vocabulary.
+	Code string `json:"code,omitempty"`
 	// TraceID is set on "error" records: the request's trace ID, so a
 	// mid-stream failure is greppable in the server log.
 	TraceID string `json:"trace_id,omitempty"`
@@ -144,10 +148,47 @@ type UpdateResponse struct {
 	WaitMicros int64 `json:"wait_us,omitempty"`
 }
 
-// ErrorResponse is the body of every non-streaming error reply.
+// ErrorResponse is the uniform error envelope: the body of every non-2xx
+// reply, mirrored by the NDJSON "error" record for mid-stream failures.
 type ErrorResponse struct {
+	// Error is the human-readable message.
 	Error string `json:"error"`
+	// Code is the machine-readable error class (one of the Code* constants);
+	// clients branch on it instead of parsing Error.
+	Code string `json:"code,omitempty"`
+	// TraceID echoes the request's X-Stwig-Trace, so an error body alone is
+	// enough to find the server-side log line.
+	TraceID string `json:"trace_id,omitempty"`
+	// RetryAfterMS is the retry hint with sub-second resolution. The
+	// Retry-After header carries the same hint rounded up to whole seconds
+	// (RFC 9110 only allows integral seconds); clients should prefer this
+	// field.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
+
+// Machine-readable error codes carried by ErrorResponse.Code and the NDJSON
+// error record's "code" field. writeError derives a default from the HTTP
+// status; call sites with a sharper cause set one explicitly.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeUnauthorized     = "unauthorized"
+	CodeForbidden        = "forbidden"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+	CodeOverloaded       = "overloaded" // admission limit; retry hint attached
+	CodeQueueFull        = "queue_full" // update queue at capacity; retry hint attached
+	CodeBusy             = "busy"       // writer window never opened; retry hint attached
+	CodeCapacity         = "capacity"   // namespace registry at capacity
+	CodeDraining         = "draining"   // graceful shutdown in progress
+	CodeDeadline         = "deadline"
+	CodeCanceled         = "canceled"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal"
+	CodeReadOnly         = "read_only"         // follower refusing a write; promote or write to the leader
+	CodeNotPersisted     = "not_persisted"     // replication endpoint on a journal-less namespace
+	CodeSnapshotRequired = "snapshot_required" // wal cursor predates the checkpoint; bootstrap from /snapshot
+	CodeNotFollower      = "not_a_follower"    // promote on a server that follows nobody
+)
 
 // StatsResponse is the body of GET /stats and GET /ns/{name}/stats. All
 // graph, engine, plan-cache, net, update, admission, and endpoint counters
@@ -171,6 +212,9 @@ type StatsResponse struct {
 	// Journal reports the namespace's write-ahead journal; absent when the
 	// server runs without a data dir or the namespace is not persisted.
 	Journal *JournalInfo `json:"journal,omitempty"`
+	// Replication reports WAL-shipping state; absent unless the server is
+	// (or was, before promotion) a follower.
+	Replication *ReplicationInfo `json:"replication,omitempty"`
 	// Endpoints maps route (e.g. "/query") to its request counters and
 	// latency histogram summary.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
@@ -204,6 +248,63 @@ type JournalInfo struct {
 	ReplayedRecords   uint64 `json:"replayed_records"`
 	ReplayedMutations uint64 `json:"replayed_mutations"`
 	TornTailRecovered bool   `json:"torn_tail_recovered,omitempty"`
+}
+
+// ReplicationInfo snapshots one namespace's WAL-shipping state on a
+// follower (GET /stats "replication" block).
+type ReplicationInfo struct {
+	// Role is "follower" while tailing a leader, "leader" after promotion.
+	Role string `json:"role"`
+	// Leader is the followed leader's base URL.
+	Leader string `json:"leader,omitempty"`
+	// LastSeq is the newest journal sequence applied locally; LeaderSeq is
+	// the leader's newest sequence as of the last successful poll.
+	LastSeq   uint64 `json:"last_seq"`
+	LeaderSeq uint64 `json:"leader_seq"`
+	// LagRecords is max(0, leader_seq - last_seq); LagMS is how long the
+	// follower has continuously been behind (0 when caught up).
+	LagRecords uint64 `json:"lag_records"`
+	LagMS      int64  `json:"lag_ms"`
+	// Connected reports the last wal poll against the leader succeeded.
+	Connected bool `json:"connected"`
+	// RecordsReplicated counts journal records applied since this process
+	// started following; Resyncs counts snapshot re-bootstraps (cursor fell
+	// behind a leader checkpoint, or a sequence mismatch was detected).
+	RecordsReplicated uint64 `json:"records_replicated"`
+	Resyncs           uint64 `json:"resyncs,omitempty"`
+	// LastError is the most recent replication error, cleared on the next
+	// successful poll.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ReplicationManifest is the body of GET /v1/replication/manifest: every
+// persisted namespace a follower should tail, sorted by name.
+type ReplicationManifest struct {
+	Namespaces []ReplicaNamespace `json:"namespaces"`
+}
+
+// ReplicaNamespace is one manifest entry: enough for a follower to decide
+// between journal tailing (local seq ≥ checkpoint_seq) and a snapshot
+// bootstrap.
+type ReplicaNamespace struct {
+	Name string `json:"name"`
+	// Spec is the canonical namespace spec from the leader's manifest.
+	Spec string `json:"spec"`
+	// LastSeq is the newest journaled sequence; CheckpointSeq is the highest
+	// sequence compacted into the checkpoint (records at or below it are no
+	// longer tailable).
+	LastSeq       uint64 `json:"last_seq"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Epoch is the namespace's mutation epoch at manifest time.
+	Epoch uint64 `json:"epoch"`
+}
+
+// PromoteResponse is the body of a successful POST /v1/admin/promote.
+type PromoteResponse struct {
+	Promoted bool `json:"promoted"`
+	// Namespaces lists the tenants whose journal tails were sealed and
+	// fsynced before writes were enabled, sorted by name.
+	Namespaces []string `json:"namespaces"`
 }
 
 // GraphInfo describes the served cluster.
