@@ -104,6 +104,9 @@ func main() {
 		follow      = flag.String("follow", envCfg.FollowURL, "leader base URL (host:port or http://...): run as a read-only replica that bootstraps and tails every namespace the leader persists; writes answer 403 until POST /v1/admin/promote (STWIGD_FOLLOW)")
 		ckptEvery   = flag.Int("checkpoint-every", intOr(envCfg.CheckpointEvery, 256), "journaled update batches between checkpoint/compaction cycles")
 		jrnlFsync   = flag.Bool("journal-fsync", !envCfg.JournalNoSync, "fsync the journal before applying each batch (disabling voids crash durability)")
+		gcWindow    = flag.Duration("group-commit-window", envCfg.GroupCommitWindow, "how long the dispatcher lingers collecting concurrent updates to share one journal fsync (0 = coalesce only what is already queued; STWIGD_GROUP_COMMIT_WINDOW)")
+		gcBatches   = flag.Int("group-commit-batches", intOr(envCfg.GroupCommitBatches, 8), "max journal records sharing one fsync window (STWIGD_GROUP_COMMIT_BATCHES)")
+		jrnlAlign   = flag.Int64("journal-align", int64Or(envCfg.JournalAlign, 4096), "pad journal fsyncs to this block alignment in bytes; 1 disables (STWIGD_JOURNAL_ALIGN)")
 		slowQuery   = flag.Duration("slow-query", envCfg.SlowQuery, "log a Warn-level span breakdown for queries whose execution exceeds this duration (0 disables; STWIGD_SLOW_QUERY)")
 		logLevel    = flag.String("log-level", "info", "minimum request-log level: debug, info, warn, or error")
 		logJSON     = flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
@@ -157,6 +160,9 @@ func main() {
 			FollowURL:            *follow,
 			CheckpointEvery:      *ckptEvery,
 			JournalNoSync:        !*jrnlFsync,
+			GroupCommitWindow:    *gcWindow,
+			GroupCommitBatches:   *gcBatches,
+			JournalAlign:         *jrnlAlign,
 			SlowQuery:            *slowQuery,
 			Logger:               logger,
 		},
@@ -202,6 +208,13 @@ func intOr(v, def int) int {
 }
 
 func durOr(v, def time.Duration) time.Duration {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+func int64Or(v, def int64) int64 {
 	if v != 0 {
 		return v
 	}

@@ -40,6 +40,15 @@ const seqSize = 8
 // a flipped bit in the length field must never OOM the scanner.
 const MaxPayload = 1 << 26 // 64 MiB
 
+// FrameOverhead is the fixed per-record cost on disk beyond the body:
+// the frame header (payload length + CRC) plus the sequence number.
+const FrameOverhead = frameHeaderSize + seqSize
+
+// DefaultAlign is the file alignment Sync pads to unless SetAlign
+// overrides it: one 4 KiB block, the smallest write most flash devices
+// accept without a read-modify-write cycle.
+const DefaultAlign = 4096
+
 // Record is one decoded journal entry.
 type Record struct {
 	// Seq is the writer-assigned sequence number. Within one journal file
@@ -144,15 +153,29 @@ func ScanFile(path string) ([]Record, ScanReport, error) {
 	return Scan(f)
 }
 
-// Writer appends framed records to a journal file. It is not safe for
-// concurrent use; stwigd's per-namespace dispatcher is the single writer by
-// construction.
+// Writer appends framed records to a journal file. Appends accumulate in
+// memory; Flush writes them with one positional write, and Sync
+// additionally pads the file to the configured alignment before fsyncing,
+// so device writes are sequential, batched, and block-sized (group
+// commit). It is not safe for concurrent use; stwigd's per-namespace
+// dispatcher is the single writer by construction.
+//
+// Alignment padding is zero bytes past the last frame. A zero payload
+// length is below the scanner's minimum, so a crash that leaves padding
+// behind scans as a torn tail and recovery truncates it — the committed
+// prefix is unaffected. While the writer is live the padding is
+// transient: the next Flush overwrites it in place (writes are
+// positional, at the logical end, not the file end), and Close trims the
+// file back to the logical size so at-rest journals contain only frames.
 type Writer struct {
 	f       *os.File
 	path    string
 	nextSeq uint64
-	size    int64
-	buf     bytes.Buffer
+	size    int64 // logical end: flushed bytes + pending bytes
+	flushed int64 // bytes of frames written to the file
+	phys    int64 // current file length (flushed frames + padding)
+	align   int64 // Sync pads the file length to a multiple of this
+	pending bytes.Buffer
 }
 
 // OpenWriter opens (creating if needed) the journal at path for appending.
@@ -188,39 +211,88 @@ func OpenWriter(path string, committed int64, nextSeq uint64) (*Writer, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Writer{f: f, path: path, nextSeq: nextSeq, size: committed}, nil
+	return &Writer{
+		f: f, path: path, nextSeq: nextSeq,
+		size: committed, flushed: committed, phys: committed,
+		align: DefaultAlign,
+	}, nil
 }
 
-// Append frames body and writes it, returning the record's sequence number.
-// The write is buffered by the OS until Sync; callers needing durability
-// must call Sync before acting on the record.
+// SetAlign sets the file alignment Sync pads to. Values below one disable
+// padding. Call before the first Sync; changing it later is safe but
+// leaves previously written padding in place until the next Flush or
+// Close overwrites or trims it.
+func (w *Writer) SetAlign(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	w.align = n
+}
+
+// Append frames body into the writer's pending buffer and returns the
+// record's sequence number. No I/O happens here: the frame reaches the
+// file on the next Flush (or Sync), and callers needing durability must
+// call Sync before acting on the record.
 func (w *Writer) Append(body []byte) (uint64, error) {
 	if len(body) > MaxPayload-seqSize {
 		return 0, fmt.Errorf("journal: record body %d bytes exceeds MaxPayload", len(body))
 	}
 	seq := w.nextSeq
-	w.buf.Reset()
-	var scratch [frameHeaderSize + seqSize]byte
+	var scratch [FrameOverhead]byte
 	payloadLen := uint32(seqSize + len(body))
 	binary.LittleEndian.PutUint64(scratch[frameHeaderSize:], seq)
 	crc := crc32.ChecksumIEEE(scratch[frameHeaderSize:])
 	crc = crc32.Update(crc, crc32.IEEETable, body)
 	binary.LittleEndian.PutUint32(scratch[0:4], payloadLen)
 	binary.LittleEndian.PutUint32(scratch[4:8], crc)
-	w.buf.Write(scratch[:])
-	w.buf.Write(body)
-	// One write syscall per frame: a crash can only leave a prefix of the
-	// frame behind, which the scanner's torn-tail handling discards.
-	if _, err := w.f.Write(w.buf.Bytes()); err != nil {
-		return 0, fmt.Errorf("journal: append: %w", err)
-	}
+	w.pending.Write(scratch[:])
+	w.pending.Write(body)
 	w.nextSeq++
-	w.size += int64(w.buf.Len())
+	w.size += FrameOverhead + int64(len(body))
 	return seq, nil
 }
 
-// Sync flushes appended frames to stable storage (fsync).
+// Flush writes every pending frame with one positional write at the
+// logical end of the journal (overwriting any alignment padding a
+// previous Sync left there). On failure the pending buffer is retained —
+// the file may hold a partial frame past the flushed prefix, which the
+// scanner treats as a torn tail and a later Flush overwrites.
+func (w *Writer) Flush() error {
+	if w.pending.Len() == 0 {
+		return nil
+	}
+	n, err := w.f.WriteAt(w.pending.Bytes(), w.flushed)
+	if w.flushed+int64(n) > w.phys {
+		w.phys = w.flushed + int64(n)
+	}
+	if err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	w.flushed += int64(n)
+	w.pending.Reset()
+	return nil
+}
+
+// Sync makes every appended frame durable: flush the pending buffer, pad
+// the file with zeros to the configured alignment (so the device sees
+// block-sized sequential writes; zero padding scans as a torn tail and is
+// truncated at recovery), then fsync. One Sync covers every record
+// appended since the last one — the group-commit durability point.
 func (w *Writer) Sync() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if w.align > 1 {
+		if target := (w.flushed + w.align - 1) / w.align * w.align; target > w.phys {
+			// Padding is a device-write optimization: if it fails the fsync
+			// below still commits every frame, so the error is not fatal.
+			if pn, err := w.f.WriteAt(make([]byte, target-w.phys), w.phys); err == nil {
+				w.phys = target
+			} else {
+				w.phys += int64(pn)
+			}
+		}
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
@@ -244,12 +316,23 @@ type Mark struct {
 // Mark captures the current committed position.
 func (w *Writer) Mark() Mark { return Mark{size: w.size, nextSeq: w.nextSeq} }
 
-// Rollback truncates the journal back to m, undoing every append since it
-// was captured — including a partial write a failed append left behind —
-// and restores the sequence counter so the next record reuses the rolled-
-// back numbers. The truncation is fsynced: after Rollback returns nil, a
-// crash cannot resurrect the discarded records.
+// Rollback discards every append since m was captured and restores the
+// sequence counter so the next record reuses the rolled-back numbers. If
+// the discarded records were never flushed this is a pure buffer
+// truncation with no I/O; otherwise the file is truncated back to m and
+// the truncation fsynced, so after Rollback returns nil a crash cannot
+// resurrect the discarded records.
 func (w *Writer) Rollback(m Mark) error {
+	if m.size >= w.flushed {
+		// Everything past m is still in the pending buffer (plus, possibly,
+		// a torn partial frame a failed Flush left on disk — harmless: the
+		// scanner stops before it and the next Flush overwrites it).
+		w.pending.Truncate(int(m.size - w.flushed))
+		w.size = m.size
+		w.nextSeq = m.nextSeq
+		return nil
+	}
+	w.pending.Reset()
 	if err := w.f.Truncate(m.size); err != nil {
 		return fmt.Errorf("journal: rollback: %w", err)
 	}
@@ -260,6 +343,8 @@ func (w *Writer) Rollback(m Mark) error {
 		return fmt.Errorf("journal: rollback: %w", err)
 	}
 	w.size = m.size
+	w.flushed = m.size
+	w.phys = m.size
 	w.nextSeq = m.nextSeq
 	return nil
 }
@@ -270,6 +355,7 @@ func (w *Writer) Rollback(m Mark) error {
 // below it, so a crash between checkpoint publication and this truncation
 // cannot double-apply.
 func (w *Writer) Reset() error {
+	w.pending.Reset()
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("journal: reset: %w", err)
 	}
@@ -280,8 +366,25 @@ func (w *Writer) Reset() error {
 		return err
 	}
 	w.size = 0
+	w.flushed = 0
+	w.phys = 0
 	return nil
 }
 
-// Close closes the underlying file. Append/Sync after Close fail.
-func (w *Writer) Close() error { return w.f.Close() }
+// Close flushes any pending frames (without fsyncing them — durability is
+// Sync's job), trims alignment padding so the at-rest file contains only
+// frames, and closes the underlying file. Append/Sync after Close fail.
+func (w *Writer) Close() error {
+	err := w.Flush()
+	if w.phys > w.flushed {
+		if terr := w.f.Truncate(w.flushed); terr == nil {
+			w.phys = w.flushed
+		} else if err == nil {
+			err = fmt.Errorf("journal: close: %w", terr)
+		}
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -379,19 +379,43 @@ func (c *Client) Explain(ctx context.Context, req server.QueryRequest) (*server.
 // clear and is surfaced verbatim, as is any other failure and a transient
 // 503 that outlives the budget.
 func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.UpdateResponse, error) {
+	var out server.UpdateResponse
+	if err := c.postUpdateRetry(ctx, c.base+"/update", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BulkUpdate applies a batch of mutations in ONE round trip and ONE
+// durability window: the server journals the whole array as a single
+// record and fsyncs once, so a client with N pending writes pays one disk
+// sync instead of N. Per-item conflicts do not fail the call — inspect
+// BulkUpdateResponse.Results (one slot per input, in order) and Conflicts.
+// Transient 503 refusals are retried exactly like Update.
+func (c *Client) BulkUpdate(ctx context.Context, updates []server.UpdateRequest) (*server.BulkUpdateResponse, error) {
+	var out server.BulkUpdateResponse
+	if err := c.postUpdateRetry(ctx, c.base+"/update/bulk", server.BulkUpdateRequest{Updates: updates}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// postUpdateRetry runs the shared 503-retry loop for the update endpoints
+// and decodes the 200 body into out.
+func (c *Client) postUpdateRetry(ctx context.Context, url string, body, out any) error {
 	// One trace ID covers every attempt: retries of the same logical update
 	// show up in the server log as repeated lines under a single trace_id.
 	trace := traceFor(ctx)
 	for attempt := 0; ; attempt++ {
-		resp, err := c.postJSON(ctx, c.base+"/update", req, withTrace(trace))
+		resp, err := c.postJSON(ctx, url, body, withTrace(trace))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.updateRetries {
 			serr := statusError(resp) // drains and closes the body
 			se, ok := serr.(*StatusError)
 			if !ok || se.RetryAfter <= 0 {
-				return nil, serr
+				return serr
 			}
 			c.logger.Debug("stwigd update busy, retrying",
 				"trace_id", trace,
@@ -399,7 +423,7 @@ func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.
 				"retries_left", c.updateRetries-attempt,
 				"retry_after", se.RetryAfter)
 			if err := sleepRetry(ctx, se.RetryAfter, c.updateRetryWait); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
@@ -408,11 +432,7 @@ func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.
 				"trace_id", trace,
 				"attempts", attempt+1)
 		}
-		var out server.UpdateResponse
-		if err := decodeJSON(resp, &out); err != nil {
-			return nil, err
-		}
-		return &out, nil
+		return decodeJSON(resp, out)
 	}
 }
 

@@ -20,9 +20,9 @@ func coalesceEngine(t *testing.T) *core.Engine {
 	return core.NewEngine(c, core.Options{})
 }
 
-// jobOf wraps a mutation as a queued job with a buffered rendezvous.
+// jobOf wraps a single mutation as a queued job with a buffered rendezvous.
 func jobOf(mut memcloud.Mutation) *updateJob {
-	return &updateJob{mut: mut, enq: time.Now(), done: make(chan updateJobResult, 1)}
+	return &updateJob{muts: []memcloud.Mutation{mut}, enq: time.Now(), done: make(chan updateJobResult, 1)}
 }
 
 func addE(u, v graph.NodeID) memcloud.Mutation {
@@ -69,8 +69,8 @@ func TestCoalesceBatchUnit(t *testing.T) {
 				if muts[out] != tc.muts[in] {
 					t.Fatalf("survivor %d = %+v, want original %d (%+v)", out, muts[out], in, tc.muts[in])
 				}
-				if mutIdx[in] != out {
-					t.Fatalf("job %d maps to %d, want %d", in, mutIdx[in], out)
+				if mutIdx[in][0] != out {
+					t.Fatalf("job %d maps to %d, want %d", in, mutIdx[in][0], out)
 				}
 			}
 			for i := range batch {
@@ -80,8 +80,8 @@ func TestCoalesceBatchUnit(t *testing.T) {
 						kept = true
 					}
 				}
-				if !kept && mutIdx[i] != -1 {
-					t.Fatalf("cancelled job %d maps to %d, want -1", i, mutIdx[i])
+				if !kept && mutIdx[i][0] != -1 {
+					t.Fatalf("cancelled job %d maps to %d, want -1", i, mutIdx[i][0])
 				}
 			}
 		})
@@ -135,14 +135,14 @@ func TestUpdateCoalescing(t *testing.T) {
 	j1, j2 := jobOf(addE(u, v)), jobOf(rmE(u, v))
 	p.apply([]*updateJob{j1, j2})
 	r1, r2 := <-j1.done, <-j2.done
-	if r1.err != nil || r2.err != nil || r1.res.Err != nil || r2.res.Err != nil {
+	if r1.err != nil || r2.err != nil || r1.res[0].Err != nil || r2.res[0].Err != nil {
 		t.Fatalf("fresh coalesced pair must succeed: %+v / %+v", r1, r2)
 	}
 	if cluster.Epoch() != epochBefore {
 		t.Fatalf("fully-annihilated batch moved the epoch %d → %d", epochBefore, cluster.Epoch())
 	}
-	if r1.res.Epoch != epochBefore || r2.res.Epoch != epochBefore {
-		t.Fatalf("coalesced results report epochs %d/%d, want %d", r1.res.Epoch, r2.res.Epoch, epochBefore)
+	if r1.res[0].Epoch != epochBefore || r2.res[0].Epoch != epochBefore {
+		t.Fatalf("coalesced results report epochs %d/%d, want %d", r1.res[0].Epoch, r2.res[0].Epoch, epochBefore)
 	}
 	if cell, _ := cluster.Load(0, u); hasNeighbor(cell, v) {
 		t.Fatalf("edge (%d,%d) exists after an annihilated batch", u, v)
@@ -154,14 +154,14 @@ func TestUpdateCoalescing(t *testing.T) {
 	// Case 2: make (u,v) real, then send add+remove of it in one batch.
 	j := jobOf(addE(u, v))
 	p.apply([]*updateJob{j})
-	if r := <-j.done; r.err != nil || r.res.Err != nil {
+	if r := <-j.done; r.err != nil || r.res[0].Err != nil {
 		t.Fatalf("priming edge: %+v", r)
 	}
 	epochBefore = cluster.Epoch()
 	j1, j2 = jobOf(addE(u, v)), jobOf(rmE(u, v))
 	p.apply([]*updateJob{j1, j2})
 	r1, r2 = <-j1.done, <-j2.done
-	if r1.err != nil || r2.err != nil || r1.res.Err != nil || r2.res.Err != nil {
+	if r1.err != nil || r2.err != nil || r1.res[0].Err != nil || r2.res[0].Err != nil {
 		t.Fatalf("coalesced pair over an existing edge must (optimistically) succeed: %+v / %+v", r1, r2)
 	}
 	if cell, _ := cluster.Load(0, u); !hasNeighbor(cell, v) {
@@ -178,15 +178,15 @@ func TestUpdateCoalescing(t *testing.T) {
 	j2 = jobOf(rmE(u, v)) // cancels j1
 	p.apply([]*updateJob{j1, jn, j2})
 	r1, rn, r2 := <-j1.done, <-jn.done, <-j2.done
-	if r1.err != nil || rn.err != nil || r2.err != nil || rn.res.Err != nil {
+	if r1.err != nil || rn.err != nil || r2.err != nil || rn.res[0].Err != nil {
 		t.Fatalf("rider batch: %+v / %+v / %+v", r1, rn, r2)
 	}
-	if rn.res.NodeID != graph.NodeID(nodesBefore) {
-		t.Fatalf("rider add_node got ID %d, want %d", rn.res.NodeID, nodesBefore)
+	if rn.res[0].NodeID != graph.NodeID(nodesBefore) {
+		t.Fatalf("rider add_node got ID %d, want %d", rn.res[0].NodeID, nodesBefore)
 	}
 	// Cancelled jobs report the batch's final epoch — the rider's.
-	if r1.res.Epoch != rn.res.Epoch || r2.res.Epoch != rn.res.Epoch {
-		t.Fatalf("cancelled jobs report epochs %d/%d, rider applied at %d", r1.res.Epoch, r2.res.Epoch, rn.res.Epoch)
+	if r1.res[0].Epoch != rn.res[0].Epoch || r2.res[0].Epoch != rn.res[0].Epoch {
+		t.Fatalf("cancelled jobs report epochs %d/%d, rider applied at %d", r1.res[0].Epoch, r2.res[0].Epoch, rn.res[0].Epoch)
 	}
 	if st := p.stats(); st.Coalesced != 6 || st.Applied != 2 {
 		t.Fatalf("final stats %+v, want coalesced=6 applied=2", st)

@@ -32,6 +32,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"stwig/internal/journal"
 )
 
 // DefaultNamespace is the tenant the legacy unprefixed routes (/query,
@@ -107,6 +109,24 @@ type Config struct {
 	// crash may then lose acknowledged updates, voiding the recovery
 	// contract the crash tests pin.
 	JournalNoSync bool
+	// GroupCommitWindow is how long the update dispatcher lingers after the
+	// first queued batch arrives, gathering more batches so they all share
+	// one journal fsync (default 0: no deliberate wait — the dispatcher
+	// still opportunistically drains everything already queued into the
+	// shared fsync window, which is where group commit's win comes from
+	// under load). A positive window trades that much ack latency for
+	// fewer fsyncs on slow devices.
+	GroupCommitWindow time.Duration
+	// GroupCommitBatches caps how many coalesced batches (journal records)
+	// one shared fsync may cover (default 8). Bounds both the work a
+	// single writer window holds readers out for and the loss radius of
+	// one failed fsync, which fails every batch in its window.
+	GroupCommitBatches int
+	// JournalAlign is the block alignment journal fsyncs pad the file to
+	// (default 4096, one flash block; 1 disables padding). Padding is
+	// zeros past the last frame — recovery truncates it as a torn tail
+	// and closed journals are trimmed, so only live files carry it.
+	JournalAlign int64
 	// FollowURL, when non-empty, starts the server as a read-only follower
 	// of the leader at this base URL: on boot the replicator fetches the
 	// leader's replication manifest, bootstraps each listed namespace (from
@@ -164,6 +184,12 @@ func (cfg Config) normalize() Config {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 256
 	}
+	if cfg.GroupCommitBatches == 0 {
+		cfg.GroupCommitBatches = 8
+	}
+	if cfg.JournalAlign == 0 {
+		cfg.JournalAlign = journal.DefaultAlign
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -213,6 +239,15 @@ func (cfg Config) Validate() error {
 	if cfg.CheckpointEvery < 1 {
 		return fmt.Errorf("server: CheckpointEvery %d < 1", cfg.CheckpointEvery)
 	}
+	if cfg.GroupCommitWindow < 0 {
+		return fmt.Errorf("server: GroupCommitWindow %v < 0", cfg.GroupCommitWindow)
+	}
+	if cfg.GroupCommitBatches < 1 {
+		return fmt.Errorf("server: GroupCommitBatches %d < 1", cfg.GroupCommitBatches)
+	}
+	if cfg.JournalAlign < 1 {
+		return fmt.Errorf("server: JournalAlign %d < 1", cfg.JournalAlign)
+	}
 	if cfg.SlowQuery < 0 {
 		return fmt.Errorf("server: SlowQuery %v < 0", cfg.SlowQuery)
 	}
@@ -250,6 +285,9 @@ func (cfg Config) Validate() error {
 //	STWIGD_FOLLOW             url       leader base URL; start as a read-only WAL-shipping follower
 //	STWIGD_CHECKPOINT_EVERY   int       journaled batches between checkpoint/compaction cycles
 //	STWIGD_JOURNAL_FSYNC      bool      false skips the per-batch fsync (crash durability lost)
+//	STWIGD_GROUP_COMMIT_WINDOW  duration  linger gathering batches into one shared fsync (0 = opportunistic only)
+//	STWIGD_GROUP_COMMIT_BATCHES int       max journal records one shared fsync may cover
+//	STWIGD_JOURNAL_ALIGN      int       block alignment fsyncs pad the journal to (1 disables)
 //	STWIGD_SLOW_QUERY         duration  span-breakdown log threshold for slow queries (0 disables)
 func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	if lookup == nil {
@@ -321,6 +359,9 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 		cfg.FollowURL = v
 	}
 	envInt("STWIGD_CHECKPOINT_EVERY", &cfg.CheckpointEvery)
+	envDur("STWIGD_GROUP_COMMIT_WINDOW", &cfg.GroupCommitWindow)
+	envInt("STWIGD_GROUP_COMMIT_BATCHES", &cfg.GroupCommitBatches)
+	envInt64("STWIGD_JOURNAL_ALIGN", &cfg.JournalAlign)
 	envDur("STWIGD_SLOW_QUERY", &cfg.SlowQuery)
 	fsync := !cfg.JournalNoSync
 	envBool("STWIGD_JOURNAL_FSYNC", &fsync)

@@ -148,11 +148,11 @@ type replicator struct {
 func newReplicator(s *Server, leader string) *replicator {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &replicator{
-		s:      s,
-		leader: leader,
-		hc:     &http.Client{}, // no client timeout: long-polls outlive any sane one; ctx bounds everything
-		ctx:    ctx,
-		cancel: cancel,
+		s:       s,
+		leader:  leader,
+		hc:      &http.Client{}, // no client timeout: long-polls outlive any sane one; ctx bounds everything
+		ctx:     ctx,
+		cancel:  cancel,
 		tracked: map[string]*replState{},
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -113,6 +115,147 @@ func lintExposition(t *testing.T, text string) {
 	if len(declaredType) == 0 {
 		t.Fatal("no metric families in exposition")
 	}
+	lintHistogramContract(t, text, declaredType)
+}
+
+// parseSample splits one exposition sample line into its metric name, label
+// map, and value. ok is false for lines that do not parse as samples.
+func parseSample(line string) (name string, labels map[string]string, value float64, ok bool) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, false
+		}
+		for _, pair := range strings.Split(rest[i+1:end], ",") {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				return "", nil, 0, false
+			}
+			labels[k] = strings.Trim(v, `"`)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var found bool
+		name, rest, found = strings.Cut(rest, " ")
+		if !found {
+			return "", nil, 0, false
+		}
+	}
+	var v float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(rest), "%g", &v); err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// labelKey canonicalizes a label set (minus le) for grouping a histogram's
+// series.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// lintHistogramContract enforces the cumulative-histogram contract on every
+// _bucket family: within one label set, bucket counts must be monotone
+// non-decreasing in le order, an le="+Inf" bucket must exist, and it must
+// equal the family's _count sample — the invariants PromQL's
+// histogram_quantile silently mis-answers under when violated (and exactly
+// the bug a per-bucket, non-cumulative emission introduces).
+func lintHistogramContract(t *testing.T, text string, declaredType map[string]string) {
+	t.Helper()
+	type series struct {
+		les  []float64
+		cnts []float64
+	}
+	buckets := map[string]map[string]*series{} // family → labelKey → series
+	counts := map[string]map[string]float64{}  // family → labelKey → _count
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, v, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		if base := strings.TrimSuffix(name, "_bucket"); base != name && declaredType[base] == "histogram" {
+			le, okLe := labels["le"]
+			if !okLe {
+				t.Errorf("%s sample without an le label: %q", name, line)
+				continue
+			}
+			leV := math.Inf(1)
+			if le != "+Inf" {
+				if _, err := fmt.Sscanf(le, "%g", &leV); err != nil {
+					t.Errorf("%s: unparsable le %q", name, le)
+					continue
+				}
+			}
+			if buckets[base] == nil {
+				buckets[base] = map[string]*series{}
+			}
+			key := labelKey(labels)
+			s := buckets[base][key]
+			if s == nil {
+				s = &series{}
+				buckets[base][key] = s
+			}
+			s.les = append(s.les, leV)
+			s.cnts = append(s.cnts, v)
+		}
+		if base := strings.TrimSuffix(name, "_count"); base != name && declaredType[base] == "histogram" {
+			if counts[base] == nil {
+				counts[base] = map[string]float64{}
+			}
+			counts[base][labelKey(labels)] = v
+		}
+	}
+	if len(buckets) == 0 {
+		t.Error("no histogram _bucket families in exposition")
+	}
+	for family, byLabels := range buckets {
+		for key, s := range byLabels {
+			order := make([]int, len(s.les))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return s.les[order[a]] < s.les[order[b]] })
+			last := math.Inf(-1)
+			prev := -1.0
+			for _, i := range order {
+				if s.cnts[i] < prev {
+					t.Errorf("%s{%s}: bucket le=%g count %g < le=%g count %g — not cumulative",
+						family, key, s.les[i], s.cnts[i], last, prev)
+				}
+				prev, last = s.cnts[i], s.les[i]
+			}
+			if !math.IsInf(last, 1) {
+				t.Errorf("%s{%s}: no le=\"+Inf\" bucket", family, key)
+				continue
+			}
+			cnt, okCnt := counts[family][key]
+			if !okCnt {
+				t.Errorf("%s{%s}: buckets without a _count sample", family, key)
+				continue
+			}
+			if prev != cnt {
+				t.Errorf("%s{%s}: le=\"+Inf\" bucket %g != _count %g", family, key, prev, cnt)
+			}
+		}
+	}
 }
 
 // TestMetricsExpositionLint lints a populated scrape: after traffic on two
@@ -135,6 +278,16 @@ func TestMetricsExpositionLint(t *testing.T) {
 			t.Fatal(err)
 		}
 		if _, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		// A bulk update lands a multi-mutation batch in a higher batch-size
+		// bucket, so the cumulative-histogram contract check below sees a
+		// distribution with more than the first bucket populated.
+		if _, err := c.BulkUpdate(context.Background(), []server.UpdateRequest{
+			{Op: server.OpAddNode, Label: "y"},
+			{Op: server.OpAddNode, Label: "z"},
+			{Op: server.OpAddNode, Label: "w"},
+		}); err != nil {
 			t.Fatal(err)
 		}
 	}

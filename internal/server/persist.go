@@ -25,9 +25,12 @@ import (
 //	<data-dir>/ns/<name>/journal.wal      batches applied since the checkpoint
 //
 // The write path is LogBase-shaped: the dispatcher appends each coalesced
-// batch to the namespace's journal and fsyncs BEFORE ApplyBatch touches the
-// in-memory cluster, so a crash at any instant loses at most un-acked
-// work — never an acknowledged mutation. Recovery re-creates each manifest
+// batch to the namespace's journal and the batch's covering fsync lands
+// BEFORE ApplyBatch touches the in-memory cluster, so a crash at any
+// instant loses at most un-acked work — never an acknowledged mutation.
+// Group commit shares that fsync: a writer window may append several
+// records (appendRecord) and make them all durable with one syncWindow
+// before any of them is applied or acked. Recovery re-creates each manifest
 // namespace (from its checkpoint when one exists, else by rebuilding its
 // spec), replays the journal records past the checkpoint's sequence number,
 // and truncates any torn tail a mid-append crash left behind. Periodic
@@ -277,6 +280,12 @@ type nsStorage struct {
 	w       *journal.Writer
 	cluster *memcloud.Cluster
 
+	// Window accounting for records appended but not yet covered by a
+	// syncWindow. Dispatcher-only, like w — no lock needed.
+	winRecords int
+	winBytes   uint64
+	winLastSeq uint64
+
 	mu        sync.Mutex
 	info      JournalInfo
 	sinceCkpt int
@@ -296,18 +305,33 @@ type nsStorage struct {
 var errJournalFailed = errors.New("journal failed; namespace is read-only until restart")
 
 // appendBatch journals one coalesced batch and (unless JournalNoSync)
-// fsyncs it — the durability point every acknowledged mutation sits behind.
-// The dispatcher is the only caller, so the Writer needs no lock of its
-// own; st.mu guards only the counters, and crucially is NOT held across
-// the fsync — /stats must never stall behind disk latency.
-// A failed append (write error, fsync error) rolls the journal back to the
-// pre-append position: the record's batch is never applied, so leaving it
-// in the WAL would make a future replay apply a batch the live graph never
-// saw — shifting every later vertex ID. If even the rollback fails, the
-// namespace's write path is fail-stopped (errJournalFailed) rather than
-// left to diverge. The returned mark lets the caller roll the record back
-// itself when the batch fails AFTER journaling (an ApplyBatch panic).
+// fsyncs it — a single-record writer window: appendRecord + syncWindow.
+// Used by callers outside the group-commit dispatcher (the replication
+// follower, tests); the dispatcher calls the two phases itself so several
+// records can share one syncWindow.
 func (st *nsStorage) appendBatch(muts []memcloud.Mutation) (journal.Mark, error) {
+	mark, err := st.appendRecord(muts)
+	if err != nil {
+		return mark, err
+	}
+	if err := st.syncWindow(mark); err != nil {
+		return mark, err
+	}
+	return mark, nil
+}
+
+// appendRecord frames one coalesced batch into the journal's pending
+// buffer. Nothing is durable — or visible to /stats, wal tailers, or
+// appendWait — until a covering syncWindow: publishing a sequence number
+// before its fsync would let a follower replicate a record the leader may
+// yet roll back. A failed append rolls the journal back to the
+// pre-append position (a pure buffer truncation here, since the record
+// was never flushed): the record's batch is never applied, so leaving it
+// in the WAL would make a future replay apply a batch the live graph
+// never saw — shifting every later vertex ID. The returned mark lets the
+// caller roll the record back itself when the batch fails AFTER
+// journaling (an ApplyBatch panic).
+func (st *nsStorage) appendRecord(muts []memcloud.Mutation) (journal.Mark, error) {
 	mark := st.w.Mark()
 	body, err := journal.EncodeBatch(muts)
 	if err != nil {
@@ -328,24 +352,51 @@ func (st *nsStorage) appendBatch(muts []memcloud.Mutation) (journal.Mark, error)
 		st.rollback(mark)
 		return mark, err
 	}
+	st.winRecords++
+	st.winBytes += uint64(len(body)) + journal.FrameOverhead
+	st.winLastSeq = seq
+	return mark, nil
+}
+
+// syncWindow makes every record appended since start durable with one
+// flush (+ one fsync unless JournalNoSync) — the shared durability point
+// all of the window's acks sit behind — then publishes the counters and
+// wakes wal long-poll waiters. The dispatcher is the only caller, so the
+// Writer needs no lock of its own; st.mu guards only the counters, and
+// crucially is NOT held across the fsync — /stats must never stall
+// behind disk latency. On failure the whole window is rolled back to
+// start: none of its records were applied or acked yet, and a prefix of
+// them surviving to replay would diverge the recovered graph from every
+// answer the server gave. If even the rollback fails, the write path is
+// fail-stopped (errJournalFailed) rather than left to diverge.
+func (st *nsStorage) syncWindow(start journal.Mark) error {
+	if st.winRecords == 0 {
+		return nil
+	}
+	var err error
 	var fsyncs uint64
 	if st.fsync {
-		if err := st.w.Sync(); err != nil {
-			st.rollback(mark)
-			return mark, err
-		}
+		err = st.w.Sync()
 		fsyncs = 1
+	} else {
+		err = st.w.Flush()
+	}
+	records, bytes, lastSeq := st.winRecords, st.winBytes, st.winLastSeq
+	st.winRecords, st.winBytes, st.winLastSeq = 0, 0, 0
+	if err != nil {
+		st.rollback(start)
+		return err
 	}
 	st.mu.Lock()
 	st.info.Fsyncs += fsyncs
-	st.info.Records++
-	st.info.Bytes += uint64(len(body))
-	st.info.LastSeq = seq
+	st.info.Records += uint64(records)
+	st.info.Bytes += bytes
+	st.info.LastSeq = lastSeq
 	st.info.SizeBytes = st.w.Size()
-	st.sinceCkpt++
+	st.sinceCkpt += records
 	st.notifyLocked()
 	st.mu.Unlock()
-	return mark, nil
+	return nil
 }
 
 // notifyLocked wakes every appendWait waiter. Caller holds st.mu.
@@ -720,6 +771,7 @@ func recoverEngineRetry(spec NamespaceSpec, dir string, cfg Config, depth int) (
 	if err != nil {
 		return fail(err)
 	}
+	w.SetAlign(cfg.JournalAlign)
 	// Make the journal's directory entry durable: fsyncing the file alone
 	// does not persist a freshly created name, and a crash could otherwise
 	// vanish a journal whose appends were already acknowledged.
@@ -763,6 +815,7 @@ func (d *dataStore) newNamespaceStorage(spec NamespaceSpec, cluster *memcloud.Cl
 	if err != nil {
 		return nil, err
 	}
+	w.SetAlign(d.cfg.JournalAlign)
 	// Persist the directory entries (ns/<name> and its journal.wal): the
 	// first acknowledged update fsyncs only file CONTENT, so the names
 	// themselves must be durable before any ack can rely on them.

@@ -183,12 +183,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) bool {
 		func(st *nsState) float64 { return float64(st.upd.Coalesced) })
 	perNS("stwig_update_busy_timeouts_total", "counter", "Batches abandoned waiting for the writer window.",
 		func(st *nsState) float64 { return float64(st.upd.BusyTimeouts) })
-	perNS("stwig_update_batches_total", "counter", "Writer windows opened (batches applied).",
+	perNS("stwig_update_journal_failures_total", "counter", "Batches failed because their journal record could not be made durable.",
+		func(st *nsState) float64 { return float64(st.upd.JournalFailures) })
+	perNS("stwig_update_batches_total", "counter", "Batches applied (journal records).",
 		func(st *nsState) float64 { return float64(st.upd.Batches) })
 
-	// Batch-size histogram. BatchSizes is already cumulative with the
-	// unbounded bucket (Le = -1) last, which maps directly onto le="+Inf".
-	// No _sum series: the pipeline does not track the summed batch size.
+	// Batch-size histogram. stats() emits BatchSizes cumulatively with the
+	// unbounded bucket (Le = -1) last, which maps directly onto le="+Inf"
+	// and equals Batches — the _count series below, as the exposition
+	// format requires. No _sum series: the pipeline does not track the
+	// summed batch size.
 	p.family("stwig_update_batch_size", "histogram", "Distribution of applied batch sizes.")
 	for i := range states {
 		st := &states[i]
@@ -225,7 +229,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) bool {
 		}
 		perJournal("stwig_journal_records_total", "counter", "Journal records appended.",
 			func(j *JournalInfo) float64 { return float64(j.Records) })
-		perJournal("stwig_journal_bytes_total", "counter", "Journal payload bytes appended.",
+		perJournal("stwig_journal_bytes_total", "counter", "Journal bytes appended, as framed on disk (body plus record overhead).",
 			func(j *JournalInfo) float64 { return float64(j.Bytes) })
 		perJournal("stwig_journal_fsyncs_total", "counter", "Durability syncs issued for journal appends.",
 			func(j *JournalInfo) float64 { return float64(j.Fsyncs) })

@@ -146,6 +146,10 @@ func NewMulti(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/ns/{ns}/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
 	mux.HandleFunc("GET /v1/wal", s.nsRoute("/wal", s.handleWALTail))
 	mux.HandleFunc("GET /v1/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
+	// Bulk updates are likewise /v1-only: the endpoint arrived with group
+	// commit, after the unversioned surface was frozen.
+	mux.HandleFunc("POST /v1/ns/{ns}/update/bulk", s.nsRoute("/update/bulk", s.handleBulkUpdate))
+	mux.HandleFunc("POST /v1/update/bulk", s.nsRoute("/update/bulk", s.handleBulkUpdate))
 	mux.HandleFunc("GET /v1/replication/manifest", s.instrument("/replication/manifest", s.handleReplicationManifest))
 	mux.HandleFunc("POST /v1/admin/promote", s.instrument("/admin/promote", s.handlePromote))
 	// Unknown paths get the uniform error envelope instead of net/http's
@@ -635,6 +639,32 @@ func (s *Server) writeReadOnly(w http.ResponseWriter) {
 		fmt.Sprintf("read-only follower: send writes to the leader at %s (or promote this replica)", s.repl.leader))
 }
 
+// mutationFromRequest validates one wire-level update and converts it to a
+// store mutation. Obviously-invalid IDs are rejected before they share a
+// batch with other clients' mutations; the store re-validates against the
+// live vertex range under the write lock.
+func mutationFromRequest(req UpdateRequest) (memcloud.Mutation, error) {
+	switch req.Op {
+	case OpAddNode:
+		if req.Label == "" {
+			return memcloud.Mutation{}, fmt.Errorf("add_node requires a label")
+		}
+		return memcloud.Mutation{Op: memcloud.MutAddNode, Label: req.Label}, nil
+	case OpAddEdge, OpRemoveEdge:
+		if req.U < 0 || req.V < 0 {
+			return memcloud.Mutation{}, fmt.Errorf("u and v must be non-negative vertex IDs")
+		}
+		op := memcloud.MutAddEdge
+		if req.Op == OpRemoveEdge {
+			op = memcloud.MutRemoveEdge
+		}
+		return memcloud.Mutation{Op: op, U: graph.NodeID(req.U), V: graph.NodeID(req.V)}, nil
+	default:
+		return memcloud.Mutation{}, fmt.Errorf("unknown op %q (want %s, %s, or %s)",
+			req.Op, OpAddNode, OpAddEdge, OpRemoveEdge)
+	}
+}
+
 func (s *Server) handleUpdate(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
 		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
@@ -650,30 +680,9 @@ func (s *Server) handleUpdate(ns *namespace, rl *requestLog, w http.ResponseWrit
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return true
 	}
-	var mut memcloud.Mutation
-	switch req.Op {
-	case OpAddNode:
-		if req.Label == "" {
-			writeError(w, http.StatusBadRequest, "add_node requires a label")
-			return true
-		}
-		mut = memcloud.Mutation{Op: memcloud.MutAddNode, Label: req.Label}
-	case OpAddEdge, OpRemoveEdge:
-		// Reject obviously-invalid IDs before they share a batch with
-		// other clients' mutations; the store re-validates against the
-		// live vertex range under the write lock.
-		if req.U < 0 || req.V < 0 {
-			writeError(w, http.StatusBadRequest, "u and v must be non-negative vertex IDs")
-			return true
-		}
-		op := memcloud.MutAddEdge
-		if req.Op == OpRemoveEdge {
-			op = memcloud.MutRemoveEdge
-		}
-		mut = memcloud.Mutation{Op: op, U: graph.NodeID(req.U), V: graph.NodeID(req.V)}
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q (want %s, %s, or %s)",
-			req.Op, OpAddNode, OpAddEdge, OpRemoveEdge))
+	mut, err := mutationFromRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return true
 	}
 
@@ -702,20 +711,114 @@ func (s *Server) handleUpdate(ns *namespace, rl *requestLog, w http.ResponseWrit
 		case out.err != nil: // recovered batch panic
 			writeError(w, http.StatusInternalServerError, out.err.Error())
 			return true
-		case out.res.Err != nil:
-			writeError(w, http.StatusConflict, out.res.Err.Error())
+		case out.res[0].Err != nil:
+			writeError(w, http.StatusConflict, out.res[0].Err.Error())
 			return true
 		}
 		rl.wait = time.Duration(out.waitMicros) * time.Microsecond
-		resp := UpdateResponse{Epoch: out.res.Epoch, WaitMicros: out.waitMicros}
-		if out.res.NodeID != graph.InvalidNode {
-			resp.NodeID = int64(out.res.NodeID)
+		resp := UpdateResponse{Epoch: out.res[0].Epoch, WaitMicros: out.waitMicros}
+		if out.res[0].NodeID != graph.InvalidNode {
+			resp.NodeID = int64(out.res[0].NodeID)
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return false
 	case <-r.Context().Done():
 		// The client is gone; the queued mutation may still apply — at
 		// this point it is the dispatcher's, not the request's.
+		return true
+	}
+}
+
+// handleBulkUpdate accepts an array of mutations and enqueues them as ONE
+// dispatcher job: the whole array shares a single journal record and a
+// single durability window, so a client that batches N writes pays one
+// fsync instead of N. Per-item conflicts do not fail the request — the
+// response carries one result slot per input, and Conflicts counts the
+// losers. Queue-level failures (full, draining, closed) fail the request
+// as a whole with the same envelope as /update.
+func (s *Server) handleBulkUpdate(ns *namespace, rl *requestLog, w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	if s.readOnly() {
+		s.writeReadOnly(w)
+		return true
+	}
+	var req BulkUpdateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, ns.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "bulk update requires at least one mutation")
+		return true
+	}
+	if len(req.Updates) > MaxBulkUpdates {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bulk update carries %d mutations; the limit is %d", len(req.Updates), MaxBulkUpdates))
+		return true
+	}
+	muts := make([]memcloud.Mutation, len(req.Updates))
+	for i, u := range req.Updates {
+		mut, err := mutationFromRequest(u)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("updates[%d]: %v", i, err))
+			return true
+		}
+		muts[i] = mut
+	}
+
+	job, full, err := ns.pipe.enqueueMuts(muts)
+	switch {
+	case full:
+		writeRetryError(w, http.StatusServiceUnavailable, CodeQueueFull,
+			fmt.Sprintf("update queue full: namespace %q has %d updates pending; retry", ns.name, ns.cfg.UpdateQueueDepth),
+			ns.cfg.RetryAfter)
+		return true
+	case err != nil: // queue closed: the namespace was dropped
+		writeError(w, http.StatusServiceUnavailable, "namespace is shutting down")
+		return true
+	}
+
+	select {
+	case out := <-job.done:
+		switch {
+		case errors.Is(out.err, errUpdateBusy):
+			writeRetryError(w, http.StatusServiceUnavailable, CodeBusy,
+				"update busy: in-flight queries hold the graph; retry", ns.cfg.RetryAfter)
+			return true
+		case errors.Is(out.err, errUpdateQueueClosed):
+			writeError(w, http.StatusServiceUnavailable, "namespace dropped while the update was queued")
+			return true
+		case out.err != nil: // journal failure or recovered batch panic
+			writeError(w, http.StatusInternalServerError, out.err.Error())
+			return true
+		}
+		rl.wait = time.Duration(out.waitMicros) * time.Microsecond
+		resp := BulkUpdateResponse{
+			Results:    make([]BulkUpdateItem, len(out.res)),
+			Epoch:      out.res[len(out.res)-1].Epoch,
+			WaitMicros: out.waitMicros,
+		}
+		for i, res := range out.res {
+			item := BulkUpdateItem{NodeID: -1}
+			if res.NodeID != graph.InvalidNode {
+				item.NodeID = int64(res.NodeID)
+			}
+			if res.Err != nil {
+				item.Error = res.Err.Error()
+				item.Code = CodeConflict
+				resp.Conflicts++
+			}
+			resp.Results[i] = item
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return false
+	case <-r.Context().Done():
+		// The client is gone; the queued mutations may still apply — at
+		// this point they are the dispatcher's, not the request's.
 		return true
 	}
 }

@@ -164,18 +164,21 @@ func (g *updateGate) unlock() {
 	g.mu.Unlock()
 }
 
-// updateJob is one queued mutation plus its rendezvous with the waiting
-// handler.
+// updateJob is one queued request — a single mutation, or a bulk
+// request's whole mutation array riding one journal record — plus its
+// rendezvous with the waiting handler.
 type updateJob struct {
-	mut  memcloud.Mutation
+	muts []memcloud.Mutation
 	enq  time.Time
 	done chan updateJobResult // buffered: the dispatcher never blocks on it
 }
 
 type updateJobResult struct {
-	res        memcloud.MutationResult
+	// res has one entry per job mutation, in request order (coalesced-away
+	// mutations report success at the batch's final epoch).
+	res        []memcloud.MutationResult
 	waitMicros int64
-	err        error // errUpdateBusy / errUpdateQueueClosed; res.Err carries conflicts
+	err        error // errUpdateBusy / errUpdateQueueClosed; res[i].Err carries conflicts
 }
 
 // batchSizeBuckets are the update pipeline's batch-size histogram upper
@@ -200,20 +203,21 @@ type updatePipeline struct {
 	stop chan struct{}
 	done chan struct{}
 
-	mu           sync.Mutex
-	started      bool
-	closed       bool
-	enqueued     uint64
-	rejectedFull uint64
-	applied      uint64
-	conflicts    uint64
-	coalesced    uint64
-	busyTimeouts uint64
-	batches      uint64
-	maxBatch     int
-	batchSizes   [len(batchSizeBuckets) + 1]uint64
-	waitHist     histogram
-	applyHist    histogram
+	mu              sync.Mutex
+	started         bool
+	closed          bool
+	enqueued        uint64
+	rejectedFull    uint64
+	applied         uint64
+	conflicts       uint64
+	coalesced       uint64
+	busyTimeouts    uint64
+	journalFailures uint64
+	batches         uint64
+	maxBatch        int
+	batchSizes      [len(batchSizeBuckets) + 1]uint64
+	waitHist        histogram
+	applyHist       histogram
 }
 
 func newUpdatePipeline(eng *core.Engine, gate *updateGate, cfg Config, store *nsStorage) *updatePipeline {
@@ -232,7 +236,13 @@ func newUpdatePipeline(eng *core.Engine, gate *updateGate, cfg Config, store *ns
 // returns the job to wait on. The error is errUpdateQueueClosed after close
 // or nil; full reports a queue-full refusal.
 func (p *updatePipeline) enqueue(mut memcloud.Mutation) (job *updateJob, full bool, err error) {
-	job = &updateJob{mut: mut, enq: time.Now(), done: make(chan updateJobResult, 1)}
+	return p.enqueueMuts([]memcloud.Mutation{mut})
+}
+
+// enqueueMuts queues a bulk request's mutation array as one job: the whole
+// array shares one queue slot, one writer window, and one journal record.
+func (p *updatePipeline) enqueueMuts(muts []memcloud.Mutation) (job *updateJob, full bool, err error) {
+	job = &updateJob{muts: muts, enq: time.Now(), done: make(chan updateJobResult, 1)}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -285,9 +295,9 @@ func (p *updatePipeline) run() {
 			return
 		case first = <-p.jobs:
 		}
-		p.apply(p.collect(first))
+		p.applyWindow(p.gather(first), true)
 		if p.store != nil {
-			// Between batches the dispatcher is the only mutator, so the
+			// Between windows the dispatcher is the only mutator, so the
 			// checkpoint snapshot is exactly the state the journal's last
 			// record left — the compaction is loss-free by construction.
 			p.store.maybeCheckpoint()
@@ -296,18 +306,46 @@ func (p *updatePipeline) run() {
 }
 
 // collect forms a batch: the triggering job plus whatever is already queued,
-// up to UpdateBatchMax.
+// up to UpdateBatchMax mutations.
 func (p *updatePipeline) collect(first *updateJob) []*updateJob {
 	batch := []*updateJob{first}
-	for len(batch) < p.cfg.UpdateBatchMax {
+	total := len(first.muts)
+	for total < p.cfg.UpdateBatchMax {
 		select {
 		case j := <-p.jobs:
 			batch = append(batch, j)
+			total += len(j.muts)
 		default:
 			return batch
 		}
 	}
 	return batch
+}
+
+// gather assembles a group-commit window's batches: the triggering batch
+// plus — when GroupCommitWindow is set and the namespace journals — up to
+// GroupCommitBatches-1 more gathered while deliberately lingering, so one
+// fsync covers them all. The linger runs BEFORE the writer window is
+// acquired, so readers are never held out while the dispatcher merely
+// waits for company.
+func (p *updatePipeline) gather(first *updateJob) [][]*updateJob {
+	batches := [][]*updateJob{p.collect(first)}
+	if p.store == nil || p.cfg.GroupCommitWindow <= 0 {
+		return batches
+	}
+	linger := time.NewTimer(p.cfg.GroupCommitWindow)
+	defer linger.Stop()
+	for len(batches) < p.cfg.GroupCommitBatches {
+		select {
+		case j := <-p.jobs:
+			batches = append(batches, p.collect(j))
+		case <-p.stop:
+			return batches
+		case <-linger.C:
+			return batches
+		}
+	}
+	return batches
 }
 
 // coalesceBatch folds the batch before it reaches the journal or the
@@ -325,13 +363,16 @@ func (p *updatePipeline) collect(first *updateJob) []*updateJob {
 // across batches; the common stitch-then-undo flow (the edge is the
 // batch's own) coalesces exactly.
 //
-// It returns the surviving mutations, each job's index into them (-1 for a
-// cancelled job), and how many mutations were cancelled.
-func coalesceBatch(batch []*updateJob) (muts []memcloud.Mutation, mutIdx []int, cancelled int) {
-	mutIdx = make([]int, len(batch))
-	if len(batch) == 1 {
-		mutIdx[0] = 0
-		return []memcloud.Mutation{batch[0].mut}, mutIdx, 0
+// It returns the surviving mutations, each job mutation's index into them
+// (-1 for a cancelled mutation; mutIdx[job][k] maps batch[job].muts[k]),
+// and how many mutations were cancelled. Pairing crosses job boundaries in
+// flattened batch order, so a bulk job's internal toggles and a toggle
+// split across two queued singles coalesce identically.
+func coalesceBatch(batch []*updateJob) (muts []memcloud.Mutation, mutIdx [][]int, cancelled int) {
+	mutIdx = make([][]int, len(batch))
+	if len(batch) == 1 && len(batch[0].muts) == 1 {
+		mutIdx[0] = []int{0}
+		return batch[0].muts, mutIdx, 0
 	}
 	type edgeKey [2]graph.NodeID
 	keyOf := func(m memcloud.Mutation) edgeKey {
@@ -341,66 +382,102 @@ func coalesceBatch(batch []*updateJob) (muts []memcloud.Mutation, mutIdx []int, 
 		}
 		return edgeKey{u, v}
 	}
-	dead := make([]bool, len(batch))
+	total := 0
+	for _, j := range batch {
+		total += len(j.muts)
+	}
+	dead := make([]bool, total)
 	var pendingAdds map[edgeKey][]int
-	for i, j := range batch {
-		switch j.mut.Op {
-		case memcloud.MutAddEdge:
-			if pendingAdds == nil {
-				pendingAdds = make(map[edgeKey][]int)
+	fi := 0
+	for _, j := range batch {
+		for _, m := range j.muts {
+			switch m.Op {
+			case memcloud.MutAddEdge:
+				if pendingAdds == nil {
+					pendingAdds = make(map[edgeKey][]int)
+				}
+				k := keyOf(m)
+				pendingAdds[k] = append(pendingAdds[k], fi)
+			case memcloud.MutRemoveEdge:
+				k := keyOf(m)
+				if s := pendingAdds[k]; len(s) > 0 {
+					ai := s[len(s)-1]
+					pendingAdds[k] = s[:len(s)-1]
+					dead[ai], dead[fi] = true, true
+					cancelled += 2
+				}
 			}
-			k := keyOf(j.mut)
-			pendingAdds[k] = append(pendingAdds[k], i)
-		case memcloud.MutRemoveEdge:
-			k := keyOf(j.mut)
-			if s := pendingAdds[k]; len(s) > 0 {
-				ai := s[len(s)-1]
-				pendingAdds[k] = s[:len(s)-1]
-				dead[ai], dead[i] = true, true
-				cancelled += 2
-			}
+			fi++
 		}
 	}
-	for i, j := range batch {
-		if dead[i] {
-			mutIdx[i] = -1
-			continue
+	fi = 0
+	for bi, j := range batch {
+		idx := make([]int, len(j.muts))
+		for k, m := range j.muts {
+			if dead[fi] {
+				idx[k] = -1
+			} else {
+				idx[k] = len(muts)
+				muts = append(muts, m)
+			}
+			fi++
 		}
-		mutIdx[i] = len(muts)
-		muts = append(muts, j.mut)
+		mutIdx[bi] = idx
 	}
 	return muts, mutIdx, cancelled
 }
 
-// apply opens one writer window for the whole (coalesced) batch. On a busy
-// timeout the entire batch fails — each job gets the 503 contract its
-// author would have gotten from the old per-request path. A failure caused
-// by shutdown is reported as closed, not busy: "busy" invites a retry
-// against a namespace that no longer exists and would pollute the
-// busy_timeouts counter on every clean drop. When the namespace is
-// persisted, the batch is journaled and fsynced after the window opens and
-// before ApplyBatch — the WAL ordering recovery depends on; a journal
-// failure fails the whole batch unapplied.
+// pendRec is one coalesced batch inside a group-commit window: appended to
+// the journal, waiting for the window's shared fsync before it may be
+// applied and acked.
+type pendRec struct {
+	batch  []*updateJob
+	muts   []memcloud.Mutation
+	mutIdx [][]int
+	size   int // mutations the batch carried (survivors + coalesced-away)
+	mark   journal.Mark
+	pulled time.Time // when the batch left the queue (wait-histogram end)
+}
+
+// apply runs one single-batch writer window — the pre-group-commit entry
+// point, kept for the coalescing and panic-containment tests that drive
+// the pipeline directly.
 func (p *updatePipeline) apply(batch []*updateJob) {
-	muts, mutIdx, cancelled := coalesceBatch(batch)
-	if cancelled > 0 {
-		p.mu.Lock()
-		p.coalesced += uint64(cancelled)
-		p.mu.Unlock()
-	}
-	if len(muts) == 0 {
-		// The whole batch annihilated: no writer window, no journal record,
-		// no epoch movement — every job reports success as-of now.
-		epoch := p.eng.Cluster().Epoch()
-		now := time.Now()
-		for _, j := range batch {
-			wait := now.Sub(j.enq)
-			p.waitHist.observe(wait)
-			j.done <- updateJobResult{
-				res:        memcloud.MutationResult{NodeID: graph.InvalidNode, Epoch: epoch},
-				waitMicros: wait.Microseconds(),
-			}
+	p.applyWindow([][]*updateJob{batch}, false)
+}
+
+// applyWindow opens one writer window for a group of coalesced batches
+// that will share a single durability point. On a busy timeout every
+// batch fails — each job gets the 503 contract its author would have
+// gotten from the old per-request path. A failure caused by shutdown is
+// reported as closed, not busy: "busy" invites a retry against a
+// namespace that no longer exists and would pollute the busy_timeouts
+// counter on every clean drop.
+//
+// When the namespace is persisted, the window runs in three phases inside
+// the gate, preserving the WAL ordering recovery depends on:
+//
+//  1. append: every batch becomes one journal record (a batch whose
+//     append fails is failed alone, unapplied);
+//  2. sync: ONE shared flush+fsync covers all of them (group commit) —
+//     a sync failure rolls the whole window out of the journal and fails
+//     every batch in it, none applied;
+//  3. apply+ack: each record is applied and its jobs acked, in append
+//     order. Every ack therefore sits behind its covering fsync.
+//
+// With drain set (the dispatcher loop), phase 1 also pulls batches that
+// queued while the gate was being acquired, up to GroupCommitBatches —
+// under load this is what folds N queued updates into one fsync.
+func (p *updatePipeline) applyWindow(batches [][]*updateJob, drain bool) {
+	// Coalesce up front; fully-annihilated batches ack without any window.
+	var recs []pendRec
+	now := time.Now()
+	for _, batch := range batches {
+		if rec, ok := p.coalesceRec(batch, now); ok {
+			recs = append(recs, rec)
 		}
+	}
+	if len(recs) == 0 {
 		return
 	}
 	if !p.gate.lock(p.cfg.UpdateLockWait, p.cfg.UpdateFairnessWindow, p.stop) {
@@ -413,46 +490,150 @@ func (p *updatePipeline) apply(batch []*updateJob) {
 			p.busyTimeouts++
 			p.mu.Unlock()
 		}
-		for _, j := range batch {
-			j.done <- updateJobResult{err: failure}
+		for _, rec := range recs {
+			failBatch(rec.batch, failure)
 		}
 		return
 	}
 	acquired := time.Now()
-	var mark journal.Mark
+	for i := range recs {
+		recs[i].pulled = acquired
+	}
+
 	if p.store != nil {
-		// Durability point: the batch must be on stable storage before any
-		// of it mutates the graph. The append sits inside the writer window
-		// so a batch that fails to journal is provably unapplied (a failed
-		// append is rolled back) — journal and graph can never disagree
-		// about what happened.
-		var err error
-		mark, err = p.store.appendBatch(muts)
-		if err != nil {
+		// Phase 1 — append. Durability point ordering: every record must be
+		// on stable storage before any of it mutates the graph. The appends
+		// sit inside the writer window so a batch that fails to journal is
+		// provably unapplied (a failed append is rolled back) — journal and
+		// graph can never disagree about what happened.
+		pending := recs[:0]
+		for _, rec := range recs {
+			var err error
+			rec.mark, err = p.store.appendRecord(rec.muts)
+			if err != nil {
+				p.failJournal(rec.batch, err)
+				continue
+			}
+			pending = append(pending, rec)
+		}
+		if drain {
+			// Batches that queued while the gate was being acquired can ride
+			// this window's fsync instead of paying for their own.
+			pending = p.drainInto(pending)
+		}
+		recs = pending
+		if len(recs) == 0 {
 			p.gate.unlock()
-			jerr := fmt.Errorf("%w: %v", errUpdateJournal, err)
-			for _, j := range batch {
-				j.done <- updateJobResult{err: jerr}
+			return
+		}
+		// Phase 2 — the shared fsync every ack below sits behind.
+		if err := p.store.syncWindow(recs[0].mark); err != nil {
+			p.gate.unlock()
+			for _, rec := range recs {
+				p.failJournal(rec.batch, err)
 			}
 			return
 		}
 	}
-	results, panicErr := p.runBatch(muts, mark)
-	applyTime := time.Since(acquired)
-	if panicErr != nil {
-		for _, j := range batch {
-			j.done <- updateJobResult{err: panicErr}
-		}
-		return
-	}
 
+	// Phase 3 — apply and ack, in append order. A contained panic on
+	// record i truncates the journal back to its mark — dropping records
+	// i..end, none of which were acked — and fails their jobs.
+	for i, rec := range recs {
+		results, panicErr := p.applyContained(rec.muts, rec.mark)
+		if panicErr != nil {
+			for _, bad := range recs[i:] {
+				failBatch(bad.batch, panicErr)
+			}
+			break
+		}
+		p.ackApplied(rec, results)
+	}
+	p.gate.unlock()
+}
+
+// coalesceRec coalesces one batch. A fully-annihilated batch is acked on
+// the spot — no writer window, no journal record, no epoch movement;
+// every job reports success as-of now — and ok is false.
+func (p *updatePipeline) coalesceRec(batch []*updateJob, now time.Time) (pendRec, bool) {
+	muts, mutIdx, cancelled := coalesceBatch(batch)
+	size := 0
+	for _, j := range batch {
+		size += len(j.muts)
+	}
+	if cancelled > 0 {
+		p.mu.Lock()
+		p.coalesced += uint64(cancelled)
+		p.mu.Unlock()
+	}
+	if len(muts) == 0 {
+		epoch := p.eng.Cluster().Epoch()
+		for _, j := range batch {
+			wait := now.Sub(j.enq)
+			p.waitHist.observe(wait)
+			res := make([]memcloud.MutationResult, len(j.muts))
+			for k := range res {
+				res[k] = memcloud.MutationResult{NodeID: graph.InvalidNode, Epoch: epoch}
+			}
+			j.done <- updateJobResult{res: res, waitMicros: wait.Microseconds()}
+		}
+		return pendRec{}, false
+	}
+	return pendRec{batch: batch, muts: muts, mutIdx: mutIdx, size: size}, true
+}
+
+// drainInto appends batches still arriving on the queue to the current
+// window (gate already held), up to GroupCommitBatches records total.
+func (p *updatePipeline) drainInto(pending []pendRec) []pendRec {
+	for len(pending) < p.cfg.GroupCommitBatches {
+		var j *updateJob
+		select {
+		case j = <-p.jobs:
+		default:
+			return pending
+		}
+		rec, ok := p.coalesceRec(p.collect(j), time.Now())
+		if !ok {
+			continue
+		}
+		rec.pulled = time.Now()
+		var err error
+		rec.mark, err = p.store.appendRecord(rec.muts)
+		if err != nil {
+			p.failJournal(rec.batch, err)
+			continue
+		}
+		pending = append(pending, rec)
+	}
+	return pending
+}
+
+// failJournal answers every job of a batch whose record could not be made
+// durable and counts the failure.
+func (p *updatePipeline) failJournal(batch []*updateJob, err error) {
+	p.mu.Lock()
+	p.journalFailures++
+	p.mu.Unlock()
+	failBatch(batch, fmt.Errorf("%w: %v", errUpdateJournal, err))
+}
+
+func failBatch(batch []*updateJob, err error) {
+	for _, j := range batch {
+		j.done <- updateJobResult{err: err}
+	}
+}
+
+// ackApplied publishes one applied record's counters and answers its jobs.
+// Cancelled mutations report success at the batch's final epoch — the
+// state the surviving mutations left behind.
+func (p *updatePipeline) ackApplied(rec pendRec, results []memcloud.MutationResult) {
 	p.mu.Lock()
 	p.batches++
-	if len(batch) > p.maxBatch {
-		p.maxBatch = len(batch)
+	if rec.size > p.maxBatch {
+		p.maxBatch = rec.size
 	}
 	bi := 0
-	for bi < len(batchSizeBuckets) && len(batch) > batchSizeBuckets[bi] {
+	for bi < len(batchSizeBuckets) && rec.size > batchSizeBuckets[bi] {
 		bi++
 	}
 	p.batchSizes[bi]++
@@ -464,34 +645,37 @@ func (p *updatePipeline) apply(batch []*updateJob) {
 		}
 	}
 	p.mu.Unlock()
-	p.applyHist.observe(applyTime)
 
-	// Cancelled jobs report success at the batch's final epoch — the state
-	// the surviving mutations left behind.
 	finalEpoch := results[len(results)-1].Epoch
-	for i, j := range batch {
-		wait := acquired.Sub(j.enq)
+	for i, j := range rec.batch {
+		wait := rec.pulled.Sub(j.enq)
 		p.waitHist.observe(wait)
-		res := memcloud.MutationResult{NodeID: graph.InvalidNode, Epoch: finalEpoch}
-		if mutIdx[i] >= 0 {
-			res = results[mutIdx[i]]
+		res := make([]memcloud.MutationResult, len(j.muts))
+		for k, mi := range rec.mutIdx[i] {
+			if mi >= 0 {
+				res[k] = results[mi]
+			} else {
+				res[k] = memcloud.MutationResult{NodeID: graph.InvalidNode, Epoch: finalEpoch}
+			}
 		}
 		j.done <- updateJobResult{res: res, waitMicros: wait.Microseconds()}
 	}
 }
 
-// runBatch applies the batch under the already-acquired writer window,
-// releasing the gate and converting a panic into errUpdateInternal — the
-// blast radius of a poisoned mutation must stay one batch, not the
-// process. On a panic the journaled record is rolled back BEFORE the gate
-// is released (the deferred recover runs first, LIFO): every job is being
-// answered 500, so the record must not survive to replay — and a wal tail
-// reader entering the gate after this window must never see a record that
-// is about to be discarded. The cluster's own locks were released by their
-// defers; the graph may hold the batch's earlier mutations (best effort,
-// like a crashed inline handler).
-func (p *updatePipeline) runBatch(muts []memcloud.Mutation, mark journal.Mark) (results []memcloud.MutationResult, err error) {
-	defer p.gate.unlock()
+// applyContained applies one record's batch under the already-acquired
+// writer window, converting a panic into errUpdateInternal — the blast
+// radius of a poisoned mutation must stay one window, not the process
+// (the dispatcher goroutine has no net/http recover above it). On a panic
+// the journaled record is rolled back while the gate is still held: every
+// affected job is being answered 500, so the record must not survive to
+// replay — and a wal tail reader entering the gate after this window must
+// never see a record that is about to be discarded. The rollback
+// truncates from this record's mark to the journal's end, so any later
+// records of the same window (none of them acked yet) are discarded with
+// it. The cluster's own locks were released by their defers; the graph
+// may hold the batch's earlier mutations (best effort, like a crashed
+// inline handler).
+func (p *updatePipeline) applyContained(muts []memcloud.Mutation, mark journal.Mark) (results []memcloud.MutationResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", errUpdateInternal, r)
@@ -500,7 +684,10 @@ func (p *updatePipeline) runBatch(muts []memcloud.Mutation, mark journal.Mark) (
 			}
 		}
 	}()
-	return p.eng.Cluster().ApplyBatch(muts), nil
+	start := time.Now()
+	results = p.eng.Cluster().ApplyBatch(muts)
+	p.applyHist.observe(time.Since(start))
+	return results, nil
 }
 
 // drainClosed fails everything still queued at close time.
@@ -519,26 +706,32 @@ func (p *updatePipeline) drainClosed() {
 func (p *updatePipeline) stats() UpdateQueueInfo {
 	p.mu.Lock()
 	info := UpdateQueueInfo{
-		Depth:        cap(p.jobs),
-		Queued:       len(p.jobs),
-		Enqueued:     p.enqueued,
-		RejectedFull: p.rejectedFull,
-		Applied:      p.applied,
-		Conflicts:    p.conflicts,
-		Coalesced:    p.coalesced,
-		BusyTimeouts: p.busyTimeouts,
-		Batches:      p.batches,
-		MaxBatch:     p.maxBatch,
+		Depth:           cap(p.jobs),
+		Queued:          len(p.jobs),
+		Enqueued:        p.enqueued,
+		RejectedFull:    p.rejectedFull,
+		Applied:         p.applied,
+		Conflicts:       p.conflicts,
+		Coalesced:       p.coalesced,
+		BusyTimeouts:    p.busyTimeouts,
+		JournalFailures: p.journalFailures,
+		Batches:         p.batches,
+		MaxBatch:        p.maxBatch,
 	}
 	sizes := p.batchSizes
 	p.mu.Unlock()
+	// The internal array counts each batch in exactly one bucket; publish
+	// the Prometheus-style cumulative form (Count = observations ≤ Le), so
+	// the final unbounded bucket equals the total batch count.
 	info.BatchSizes = make([]BucketCount, 0, len(sizes))
+	var cum uint64
 	for i, n := range sizes {
 		le := -1 // the overflow bucket is unbounded
 		if i < len(batchSizeBuckets) {
 			le = batchSizeBuckets[i]
 		}
-		info.BatchSizes = append(info.BatchSizes, BucketCount{Le: le, Count: n})
+		cum += n
+		info.BatchSizes = append(info.BatchSizes, BucketCount{Le: le, Count: cum})
 	}
 	info.Wait = p.waitHist.snapshot()
 	info.Apply = p.applyHist.snapshot()

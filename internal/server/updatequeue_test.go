@@ -10,22 +10,39 @@ import (
 	"stwig/internal/memcloud"
 )
 
-// TestRunBatchContainsPanic pins the dispatcher's last-resort defense: the
+// TestApplyContainsPanic pins the dispatcher's last-resort defense: the
 // goroutine has no net/http recover above it, so a panic escaping a batch
 // application (here forced with a nil engine) must come back as
 // errUpdateInternal with the writer gate released — not crash the process
 // and take every tenant down.
-func TestRunBatchContainsPanic(t *testing.T) {
+func TestApplyContainsPanic(t *testing.T) {
 	gate := newUpdateGate()
 	p := newUpdatePipeline(nil /* engine: Cluster() will nil-deref */, gate, Config{}.normalize(), nil)
+
+	job := jobOf(memcloud.Mutation{Op: memcloud.MutAddNode, Label: "x"})
+	p.apply([]*updateJob{job})
+
+	select {
+	case out := <-job.done:
+		if !errors.Is(out.err, errUpdateInternal) {
+			t.Fatalf("apply err = %v, want errUpdateInternal", out.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never acked after recovered panic")
+	}
+
+	// applyContained is the recover boundary itself: called directly it
+	// must convert the panic, not propagate it.
 	if !gate.lock(time.Second, time.Millisecond, p.stop) {
 		t.Fatal("writer window not acquired on an idle gate")
 	}
-	_, err := p.runBatch([]memcloud.Mutation{{Op: memcloud.MutAddNode, Label: "x"}}, journal.Mark{})
+	_, err := p.applyContained([]memcloud.Mutation{{Op: memcloud.MutAddNode, Label: "x"}}, journal.Mark{})
 	if !errors.Is(err, errUpdateInternal) {
-		t.Fatalf("runBatch err = %v, want errUpdateInternal", err)
+		t.Fatalf("applyContained err = %v, want errUpdateInternal", err)
 	}
-	// The deferred unlock ran despite the panic: a reader gets in at once.
+	p.gate.unlock()
+
+	// applyWindow's unlock ran despite the panic: a reader gets in at once.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := gate.rlock(ctx); err != nil {

@@ -148,6 +148,48 @@ type UpdateResponse struct {
 	WaitMicros int64 `json:"wait_us,omitempty"`
 }
 
+// MaxBulkUpdates caps the Updates array of one bulk request. (The
+// request-body byte bound usually binds first; this keeps a single
+// journal record and writer window from growing pathological even with a
+// raised MaxRequestBytes.)
+const MaxBulkUpdates = 65536
+
+// BulkUpdateRequest is the body of POST /v1/update/bulk and
+// POST /v1/ns/{name}/update/bulk: a mutation array that rides one queue
+// slot, one writer window, and one journal record — so the whole array
+// shares a single durability fsync (group commit's wholesale form).
+// Mutations apply in array order; per-mutation conflicts do not abort the
+// rest of the array.
+type BulkUpdateRequest struct {
+	Updates []UpdateRequest `json:"updates"`
+}
+
+// BulkUpdateItem is one mutation's outcome inside a BulkUpdateResponse.
+type BulkUpdateItem struct {
+	// NodeID is the new vertex's ID (successful add_node only).
+	NodeID int64 `json:"node_id,omitempty"`
+	// Error and Code are set when this mutation failed (Code "conflict":
+	// missing vertex, duplicate edge, ...). Other mutations still applied.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// BulkUpdateResponse is the body of a bulk update reply. The HTTP status
+// is 200 even when some mutations conflicted — queue-level failures
+// (queue_full, busy, read_only, draining) use the ErrorResponse envelope
+// with their usual statuses and fail the whole array unapplied.
+type BulkUpdateResponse struct {
+	// Results has one entry per request mutation, in order.
+	Results []BulkUpdateItem `json:"results"`
+	// Conflicts counts entries carrying an error.
+	Conflicts int `json:"conflicts,omitempty"`
+	// Epoch is the cluster's mutation epoch after the batch.
+	Epoch uint64 `json:"epoch"`
+	// WaitMicros is how long the array sat in the tenant's queue (plus the
+	// dispatcher's wait for the writer window) before it was applied.
+	WaitMicros int64 `json:"wait_us,omitempty"`
+}
+
 // ErrorResponse is the uniform error envelope: the body of every non-2xx
 // reply, mirrored by the NDJSON "error" record for mid-stream failures.
 type ErrorResponse struct {
@@ -226,8 +268,12 @@ type StatsResponse struct {
 type JournalInfo struct {
 	// Enabled is true whenever the namespace journals its updates.
 	Enabled bool `json:"enabled"`
-	// Records and Bytes count journal appends (batches) and their payload
-	// bytes since boot; Fsyncs counts the durability syncs issued for them.
+	// Records and Bytes count journal appends (batches) and their framed
+	// bytes — encoded batch body plus the 16-byte record overhead (sequence
+	// number and frame header), i.e. what each record actually adds to the
+	// file — since boot; Fsyncs counts the durability syncs issued for
+	// them. With group commit one fsync may cover several records, so
+	// Fsyncs ≤ Records under concurrent writers.
 	Records uint64 `json:"records_appended"`
 	Bytes   uint64 `json:"bytes_appended"`
 	Fsyncs  uint64 `json:"fsyncs"`
@@ -380,12 +426,18 @@ type UpdateQueueInfo struct {
 	// never opened within the configured patience (every job in such a
 	// batch was answered 503).
 	BusyTimeouts uint64 `json:"busy_timeouts"`
-	// Batches counts writer windows opened; MaxBatch is the largest batch
-	// applied in one window.
+	// JournalFailures counts batches failed because their journal record
+	// could not be made durable (append or fsync error) — every job in
+	// such a batch was answered 500 unapplied.
+	JournalFailures uint64 `json:"journal_failures"`
+	// Batches counts coalesced batches applied (journal records); MaxBatch
+	// is the largest batch applied, in mutations.
 	Batches  uint64 `json:"batches"`
 	MaxBatch int    `json:"max_batch"`
-	// BatchSizes is the batch-size histogram: Count batches had a size of
-	// at most Le (the final bucket, Le = -1, is unbounded).
+	// BatchSizes is the batch-size (mutations per batch) histogram in
+	// cumulative form: Count batches had a size of at most Le, buckets
+	// non-decreasing in Le order, and the final bucket (Le = -1, unbounded)
+	// equals Batches.
 	BatchSizes []BucketCount `json:"batch_sizes,omitempty"`
 	// Wait summarizes how long updates sat queued before their batch's
 	// writer window opened; Apply summarizes per-batch apply time.
