@@ -51,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,7 +69,9 @@ func (n *nsFlags) Set(v string) error {
 
 func main() {
 	// Environment supplies the limit defaults; explicit flags override.
-	envCfg, err := server.Config{}.FromEnv(nil)
+	// ShardID seeds as -1 (coordinator) so STWIGD_SHARD_ID=0 — shard zero —
+	// stays distinguishable from "unset".
+	envCfg, err := server.Config{ShardID: -1}.FromEnv(nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stwigd:", err)
 		os.Exit(1)
@@ -102,6 +105,8 @@ func main() {
 		adminToken  = flag.String("admin-token", envCfg.AdminToken, "bearer token required by POST /ns and DELETE /ns/{name} (empty disables namespace mutation over HTTP)")
 		dataDir     = flag.String("data-dir", envCfg.DataDir, "durability root: journal every update batch, checkpoint periodically, and recover namespaces on boot (empty disables persistence)")
 		follow      = flag.String("follow", envCfg.FollowURL, "leader base URL (host:port or http://...): run as a read-only replica that bootstraps and tails every namespace the leader persists; writes answer 403 until POST /v1/admin/promote (STWIGD_FOLLOW)")
+		shardMap    = flag.String("shard-map", envCfg.ShardMap, "comma-separated shard base URLs enabling cluster mode; position in the list is the shard id (STWIGD_SHARD_MAP)")
+		shardID     = flag.Int("shard-id", envCfg.ShardID, "this process's position in -shard-map; omit (or pass a negative value) to run as the coordinator that fans queries out over the map (STWIGD_SHARD_ID)")
 		ckptEvery   = flag.Int("checkpoint-every", intOr(envCfg.CheckpointEvery, 256), "journaled update batches between checkpoint/compaction cycles")
 		jrnlFsync   = flag.Bool("journal-fsync", !envCfg.JournalNoSync, "fsync the journal before applying each batch (disabling voids crash durability)")
 		gcWindow    = flag.Duration("group-commit-window", envCfg.GroupCommitWindow, "how long the dispatcher lingers collecting concurrent updates to share one journal fsync (0 = coalesce only what is already queued; STWIGD_GROUP_COMMIT_WINDOW)")
@@ -158,6 +163,8 @@ func main() {
 			AdminToken:           *adminToken,
 			DataDir:              *dataDir,
 			FollowURL:            *follow,
+			ShardMap:             *shardMap,
+			ShardID:              *shardID,
 			CheckpointEvery:      *ckptEvery,
 			JournalNoSync:        !*jrnlFsync,
 			GroupCommitWindow:    *gcWindow,
@@ -261,9 +268,17 @@ func run(cfg daemonConfig) error {
 	// included — go through the same NamespaceSpec.Build path, so loading
 	// behavior cannot drift between the legacy flags and the spec grammar.
 	// A follower takes no boot specs at all: its namespaces come from the
-	// leader's replication manifest.
+	// leader's replication manifest. A coordinator hosts no graphs either —
+	// it fronts the shard map.
 	var specs []server.NamespaceSpec
-	if cfg.srv.FollowURL != "" {
+	if cfg.srv.ShardMap != "" && cfg.srv.ShardID < 0 {
+		if cfg.graphPath != "" || cfg.rmatScale > 0 || len(cfg.namespaces) > 0 || cfg.srv.DataDir != "" {
+			svc.Close()
+			return fmt.Errorf("the coordinator holds no graphs; drop -graph, -rmat-scale, -ns, and -data-dir")
+		}
+		fmt.Printf("stwigd: cluster coordinator over %d shard(s): %s\n",
+			len(strings.Split(cfg.srv.ShardMap, ",")), cfg.srv.ShardMap)
+	} else if cfg.srv.FollowURL != "" {
 		if cfg.graphPath != "" || cfg.rmatScale > 0 || len(cfg.namespaces) > 0 {
 			svc.Close()
 			return fmt.Errorf("-follow replicates the leader's namespaces; drop -graph, -rmat-scale, and -ns")
@@ -287,6 +302,11 @@ func run(cfg daemonConfig) error {
 		ns, _ := svc.NamespaceInfo(spec.Name)
 		fmt.Printf("namespace %q (%s): %d nodes on %d machines, ready in %v\n",
 			spec.Name, spec.Source, ns.Graph.Nodes, ns.Graph.Machines, time.Since(nsStart).Round(time.Millisecond))
+	}
+
+	if cfg.srv.ShardMap != "" && cfg.srv.ShardID >= 0 {
+		fmt.Printf("stwigd: cluster shard %d of %d (emitting matches rooted in its vertex range)\n",
+			cfg.srv.ShardID, len(strings.Split(cfg.srv.ShardMap, ",")))
 	}
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: svc}

@@ -80,6 +80,105 @@ func TestGoldenTailAfter(t *testing.T) {
 	}
 }
 
+// writeGoldenPaddedJournal writes the same two golden records with a 64-byte
+// alignment and leaves the writer OPEN after Sync: that is the state a live
+// leader's journal is actually tailed in — Close would trim the padding, but
+// a serving leader never closes between updates, so the on-disk file a
+// follower's wal request reads really does end in zeros.
+func writeGoldenPaddedJournal(t *testing.T) (string, *Writer) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, err := OpenWriter(path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	w.SetAlign(64)
+	for _, body := range []string{"stwig", "wal"} {
+		if _, err := w.Append([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return path, w
+}
+
+// TestGoldenPaddedFileBytes pins the padded at-rest layout: the two golden
+// frames followed by zeros up to the 64-byte alignment target, nothing else.
+func TestGoldenPaddedFileBytes(t *testing.T) {
+	path, _ := writeGoldenPaddedJournal(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := hex.DecodeString(goldenFrame1 + goldenFrame2)
+	want := append(frames, make([]byte, 64-len(frames))...)
+	if got := hex.EncodeToString(raw); got != hex.EncodeToString(want) {
+		t.Fatalf("padded journal bytes drifted:\n got %s\nwant %s", got, hex.EncodeToString(want))
+	}
+}
+
+// TestGoldenTailAfterPadded pins that shipped frames NEVER include
+// alignment padding: TailAfter on the live (padded, still-open) file
+// returns byte-identical suffixes to the unpadded golden pins for every
+// cursor, so a follower's scan sees clean frames rather than a torn tail
+// of zeros it would have to re-request past.
+func TestGoldenTailAfterPadded(t *testing.T) {
+	path, _ := writeGoldenPaddedJournal(t)
+	cases := []struct {
+		after             uint64
+		want              string
+		firstSeq, lastSeq uint64
+	}{
+		{0, goldenFrame1 + goldenFrame2, 1, 2},
+		{1, goldenFrame2, 2, 2},
+		{2, "", 0, 0}, // caught up: padding alone is not a record
+		{9, "", 0, 0},
+	}
+	for _, tc := range cases {
+		tail, err := TailAfter(path, tc.after)
+		if err != nil {
+			t.Fatalf("TailAfter(%d): %v", tc.after, err)
+		}
+		if got := hex.EncodeToString(tail.Frames); got != tc.want {
+			t.Errorf("TailAfter(%d) on padded journal:\n got %s\nwant %s", tc.after, got, tc.want)
+		}
+		if tail.FirstSeq != tc.firstSeq || tail.LastSeq != tc.lastSeq {
+			t.Errorf("TailAfter(%d) seqs = [%d, %d], want [%d, %d]",
+				tc.after, tail.FirstSeq, tail.LastSeq, tc.firstSeq, tc.lastSeq)
+		}
+	}
+}
+
+// TestGoldenTailAfterPaddedThenAppend pins the overwrite path: an append
+// after a padded Sync lands on top of the zeros, and TailAfter ships the
+// new frame with no padding ghost between frame 2 and frame 3.
+func TestGoldenTailAfterPaddedThenAppend(t *testing.T) {
+	path, w := writeGoldenPaddedJournal(t)
+	if _, err := w.Append([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := TailAfter(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := Scan(bytes.NewReader(tail.Frames))
+	if err != nil || rep.Torn {
+		t.Fatalf("scan of post-padding tail: err=%v torn=%v", err, rep.Torn)
+	}
+	if len(recs) != 1 || recs[0].Seq != 3 || string(recs[0].Body) != "again" {
+		t.Fatalf("post-padding tail decoded to %+v, want seq 3 %q", recs, "again")
+	}
+	if tail.FirstSeq != 3 || tail.LastSeq != 3 {
+		t.Fatalf("post-padding tail seqs = [%d, %d], want [3, 3]", tail.FirstSeq, tail.LastSeq)
+	}
+}
+
 // TestGoldenTailScansBack closes the loop a follower runs: the shipped
 // suffix must scan back to the original records, and a suffix cut
 // mid-frame — a connection dropped partway through a response — must scan

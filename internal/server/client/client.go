@@ -242,6 +242,14 @@ func IsReadOnly(err error) bool {
 	return ok && se.Code == server.CodeReadOnly
 }
 
+// IsShardUnavailable reports whether err is a coordinator's degraded-mode
+// refusal: a shard leg was unreachable (or answered 5xx), so the cluster
+// cannot serve a complete answer. The message names the dead shard.
+func IsShardUnavailable(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == server.CodeShardUnavailable
+}
+
 // postJSON sends body as a JSON POST; mutators (e.g. authorize) adjust the
 // request before it is issued. url must be absolute.
 func (c *Client) postJSON(ctx context.Context, url string, body any, mutate ...func(*http.Request)) (*http.Response, error) {

@@ -1,0 +1,470 @@
+// Cluster-mode tests: an in-process 2-shard cluster (coordinator + shard
+// servers over real HTTP via httptest) cross-checked against the VF2 and
+// Ullmann oracles, plus trace propagation, global caps at the coordinator,
+// update broadcast convergence, degraded-mode errors, and the coordinator's
+// /metrics exposition lint.
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"stwig/internal/baseline"
+	"stwig/internal/core"
+	"stwig/internal/memcloud"
+	"stwig/internal/rmat"
+	"stwig/internal/server"
+	"stwig/internal/server/client"
+)
+
+// clusterParams is the deterministic graph every cluster test shards: small
+// enough that VF2 and Ullmann enumerate it quickly, rich enough that every
+// query's matches straddle both shards' vertex ranges.
+var clusterParams = rmat.Params{Scale: 6, AvgDegree: 4, NumLabels: 3, Seed: 42}
+
+// clusterPatterns pair each wire pattern with its compiled oracle query.
+func clusterPatterns(t *testing.T) map[string]*core.Query {
+	t.Helper()
+	return map[string]*core.Query{
+		"(a:L0)-(b:L1)":             core.MustNewQuery([]string{"L0", "L1"}, [][2]int{{0, 1}}),
+		"(a:L0)-(b:L1), (b)-(c:L2)": core.MustNewQuery([]string{"L0", "L1", "L2"}, [][2]int{{0, 1}, {1, 2}}),
+		"(a:L2)-(b:L2)":             core.MustNewQuery([]string{"L2", "L2"}, [][2]int{{0, 1}}),
+	}
+}
+
+// testCluster is an in-process cluster: one coordinator and nShards shard
+// servers, each replica holding the same graph, wired over loopback HTTP.
+type testCluster struct {
+	coordURL  string
+	shardURLs []string
+
+	mu          sync.Mutex
+	handlers    []http.Handler          // nil = shard down (connection refused at the handler level)
+	shardTraces []map[string]bool       // trace IDs each shard's /query legs carried
+	shards      []*server.Server
+}
+
+// down takes one shard off the air: its listener stays up but every request
+// is met with a hijack-and-drop, which the coordinator sees as a transport
+// error — the closest in-process stand-in for a killed process.
+func (tc *testCluster) down(i int) {
+	tc.mu.Lock()
+	tc.handlers[i] = nil
+	tc.mu.Unlock()
+}
+
+func (tc *testCluster) tracesSeen(i int) map[string]bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := map[string]bool{}
+	for k := range tc.shardTraces[i] {
+		out[k] = true
+	}
+	return out
+}
+
+// newTestCluster boots nShards replicas of the clusterParams graph behind a
+// coordinator. Listeners start before the servers exist so the shard map —
+// which every member's config needs — is known up front.
+func newTestCluster(t *testing.T, nShards int) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		handlers:    make([]http.Handler, nShards),
+		shardTraces: make([]map[string]bool, nShards),
+		shards:      make([]*server.Server, nShards),
+	}
+	tc.shardURLs = make([]string, nShards)
+	for i := 0; i < nShards; i++ {
+		i := i
+		tc.shardTraces[i] = map[string]bool{}
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			tc.mu.Lock()
+			h := tc.handlers[i]
+			if strings.HasSuffix(r.URL.Path, "/query") {
+				if trace := r.Header.Get(server.TraceHeader); trace != "" {
+					tc.shardTraces[i][trace] = true
+				}
+			}
+			tc.mu.Unlock()
+			if h == nil {
+				if hj, ok := w.(http.Hijacker); ok {
+					if conn, _, err := hj.Hijack(); err == nil {
+						conn.Close() // simulate a dead process: RST, no HTTP reply
+						return
+					}
+				}
+				panic("shard down and not hijackable")
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		tc.shardURLs[i] = ts.URL
+	}
+	shardMap := strings.Join(tc.shardURLs, ",")
+
+	for i := 0; i < nShards; i++ {
+		g := rmat.MustGenerate(clusterParams)
+		cluster := memcloud.MustNewCluster(memcloud.Config{Machines: 2})
+		if err := cluster.LoadGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		svc, err := server.New(core.NewEngine(cluster, core.Options{}), server.Config{
+			ShardMap:   shardMap,
+			ShardID:    i,
+			AdminToken: testAdminToken,
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		t.Cleanup(svc.Close)
+		tc.mu.Lock()
+		tc.handlers[i] = svc
+		tc.shards[i] = svc
+		tc.mu.Unlock()
+	}
+
+	coord, err := server.NewMulti(server.Config{
+		ShardMap:   shardMap,
+		ShardID:    -1,
+		AdminToken: testAdminToken,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	t.Cleanup(coord.Close)
+	cts := httptest.NewServer(coord)
+	t.Cleanup(cts.Close)
+	tc.coordURL = cts.URL
+	return tc
+}
+
+// TestClusterQueryCrossCheck is the correctness pin for scatter-gather: the
+// match set streamed through the coordinator must equal what VF2 and
+// Ullmann enumerate on the whole (unsharded) graph, for every test pattern.
+// It also pins the sharding invariant the merge relies on — each shard's
+// directly-queried slice is disjoint from its sibling's and the slices
+// union to the full set.
+func TestClusterQueryCrossCheck(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	g := rmat.MustGenerate(clusterParams)
+
+	for pattern, q := range clusterPatterns(t) {
+		got := serverSet(t, c, pattern)
+
+		want := map[string]bool{}
+		for _, m := range baseline.VF2(g, q, 0) {
+			want[assignmentKey64(assignmentToInt64(m.Assignment))] = true
+		}
+		requireSetEqual(t, "coordinator vs VF2: "+pattern, got, want)
+		ull := map[string]bool{}
+		for _, m := range baseline.Ullmann(g, q, 0) {
+			ull[assignmentKey64(assignmentToInt64(m.Assignment))] = true
+		}
+		requireSetEqual(t, "coordinator vs Ullmann: "+pattern, got, ull)
+
+		// Shard slices: disjoint, and their union is the full set.
+		union := map[string]bool{}
+		for i, u := range tc.shardURLs {
+			sc := client.New(u)
+			slice := map[string]bool{}
+			_, err := sc.Query(context.Background(), server.QueryRequest{
+				Pattern: pattern,
+				Shard:   &server.ShardSelector{Index: i, Count: len(tc.shardURLs)},
+			}, func(a []int64) bool {
+				slice[assignmentKey64(a)] = true
+				return true
+			})
+			if err != nil {
+				t.Fatalf("shard %d direct query: %v", i, err)
+			}
+			for k := range slice {
+				if union[k] {
+					t.Fatalf("%s: match [%s] emitted by more than one shard", pattern, k)
+				}
+				union[k] = true
+			}
+		}
+		requireSetEqual(t, "shard union: "+pattern, union, want)
+	}
+}
+
+// TestClusterShardSelectorValidation pins the wrong_shard refusal: a shard
+// told it is shard 1 of 2 rejects a selector addressed to a different
+// position or a different cluster size, so a mis-wired shard map fails
+// loudly instead of double- or under-emitting.
+func TestClusterShardSelectorValidation(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	sc := client.New(tc.shardURLs[1])
+	for _, sel := range []server.ShardSelector{{Index: 0, Count: 2}, {Index: 1, Count: 3}} {
+		_, err := sc.Query(context.Background(), server.QueryRequest{
+			Pattern: "(a:L0)-(b:L1)", Shard: &sel,
+		}, func([]int64) bool { return true })
+		se, ok := err.(*client.StatusError)
+		if !ok || se.Code != server.CodeWrongShard {
+			t.Fatalf("selector %+v on shard 1: err %v, want code %s", sel, err, server.CodeWrongShard)
+		}
+	}
+	// And the coordinator refuses a client-supplied selector outright.
+	_, err := client.New(tc.coordURL).Query(context.Background(), server.QueryRequest{
+		Pattern: "(a:L0)-(b:L1)", Shard: &server.ShardSelector{Index: 0, Count: 2},
+	}, func([]int64) bool { return true })
+	if se, ok := err.(*client.StatusError); !ok || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("coordinator with client selector: %v, want 400", err)
+	}
+}
+
+// TestClusterGlobalMatchCap pins that MaxMatches is enforced once, at the
+// coordinator, across the merged stream — not per leg, which would let
+// nShards×cap records through.
+func TestClusterGlobalMatchCap(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	full := serverSet(t, c, "(a:L0)-(b:L1)")
+	cap := 3
+	if len(full) <= cap {
+		t.Fatalf("graph too sparse for the cap test: %d total matches", len(full))
+	}
+	n := 0
+	stats, err := c.Query(context.Background(), server.QueryRequest{
+		Pattern: "(a:L0)-(b:L1)", MaxMatches: cap,
+	}, func([]int64) bool { n++; return true })
+	if err != nil {
+		t.Fatalf("capped query: %v", err)
+	}
+	if n != cap {
+		t.Fatalf("received %d matches, want exactly the cap %d", n, cap)
+	}
+	if stats == nil || !stats.Truncated || !stats.LimitHit {
+		t.Fatalf("stats = %+v, want Truncated and LimitHit", stats)
+	}
+}
+
+// TestClusterTracePropagation pins the one-trace-everywhere contract: the
+// trace ID a client sends rides the coordinator's response AND every
+// shard's query leg, and the merged stats trailer names each leg.
+func TestClusterTracePropagation(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	const trace = "cluster-trace-0001"
+	ctx := core.WithTraceID(context.Background(), trace)
+	stats, err := c.Query(ctx, server.QueryRequest{Pattern: "(a:L0)-(b:L1)"},
+		func([]int64) bool { return true })
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if stats.TraceID != trace {
+		t.Fatalf("stats trace %q, want %q", stats.TraceID, trace)
+	}
+	if len(stats.Shards) != 2 {
+		t.Fatalf("stats carries %d shard legs, want 2: %+v", len(stats.Shards), stats.Shards)
+	}
+	for i, leg := range stats.Shards {
+		if leg.Shard != i || leg.URL != tc.shardURLs[i] || leg.Error != "" {
+			t.Fatalf("leg %d = %+v, want shard %d at %s with no error", i, leg, i, tc.shardURLs[i])
+		}
+	}
+	for i := range tc.shardURLs {
+		if !tc.tracesSeen(i)[trace] {
+			t.Fatalf("shard %d never saw trace %q on its query leg (saw %v)", i, trace, tc.tracesSeen(i))
+		}
+	}
+}
+
+// TestClusterUpdateBroadcast drives the durability test's mutation script
+// through the coordinator and pins that (1) the acks look like a single
+// server's, (2) every shard replica converged to the oracle state, and (3)
+// post-update queries through the coordinator still match VF2.
+func TestClusterUpdateBroadcast(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+
+	model := oracleOf(rmat.MustGenerate(clusterParams))
+	base := int64(len(model.labels))
+	script := []server.UpdateRequest{
+		{Op: server.OpAddNode, Label: "qa"},
+		{Op: server.OpAddNode, Label: "qb"},
+		{Op: server.OpAddEdge, U: base, V: base + 1},
+		{Op: server.OpAddEdge, U: 0, V: base},
+		{Op: server.OpRemoveEdge, U: base, V: base + 1},
+		{Op: server.OpAddEdge, U: 1, V: base + 1},
+	}
+	for i, u := range script {
+		resp, err := c.Update(context.Background(), u)
+		if err != nil {
+			t.Fatalf("mutation %d (%+v): %v", i, u, err)
+		}
+		if u.Op == server.OpAddNode && resp.NodeID != base+int64(i) {
+			t.Fatalf("mutation %d: assigned node %d, want %d", i, resp.NodeID, base+int64(i))
+		}
+		model.apply(u)
+	}
+
+	for pattern, q := range map[string]*core.Query{
+		"(a:qa)-(b:L0)": core.MustNewQuery([]string{"qa", "L0"}, [][2]int{{0, 1}}),
+		"(a:qb)-(b:L1)": core.MustNewQuery([]string{"qb", "L1"}, [][2]int{{0, 1}}),
+	} {
+		want := oracleSet(model.build(), q)
+		requireSetEqual(t, "post-update coordinator: "+pattern, serverSet(t, c, pattern), want)
+		// Each replica holds the full updated graph (selector-free query).
+		for i, u := range tc.shardURLs {
+			requireSetEqual(t, fmt.Sprintf("post-update shard %d: %s", i, pattern),
+				serverSet(t, client.New(u), pattern), want)
+		}
+	}
+}
+
+// TestClusterBulkUpdateBroadcast pins the bulk path: one wire round-trip,
+// every shard applies the whole batch.
+func TestClusterBulkUpdateBroadcast(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	model := oracleOf(rmat.MustGenerate(clusterParams))
+	base := int64(len(model.labels))
+	batch := []server.UpdateRequest{
+		{Op: server.OpAddNode, Label: "qa"},
+		{Op: server.OpAddNode, Label: "qa"},
+		{Op: server.OpAddEdge, U: base, V: base + 1},
+	}
+	resp, err := c.BulkUpdate(context.Background(), batch)
+	if err != nil {
+		t.Fatalf("bulk update: %v", err)
+	}
+	if len(resp.Results) != len(batch) {
+		t.Fatalf("bulk ack carries %d results, want %d", len(resp.Results), len(batch))
+	}
+	for _, u := range batch {
+		model.apply(u)
+	}
+	q := core.MustNewQuery([]string{"qa", "qa"}, [][2]int{{0, 1}})
+	want := oracleSet(model.build(), q)
+	requireSetEqual(t, "bulk via coordinator", serverSet(t, c, "(a:qa)-(b:qa)"), want)
+	for i, u := range tc.shardURLs {
+		requireSetEqual(t, fmt.Sprintf("bulk on shard %d", i), serverSet(t, client.New(u), "(a:qa)-(b:qa)"), want)
+	}
+}
+
+// TestClusterDegradedMode pins loud degradation: with one shard dead, a
+// query and an update both come back as shard_unavailable envelopes that
+// name the dead shard — never a silently partial answer.
+func TestClusterDegradedMode(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	serverSet(t, c, "(a:L0)-(b:L1)") // cluster healthy first
+
+	tc.down(1)
+	_, err := c.Query(context.Background(), server.QueryRequest{Pattern: "(a:L0)-(b:L1)"},
+		func([]int64) bool { return true })
+	if !client.IsShardUnavailable(err) {
+		t.Fatalf("query on degraded cluster: %v, want shard_unavailable", err)
+	}
+	se := err.(*client.StatusError)
+	if se.StatusCode != http.StatusBadGateway {
+		t.Fatalf("degraded query status %d, want 502", se.StatusCode)
+	}
+	if !strings.Contains(se.Message, "shard 1") || !strings.Contains(se.Message, tc.shardURLs[1]) {
+		t.Fatalf("degraded error %q does not name shard 1 at %s", se.Message, tc.shardURLs[1])
+	}
+	if _, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddEdge, U: 0, V: 1}); !client.IsShardUnavailable(err) {
+		t.Fatalf("update on degraded cluster: %v, want shard_unavailable", err)
+	}
+}
+
+// TestClusterStatsAndMetrics pins the observability surface: the /stats
+// cluster block on both roles, per-leg counters after traffic, and the
+// coordinator's /metrics page against the full exposition lint (type
+// suffixes, histogram contract — the same gauntlet the single-node page
+// runs).
+func TestClusterStatsAndMetrics(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	serverSet(t, c, "(a:L0)-(b:L1)")
+	if _, err := c.Update(context.Background(), server.UpdateRequest{Op: server.OpAddNode, Label: "qa"}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Cluster == nil || st.Cluster.Role != "coordinator" || len(st.Cluster.Shards) != 2 {
+		t.Fatalf("coordinator stats cluster block = %+v, want coordinator with 2 shards", st.Cluster)
+	}
+	for i, sh := range st.Cluster.Shards {
+		if sh.Shard != i || sh.URL != tc.shardURLs[i] {
+			t.Fatalf("cluster shard %d = %+v, want %s", i, sh, tc.shardURLs[i])
+		}
+		if sh.Requests == 0 {
+			t.Fatalf("cluster shard %d shows zero leg requests after traffic", i)
+		}
+		if sh.Errors != 0 {
+			t.Fatalf("cluster shard %d shows %d leg errors on a healthy cluster", i, sh.Errors)
+		}
+	}
+	ss, err := client.New(tc.shardURLs[0]).Stats(context.Background())
+	if err != nil {
+		t.Fatalf("shard stats: %v", err)
+	}
+	if ss.Cluster == nil || ss.Cluster.Role != "shard" || ss.Cluster.ShardID != 0 {
+		t.Fatalf("shard stats cluster block = %+v, want shard 0", ss.Cluster)
+	}
+
+	text := scrapeMetrics(t, tc.coordURL)
+	lintExposition(t, text)
+	for _, family := range []string{
+		"stwig_cluster_shards",
+		"stwig_cluster_leg_requests_total",
+		"stwig_cluster_leg_errors_total",
+		"stwig_cluster_leg_bytes_read_total",
+		"stwig_cluster_leg_latency_seconds_bucket",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("coordinator /metrics is missing %s", family)
+		}
+	}
+	if !strings.Contains(text, `stwig_cluster_leg_requests_total{shard="1"}`) {
+		t.Errorf("coordinator /metrics has no per-shard leg sample:\n%s", text)
+	}
+}
+
+// TestClusterAdminLifecycle pins namespace administration through the
+// coordinator: a create broadcasts to every shard, queries against the new
+// tenant fan out, and a drop removes it everywhere.
+func TestClusterAdminLifecycle(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	c.SetAdminToken(testAdminToken)
+	ctx := context.Background()
+
+	if _, err := c.CreateNamespace(ctx, server.CreateNamespaceRequest{
+		Name: "tenant2", Spec: "rmat:scale=5,degree=3,labels=2,seed=7,machines=2",
+	}); err != nil {
+		t.Fatalf("create via coordinator: %v", err)
+	}
+	for i := range tc.shards {
+		if _, ok := tc.shards[i].NamespaceInfo("tenant2"); !ok {
+			t.Fatalf("shard %d did not materialize tenant2", i)
+		}
+	}
+	g := rmat.MustGenerate(rmat.Params{Scale: 5, AvgDegree: 3, NumLabels: 2, Seed: 7})
+	q := core.MustNewQuery([]string{"L0", "L1"}, [][2]int{{0, 1}})
+	want := map[string]bool{}
+	for _, m := range baseline.VF2(g, q, 0) {
+		want[assignmentKey64(assignmentToInt64(m.Assignment))] = true
+	}
+	requireSetEqual(t, "tenant2 via coordinator", serverSet(t, c.Namespace("tenant2"), "(a:L0)-(b:L1)"), want)
+
+	if err := c.DropNamespace(ctx, "tenant2"); err != nil {
+		t.Fatalf("drop via coordinator: %v", err)
+	}
+	for i := range tc.shards {
+		if _, ok := tc.shards[i].NamespaceInfo("tenant2"); ok {
+			t.Fatalf("shard %d still has tenant2 after the drop", i)
+		}
+	}
+}

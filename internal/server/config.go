@@ -135,6 +135,22 @@ type Config struct {
 	// recovery uses. Mutating endpoints answer 403 read_only until
 	// POST /v1/admin/promote. A bare host:port is promoted to http://.
 	FollowURL string
+	// ShardMap, when non-empty, switches the server into cluster mode. It
+	// is the static shard map: a comma-separated list of base URLs, one
+	// per shard, position = shard id (e.g.
+	// "http://10.0.0.1:8080,http://10.0.0.2:8080"). Every process of one
+	// cluster must be started with the identical map. Bare host:port
+	// entries are promoted to http:// like FollowURL.
+	ShardMap string
+	// ShardID is this process's index into ShardMap and is only
+	// meaningful when ShardMap is set. A negative value selects
+	// coordinator mode: the process owns no graph and instead fans
+	// queries out scatter-gather to every shard, merges the NDJSON match
+	// streams under the global caps, and broadcasts updates (the owning
+	// shard's response is returned). 0..len(ShardMap)-1 selects shard
+	// mode: the process hosts the full graph but only emits matches whose
+	// root vertex it owns under the range partition of the id space.
+	ShardID int
 	// AdminToken, when non-empty, is the bearer token POST /ns,
 	// DELETE /ns/{name}, and the /debug/pprof endpoints require
 	// (Authorization: Bearer <token>). Empty (the default) disables
@@ -197,6 +213,16 @@ func (cfg Config) normalize() Config {
 		cfg.FollowURL = "http://" + cfg.FollowURL
 	}
 	cfg.FollowURL = strings.TrimRight(cfg.FollowURL, "/")
+	if cfg.ShardMap != "" {
+		shards := parseShardMap(cfg.ShardMap)
+		for i, u := range shards {
+			if u != "" && !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			shards[i] = strings.TrimRight(u, "/")
+		}
+		cfg.ShardMap = strings.Join(shards, ",")
+	}
 	if cfg.UpdateFairnessWindow == 0 {
 		// The cutoff only matters if it fires before the writer gives up;
 		// adapt the default to short writer patience instead of silently
@@ -251,6 +277,20 @@ func (cfg Config) Validate() error {
 	if cfg.SlowQuery < 0 {
 		return fmt.Errorf("server: SlowQuery %v < 0", cfg.SlowQuery)
 	}
+	if cfg.ShardMap != "" {
+		shards := parseShardMap(cfg.ShardMap)
+		for i, u := range shards {
+			if u == "" {
+				return fmt.Errorf("server: ShardMap entry %d is empty", i)
+			}
+		}
+		if cfg.ShardID >= len(shards) {
+			return fmt.Errorf("server: ShardID %d out of range for a %d-shard map", cfg.ShardID, len(shards))
+		}
+		if cfg.ShardID < 0 && cfg.FollowURL != "" {
+			return fmt.Errorf("server: a coordinator cannot also be a follower (replication runs per shard, not at the coordinator)")
+		}
+	}
 	// A fairness window at or beyond the writer's patience means the
 	// reader cutoff can never fire before the writer gives up — silently
 	// reintroducing the writer starvation the pipeline exists to prevent.
@@ -259,6 +299,19 @@ func (cfg Config) Validate() error {
 			cfg.UpdateFairnessWindow, cfg.UpdateLockWait)
 	}
 	return nil
+}
+
+// parseShardMap splits a shard map string into per-shard base URLs,
+// trimming surrounding whitespace. Position = shard id.
+func parseShardMap(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 // FromEnv overlays STWIGD_* environment variables onto cfg and returns the
@@ -283,6 +336,8 @@ func (cfg Config) Validate() error {
 //	STWIGD_ADMIN_TOKEN        string    bearer token for POST/DELETE /ns (unset disables them)
 //	STWIGD_DATA_DIR           path      durability root (journal + checkpoints + manifest; unset disables)
 //	STWIGD_FOLLOW             url       leader base URL; start as a read-only WAL-shipping follower
+//	STWIGD_SHARD_MAP          urls      comma-separated shard base URLs (position = shard id); enables cluster mode
+//	STWIGD_SHARD_ID           int       this process's index into the shard map (negative = coordinator)
 //	STWIGD_CHECKPOINT_EVERY   int       journaled batches between checkpoint/compaction cycles
 //	STWIGD_JOURNAL_FSYNC      bool      false skips the per-batch fsync (crash durability lost)
 //	STWIGD_GROUP_COMMIT_WINDOW  duration  linger gathering batches into one shared fsync (0 = opportunistic only)
@@ -358,6 +413,10 @@ func (cfg Config) FromEnv(lookup func(string) (string, bool)) (Config, error) {
 	if v, ok := lookup("STWIGD_FOLLOW"); ok {
 		cfg.FollowURL = v
 	}
+	if v, ok := lookup("STWIGD_SHARD_MAP"); ok {
+		cfg.ShardMap = v
+	}
+	envInt("STWIGD_SHARD_ID", &cfg.ShardID)
 	envInt("STWIGD_CHECKPOINT_EVERY", &cfg.CheckpointEvery)
 	envDur("STWIGD_GROUP_COMMIT_WINDOW", &cfg.GroupCommitWindow)
 	envInt("STWIGD_GROUP_COMMIT_BATCHES", &cfg.GroupCommitBatches)

@@ -259,3 +259,47 @@ func TestRegistryDuplicateAndRemove(t *testing.T) {
 		t.Fatalf("list after removing %q = %d entries, want just %q", "a", len(names), "b")
 	}
 }
+
+// TestConfigShardMap pins the cluster knobs: URL promotion in normalize,
+// the validation refusals (empty entries, out-of-range ShardID, a
+// coordinator doubling as a follower), and the FromEnv plumbing with
+// ShardID seeded to the coordinator sentinel so shard zero stays
+// expressible through the environment.
+func TestConfigShardMap(t *testing.T) {
+	norm := Config{ShardMap: "host1:7031, host2:7032/"}.normalize()
+	if norm.ShardMap != "http://host1:7031,http://host2:7032" {
+		t.Fatalf("normalized shard map = %q", norm.ShardMap)
+	}
+
+	ok := Config{ShardMap: "http://a:1,http://b:2", ShardID: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid shard config refused: %v", err)
+	}
+	coord := Config{ShardMap: "http://a:1,http://b:2", ShardID: -1}
+	if err := coord.Validate(); err != nil {
+		t.Fatalf("valid coordinator config refused: %v", err)
+	}
+	for _, bad := range []Config{
+		{ShardMap: "http://a:1,,http://b:2", ShardID: 0},            // empty entry
+		{ShardMap: "http://a:1,http://b:2", ShardID: 2},             // id past the map
+		{ShardMap: "http://a:1", ShardID: -1, FollowURL: "http://l"}, // coordinator + follower
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+
+	cfg, err := Config{ShardID: -1}.FromEnv(lookupMap(map[string]string{
+		"STWIGD_SHARD_MAP": "http://a:1,http://b:2",
+		"STWIGD_SHARD_ID":  "0",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ShardMap != "http://a:1,http://b:2" || cfg.ShardID != 0 {
+		t.Fatalf("FromEnv shard config = map %q id %d", cfg.ShardMap, cfg.ShardID)
+	}
+	if cfg, err = (Config{ShardID: -1}).FromEnv(lookupMap(nil)); err != nil || cfg.ShardID != -1 {
+		t.Fatalf("unset STWIGD_SHARD_ID must keep the seed: id %d, err %v", cfg.ShardID, err)
+	}
+}

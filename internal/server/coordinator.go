@@ -1,0 +1,722 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stwig/internal/core"
+	"stwig/internal/graph"
+	"stwig/internal/memcloud"
+)
+
+// Coordinator side of cluster mode (Config.ShardMap with a negative
+// ShardID). The cluster is N stwigd shard processes plus this stateless
+// front: every shard hosts the full replicated graph, and a shard answers a
+// query only with the matches whose root vertex (assignment[0]) it owns
+// under the range partition of the vertex id space — the same
+// memcloud.RangePartitioner that assigns vertices to simulated machines,
+// lifted one level up to assign them to real processes. The shards' match
+// sets are therefore disjoint and their union complete, so the coordinator
+// can merge the N NDJSON streams into one without deduplication and the
+// VF2/Ullmann cross-check holds over the wire.
+//
+// Queries fan out scatter-gather: one HTTP leg per shard, each carrying the
+// request's trace ID in X-Stwig-Trace, re-batched into blocks at the
+// coordinator with the match and byte caps enforced globally there (a
+// per-leg cap would let K×cap records through). Updates broadcast to every
+// shard — all replicas must converge — and the owning shard's
+// acknowledgement is the one returned to the client. Any leg failure
+// degrades loudly: the response is a shard_unavailable envelope (or
+// mid-stream error record) naming the dead shard, never a silently partial
+// match set.
+
+// coordMergeBlock is how many merged matches the coordinator buffers before
+// flushing one NDJSON block to the client.
+const coordMergeBlock = 64
+
+// coordMaxLine bounds one NDJSON line read off a shard leg (mirrors the Go
+// client's scanner cap).
+const coordMaxLine = 16 << 20
+
+// shardLeg is one shard's slot in the coordinator: its address plus the
+// cumulative per-leg counters /stats and /metrics expose.
+type shardLeg struct {
+	id  int
+	url string
+
+	mu        sync.Mutex
+	requests  uint64
+	errors    uint64
+	bytesRead uint64
+	elapsed   time.Duration
+	lat       histogram
+}
+
+// record books one finished leg call.
+func (l *shardLeg) record(bytesRead int64, elapsed time.Duration, isErr bool) {
+	l.mu.Lock()
+	l.requests++
+	if isErr {
+		l.errors++
+	}
+	if bytesRead > 0 {
+		l.bytesRead += uint64(bytesRead)
+	}
+	l.elapsed += elapsed
+	l.mu.Unlock()
+	l.lat.observe(elapsed)
+}
+
+type coordinator struct {
+	s    *Server
+	legs []*shardLeg
+	hc   *http.Client
+	// nsNodes caches each namespace's vertex count (namespace → int64) for
+	// update ownership routing; refreshed lazily from a shard's stats and
+	// bumped by add_node acknowledgements.
+	nsNodes sync.Map
+}
+
+func newCoordinator(s *Server) *coordinator {
+	urls := parseShardMap(s.cfg.ShardMap)
+	legs := make([]*shardLeg, len(urls))
+	for i, u := range urls {
+		legs[i] = &shardLeg{id: i, url: u}
+	}
+	// Per-request deadlines come from each request's context; the transport
+	// keeps per-shard connections pooled across requests.
+	return &coordinator{s: s, legs: legs, hc: &http.Client{}}
+}
+
+// info snapshots the per-leg counters for /stats.
+func (c *coordinator) info() *ClusterInfo {
+	ci := &ClusterInfo{Role: "coordinator", ShardID: c.s.cfg.ShardID, Shards: make([]ShardInfo, len(c.legs))}
+	for i, l := range c.legs {
+		l.mu.Lock()
+		ci.Shards[i] = ShardInfo{
+			Shard:        l.id,
+			URL:          l.url,
+			Requests:     l.requests,
+			Errors:       l.errors,
+			BytesRead:    l.bytesRead,
+			ElapsedMicro: uint64(l.elapsed.Microseconds()),
+		}
+		l.mu.Unlock()
+	}
+	return ci
+}
+
+// nsName resolves the request's namespace the same way nsRoute does: the
+// {ns} path segment, or the default namespace on unprefixed routes.
+func nsName(r *http.Request) string {
+	if name := r.PathValue("ns"); name != "" {
+		return name
+	}
+	return DefaultNamespace
+}
+
+// legPath builds a shard-leg URL for one tenant endpoint.
+func (l *shardLeg) legPath(ns, endpoint string) string {
+	return l.url + "/v1/ns/" + url.PathEscape(ns) + endpoint
+}
+
+// legError tags a failed leg so the degraded-mode envelope can name it.
+type legError struct {
+	shard int
+	url   string
+	err   error
+}
+
+func (e *legError) Error() string {
+	return fmt.Sprintf("shard %d (%s) unavailable: %v", e.shard, e.url, e.err)
+}
+
+func (e *legError) Unwrap() error { return e.err }
+
+// ---- scatter-gather query ----
+
+// legMsg is one event off a fan-out leg: a match record, or (exclusively)
+// the leg's terminal result.
+type legMsg struct {
+	assignment []int64
+	done       *legQueryResult
+}
+
+type legQueryResult struct {
+	shard   int
+	url     string
+	matches int
+	bytes   int64
+	elapsed time.Duration
+	stats   *StreamStats // the leg's own trailer, nil if it never arrived
+	err     error
+}
+
+func (c *coordinator) handleQuery(w http.ResponseWriter, r *http.Request) bool {
+	s := c.s
+	if s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	name := nsName(r)
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	if req.Shard != nil {
+		writeError(w, http.StatusBadRequest, "the shard selector is set by the coordinator; do not send one")
+		return true
+	}
+	// Reject malformed queries here rather than fanning garbage out K ways.
+	if _, err := compileQuery(req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return true
+	}
+	timeout, maxMatches := s.cfg.effectiveLimits(req)
+	lim := core.Limits{Timeout: timeout, MaxMatches: maxMatches}
+	ctx, cancel := s.requestContext(r, lim)
+	defer cancel()
+	trace := w.Header().Get(TraceHeader)
+
+	// Fan out one leg per shard. Legs push match records and their terminal
+	// result into one channel; the merge loop below is the only writer to
+	// the client, enforcing the global caps.
+	legCtx, legCancel := context.WithCancel(ctx)
+	defer legCancel()
+	msgs := make(chan legMsg, coordMergeBlock)
+	var wg sync.WaitGroup
+	for i := range c.legs {
+		leg := c.legs[i]
+		legReq := req
+		legReq.Shard = &ShardSelector{Index: leg.id, Count: len(c.legs)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := c.queryLeg(legCtx, leg, name, legReq, trace, msgs)
+			leg.record(res.bytes, res.elapsed, res.err != nil && !errors.Is(res.err, context.Canceled))
+			msgs <- legMsg{done: res}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(msgs)
+	}()
+
+	sw := newStreamWriter(w, s.cfg.MaxBytes)
+	headerDone := false
+	writeHeader := func() {
+		if !headerDone {
+			w.Header().Set("Content-Type", ndjsonContentType)
+			w.Header().Set("X-Accel-Buffering", "no")
+			w.WriteHeader(http.StatusOK)
+			headerDone = true
+		}
+	}
+	sl := lim.NewStreamLimiter()
+	matchesSent := 0
+	emitBlock := sl.WrapBlock(func(ms []core.Match) (int, bool) {
+		writeHeader()
+		sent, ok := sw.writeMatchBlock(ms)
+		matchesSent += sent
+		return sent, ok
+	})
+
+	// Merge: re-batch the interleaved leg records into blocks. Stop feeding
+	// the client the moment a global cap trips or any leg fails, but keep
+	// draining the channel so every leg goroutine can finish and report.
+	block := make([]core.Match, 0, coordMergeBlock)
+	flush := func() bool {
+		if len(block) == 0 {
+			return true
+		}
+		_, ok := emitBlock(block)
+		block = block[:0]
+		return ok
+	}
+	results := make([]*legQueryResult, len(c.legs))
+	var failed *legError
+	capped := false
+	for msg := range msgs {
+		if msg.done != nil {
+			results[msg.done.shard] = msg.done
+			if msg.done.err != nil && failed == nil && !capped {
+				failed = &legError{shard: msg.done.shard, url: msg.done.url, err: msg.done.err}
+				legCancel() // degrade: a partial merge would be a wrong answer
+			}
+			continue
+		}
+		if failed != nil || capped {
+			continue
+		}
+		ids := make([]graph.NodeID, len(msg.assignment))
+		for i, v := range msg.assignment {
+			ids[i] = graph.NodeID(v)
+		}
+		block = append(block, core.Match{Assignment: ids})
+		if len(block) >= coordMergeBlock {
+			if !flush() {
+				capped = true
+				legCancel() // the caps are satisfied; stop the shards' work
+			}
+		}
+	}
+	if failed == nil && !capped {
+		if !flush() {
+			capped = true
+		}
+	}
+
+	if failed != nil {
+		msg, code, status := failed.Error(), CodeShardUnavailable, http.StatusBadGateway
+		switch {
+		case errors.Is(failed.err, context.DeadlineExceeded):
+			msg, code, status = "deadline exceeded", CodeDeadline, http.StatusGatewayTimeout
+		case errors.Is(failed.err, context.Canceled):
+			msg, code, status = "canceled", CodeCanceled, http.StatusServiceUnavailable
+		}
+		if !headerDone {
+			writeErrorCode(w, status, code, msg)
+			return true
+		}
+		sw.writeRecord(Record{Type: RecordError, Error: msg, Code: code, TraceID: trace})
+		return true
+	}
+
+	writeHeader()
+	merged := &StreamStats{
+		TraceID:    trace,
+		Matches:    matchesSent,
+		Truncated:  capped || sw.capHit,
+		LimitHit:   sl.LimitHit(),
+		ByteCapHit: sw.capHit,
+		Shards:     make([]ShardLegStats, len(results)),
+	}
+	var elapsedMax time.Duration
+	planCacheHit := true
+	for i, res := range results {
+		st := ShardLegStats{Shard: i}
+		if res != nil {
+			st.URL = res.url
+			st.Matches = res.matches
+			st.Bytes = res.bytes
+			st.ElapsedMicros = res.elapsed.Microseconds()
+			if res.elapsed > elapsedMax {
+				elapsedMax = res.elapsed
+			}
+			if res.err != nil {
+				st.Error = res.err.Error()
+			}
+			if legStats := res.stats; legStats != nil {
+				merged.Truncated = merged.Truncated || legStats.Truncated
+				merged.PlanMicros += legStats.PlanMicros
+				merged.ExploreMicros += legStats.ExploreMicros
+				merged.JoinMicros += legStats.JoinMicros
+				merged.NetMessages += legStats.NetMessages
+				merged.NetBytes += legStats.NetBytes
+				merged.ParallelTasks += legStats.ParallelTasks
+				merged.EmitFlushes += legStats.EmitFlushes
+				planCacheHit = planCacheHit && legStats.PlanCacheHit
+			} else {
+				planCacheHit = false
+			}
+		}
+		merged.Shards[i] = st
+	}
+	merged.PlanCacheHit = planCacheHit
+	merged.ElapsedMicros = elapsedMax.Microseconds()
+	sw.writeRecord(Record{Type: RecordStats, Stats: merged})
+	return false
+}
+
+// queryLeg runs one shard's query leg: POST the shard-scoped request,
+// stream its NDJSON records into msgs, and return the leg summary. A
+// cancelled context (cap satisfied, sibling failure, client gone) surfaces
+// as a context error, which the merge loop knows not to blame on the shard.
+func (c *coordinator) queryLeg(ctx context.Context, leg *shardLeg, ns string, req QueryRequest, trace string, msgs chan<- legMsg) *legQueryResult {
+	res := &legQueryResult{shard: leg.id, url: leg.url}
+	start := time.Now()
+	defer func() { res.elapsed = time.Since(start) }()
+	fail := func(err error) *legQueryResult {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		res.err = err
+		return res
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fail(err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, leg.legPath(ns, "/query"), bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(TraceHeader, trace)
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("leg status %d: %s", resp.StatusCode, readEnvelopeError(resp)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), coordMaxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		res.bytes += int64(len(line)) + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fail(fmt.Errorf("bad stream record: %w", err))
+		}
+		switch rec.Type {
+		case RecordMatch:
+			res.matches++
+			select {
+			case msgs <- legMsg{assignment: rec.Assignment}:
+			case <-ctx.Done():
+				return fail(ctx.Err())
+			}
+		case RecordStats:
+			res.stats = rec.Stats
+			return res
+		case RecordError:
+			return fail(fmt.Errorf("%s (%s)", rec.Error, rec.Code))
+		default:
+			return fail(fmt.Errorf("unknown stream record type %q", rec.Type))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail(err)
+	}
+	return fail(io.ErrUnexpectedEOF) // stream ended without a terminal record
+}
+
+// ---- broadcast updates and proxied admin ----
+
+// legHTTPResult is one shard's reply to a broadcast or proxied call.
+type legHTTPResult struct {
+	leg    *shardLeg
+	status int
+	body   []byte
+	err    error
+}
+
+// callLeg performs one HTTP call against a shard, forwarding the trace and
+// any Authorization header, and books the leg's counters.
+func (c *coordinator) callLeg(ctx context.Context, leg *shardLeg, r *http.Request, method, target string, body []byte) legHTTPResult {
+	start := time.Now()
+	out := legHTTPResult{leg: leg}
+	hreq, err := http.NewRequestWithContext(ctx, method, target, bytes.NewReader(body))
+	if err == nil {
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set(TraceHeader, r.Header.Get(TraceHeader))
+		if auth := r.Header.Get("Authorization"); auth != "" {
+			hreq.Header.Set("Authorization", auth)
+		}
+		var resp *http.Response
+		if resp, err = c.hc.Do(hreq); err == nil {
+			out.status = resp.StatusCode
+			out.body, err = io.ReadAll(io.LimitReader(resp.Body, coordMaxLine))
+			resp.Body.Close()
+		}
+	}
+	out.err = err
+	leg.record(int64(len(out.body)), time.Since(start), err != nil || out.status >= 500)
+	return out
+}
+
+// broadcast performs the same call against every shard concurrently and
+// returns the replies in shard order.
+func (c *coordinator) broadcast(ctx context.Context, r *http.Request, method, endpoint string, nsPath bool, ns string, body []byte) []legHTTPResult {
+	results := make([]legHTTPResult, len(c.legs))
+	var wg sync.WaitGroup
+	for i := range c.legs {
+		leg := c.legs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			target := leg.url + endpoint
+			if nsPath {
+				target = leg.legPath(ns, endpoint)
+			}
+			results[leg.id] = c.callLeg(ctx, leg, r, method, target, body)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// firstFailure scans broadcast replies for a dead shard: a transport error
+// or a 5xx. Client-level refusals (4xx: conflict, unauthorized, ...) are
+// not failures — the shards answer those consistently and the owner's reply
+// is relayed as-is.
+func firstFailure(results []legHTTPResult) *legError {
+	for _, res := range results {
+		if res.err != nil {
+			return &legError{shard: res.leg.id, url: res.leg.url, err: res.err}
+		}
+		if res.status >= 500 {
+			return &legError{shard: res.leg.id, url: res.leg.url,
+				err: fmt.Errorf("status %d: %s", res.status, strings.TrimSpace(string(res.body)))}
+		}
+	}
+	return nil
+}
+
+// relay copies one shard's reply to the client verbatim.
+func relay(w http.ResponseWriter, res legHTTPResult) bool {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+	return res.status >= 400
+}
+
+// writeLegError reports a dead shard with the degraded-mode envelope.
+func writeLegError(w http.ResponseWriter, le *legError) bool {
+	writeErrorCode(w, http.StatusBadGateway, CodeShardUnavailable, le.Error())
+	return true
+}
+
+// nodeCount returns the namespace's cached vertex count, fetching it from
+// shard 0's stats on a cache miss. Ownership routing tolerates a stale
+// count — every shard applies every update regardless; the count only
+// chooses whose acknowledgement the client sees.
+func (c *coordinator) nodeCount(ctx context.Context, r *http.Request, ns string) int64 {
+	if v, ok := c.nsNodes.Load(ns); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	leg := c.legs[0]
+	res := c.callLeg(ctx, leg, r, http.MethodGet, leg.legPath(ns, "/stats"), nil)
+	if res.err != nil || res.status != http.StatusOK {
+		return 0
+	}
+	var st StatsResponse
+	if json.Unmarshal(res.body, &st) != nil {
+		return 0
+	}
+	c.bumpNodeCount(ns, st.Graph.Nodes)
+	return st.Graph.Nodes
+}
+
+// bumpNodeCount raises the cached vertex count (never lowers it; remove_edge
+// and add_edge do not shrink the id space).
+func (c *coordinator) bumpNodeCount(ns string, n int64) {
+	v, _ := c.nsNodes.LoadOrStore(ns, &atomic.Int64{})
+	ctr := v.(*atomic.Int64)
+	for {
+		cur := ctr.Load()
+		if n <= cur || ctr.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// ownerShard picks which shard's acknowledgement an update returns: the
+// range owner of the mutation's anchor vertex — U for edge mutations, the
+// newly assigned id for add_node.
+func (c *coordinator) ownerShard(ctx context.Context, r *http.Request, ns string, req UpdateRequest, newNode int64) int {
+	anchor := req.U
+	n := c.nodeCount(ctx, r, ns)
+	if req.Op == OpAddNode {
+		anchor = newNode
+		if newNode >= n {
+			n = newNode + 1
+		}
+	}
+	if n < 1 || anchor < 0 {
+		return 0
+	}
+	part := memcloud.RangePartitioner{K: len(c.legs), N: n}
+	return part.Owner(graph.NodeID(anchor))
+}
+
+func (c *coordinator) handleUpdate(w http.ResponseWriter, r *http.Request) bool {
+	s := c.s
+	if s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	name := nsName(r)
+	var req UpdateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	if _, err := mutationFromRequest(req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return true
+	}
+	body, _ := json.Marshal(req)
+	results := c.broadcast(r.Context(), r, http.MethodPost, "/update", true, name, body)
+	if le := firstFailure(results); le != nil {
+		// At least one replica missed the write: converging the survivors
+		// while a shard is gone would fork the replicas, so the whole
+		// update is reported failed. (Shards that did apply it are ahead;
+		// the runbook's answer is restoring the dead shard from a peer's
+		// snapshot, exactly like a follower bootstrap.)
+		return writeLegError(w, le)
+	}
+	var newNode int64 = -1
+	if req.Op == OpAddNode {
+		var ur UpdateResponse
+		if json.Unmarshal(results[0].body, &ur) == nil && results[0].status == http.StatusOK {
+			newNode = ur.NodeID
+			c.bumpNodeCount(name, newNode+1)
+		}
+	}
+	owner := c.ownerShard(r.Context(), r, name, req, newNode)
+	return relay(w, results[owner])
+}
+
+func (c *coordinator) handleBulkUpdate(w http.ResponseWriter, r *http.Request) bool {
+	s := c.s
+	if s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	name := nsName(r)
+	var req BulkUpdateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "bulk update requires at least one mutation")
+		return true
+	}
+	if len(req.Updates) > MaxBulkUpdates {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bulk update carries %d mutations; the limit is %d", len(req.Updates), MaxBulkUpdates))
+		return true
+	}
+	for i, u := range req.Updates {
+		if _, err := mutationFromRequest(u); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("updates[%d]: %v", i, err))
+			return true
+		}
+	}
+	body, _ := json.Marshal(req)
+	results := c.broadcast(r.Context(), r, http.MethodPost, "/update/bulk", true, name, body)
+	if le := firstFailure(results); le != nil {
+		return writeLegError(w, le)
+	}
+	// Keep the node-count cache warm off the batch's add_node results.
+	if results[0].status == http.StatusOK {
+		var br BulkUpdateResponse
+		if json.Unmarshal(results[0].body, &br) == nil {
+			for _, item := range br.Results {
+				if item.NodeID >= 0 {
+					c.bumpNodeCount(name, item.NodeID+1)
+				}
+			}
+		}
+	}
+	owner := c.ownerShard(r.Context(), r, name, req.Updates[0], -1)
+	return relay(w, results[owner])
+}
+
+func (c *coordinator) handleExplain(w http.ResponseWriter, r *http.Request) bool {
+	if c.s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	// Plans are identical on every replica; shard 0 answers for the cluster.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.s.cfg.MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	leg := c.legs[0]
+	res := c.callLeg(r.Context(), leg, r, http.MethodPost, leg.legPath(nsName(r), "/explain"), body)
+	if res.err != nil || res.status >= 500 {
+		return writeLegError(w, firstFailure([]legHTTPResult{res}))
+	}
+	return relay(w, res)
+}
+
+// handleStats serves the cluster view of a namespace: shard 0's stats body
+// (graph, engine, queue — identical shape on every replica) with the
+// coordinator's own cluster block and endpoint counters spliced in.
+func (c *coordinator) handleStats(w http.ResponseWriter, r *http.Request) bool {
+	leg := c.legs[0]
+	res := c.callLeg(r.Context(), leg, r, http.MethodGet, leg.legPath(nsName(r), "/stats"), nil)
+	if res.err != nil || res.status >= 500 {
+		return writeLegError(w, firstFailure([]legHTTPResult{res}))
+	}
+	if res.status != http.StatusOK {
+		return relay(w, res)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(res.body, &st); err != nil {
+		return writeLegError(w, &legError{shard: leg.id, url: leg.url, err: fmt.Errorf("bad stats body: %w", err)})
+	}
+	c.bumpNodeCount(st.Namespace, st.Graph.Nodes)
+	st.UptimeSeconds = time.Since(c.s.start).Seconds()
+	st.Draining = c.s.draining.Load()
+	st.Cluster = c.info()
+	st.Endpoints = c.s.met.snapshot()
+	writeJSON(w, http.StatusOK, st)
+	return false
+}
+
+func (c *coordinator) handleListNamespaces(w http.ResponseWriter, r *http.Request) bool {
+	leg := c.legs[0]
+	res := c.callLeg(r.Context(), leg, r, http.MethodGet, leg.url+"/v1/ns", nil)
+	if res.err != nil || res.status >= 500 {
+		return writeLegError(w, firstFailure([]legHTTPResult{res}))
+	}
+	return relay(w, res)
+}
+
+func (c *coordinator) handleCreateNamespace(w http.ResponseWriter, r *http.Request) bool {
+	if c.s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.s.cfg.MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return true
+	}
+	results := c.broadcast(r.Context(), r, http.MethodPost, "/v1/ns", false, "", body)
+	if le := firstFailure(results); le != nil {
+		return writeLegError(w, le)
+	}
+	return relay(w, results[0])
+}
+
+func (c *coordinator) handleDropNamespace(w http.ResponseWriter, r *http.Request) bool {
+	if c.s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return true
+	}
+	name := nsName(r)
+	results := c.broadcast(r.Context(), r, http.MethodDelete, "", true, name, nil)
+	if le := firstFailure(results); le != nil {
+		return writeLegError(w, le)
+	}
+	c.nsNodes.Delete(name)
+	return relay(w, results[0])
+}

@@ -241,19 +241,25 @@ func (r *replicator) infoFor(name string) *ReplicationInfo {
 }
 
 // run is the manifest poll loop: discover namespaces, spawn their tails.
+// The failure backoff is tracked separately from the steady-state poll
+// cadence: sleeping replManifestPoll after a success must not become the
+// seed of the next failure's backoff, or the first retry after any outage
+// would jump straight to the cap instead of replRetryMin.
 func (r *replicator) run() {
 	defer r.wg.Done()
 	log := r.s.cfg.Logger
 	log.Info("follower: replication starting", "leader", r.leader)
-	delay := replRetryMin
+	bo := newReplBackoff()
 	for {
+		var delay time.Duration
 		if err := r.syncManifest(); err != nil {
 			if r.ctx.Err() != nil {
 				return
 			}
 			log.Warn("follower: manifest sync failed", "leader", r.leader, "error", err)
-			delay = min(delay*2, replRetryMax)
+			delay = bo.failure()
 		} else {
+			bo.success()
 			delay = replManifestPoll
 		}
 		select {
@@ -262,6 +268,29 @@ func (r *replicator) run() {
 		case <-time.After(delay):
 		}
 	}
+}
+
+// replBackoff is the reconnect backoff shared by the manifest and tail
+// loops: exponential from replRetryMin to replRetryMax, reset on success.
+type replBackoff struct {
+	next time.Duration
+}
+
+func newReplBackoff() *replBackoff {
+	return &replBackoff{next: replRetryMin}
+}
+
+// failure returns the delay to sleep before the next attempt and advances
+// the backoff.
+func (b *replBackoff) failure() time.Duration {
+	d := b.next
+	b.next = min(b.next*2, replRetryMax)
+	return d
+}
+
+// success resets the backoff so the next failure starts from replRetryMin.
+func (b *replBackoff) success() {
+	b.next = replRetryMin
 }
 
 // syncManifest fetches the leader's manifest and starts a tail goroutine

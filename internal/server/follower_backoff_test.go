@@ -1,0 +1,62 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// The manifest-poll loop historically reused one delay variable for both
+// the steady-state poll cadence and the failure backoff: after the first
+// successful sync the delay was re-seeded from replManifestPoll (2s), so
+// the next failure doubled that straight to the 3s cap and the documented
+// replRetryMin exponential ramp never happened again. replBackoff keeps
+// the two concerns separate; pin its contract here.
+
+func TestReplBackoffRampsFromMin(t *testing.T) {
+	bo := newReplBackoff()
+	want := []time.Duration{
+		replRetryMin,
+		replRetryMin * 2,
+		replRetryMin * 4,
+		replRetryMin * 8,
+		replRetryMin * 16,
+		replRetryMax, // 3.2s capped at 3s
+		replRetryMax,
+	}
+	for i, w := range want {
+		if got := bo.failure(); got != w {
+			t.Fatalf("failure %d: delay = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestReplBackoffResetsOnSuccess(t *testing.T) {
+	bo := newReplBackoff()
+	// Ride the ramp to the cap, then recover.
+	for i := 0; i < 10; i++ {
+		bo.failure()
+	}
+	bo.success()
+	if got := bo.failure(); got != replRetryMin {
+		t.Fatalf("first failure after success: delay = %v, want %v", got, replRetryMin)
+	}
+	if got := bo.failure(); got != 2*replRetryMin {
+		t.Fatalf("second failure after success: delay = %v, want %v", got, 2*replRetryMin)
+	}
+}
+
+// A success must not leak the poll cadence into the backoff seed: even
+// after many successful rounds, the first failure retries at replRetryMin,
+// not at (or beyond) replManifestPoll.
+func TestReplBackoffSuccessDoesNotSeedPollCadence(t *testing.T) {
+	bo := newReplBackoff()
+	for i := 0; i < 5; i++ {
+		bo.success()
+	}
+	if got := bo.failure(); got != replRetryMin {
+		t.Fatalf("failure after repeated successes: delay = %v, want %v", got, replRetryMin)
+	}
+	if replRetryMin >= replManifestPoll {
+		t.Fatalf("replRetryMin (%v) should be far below replManifestPoll (%v)", replRetryMin, replManifestPoll)
+	}
+}

@@ -115,6 +115,15 @@ func lintExposition(t *testing.T, text string) {
 	if len(declaredType) == 0 {
 		t.Fatal("no metric families in exposition")
 	}
+	// Prometheus naming convention: a counter's name carries the _total
+	// suffix. A counter without it is usually a value that can regress (an
+	// epoch, a position) mistyped as counter — rate()/increase() silently
+	// mis-answer over those — so reject the whole class.
+	for name, typ := range declaredType {
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter %s lacks the _total suffix — regressable values must be gauges", name)
+		}
+	}
 	lintHistogramContract(t, text, declaredType)
 }
 
@@ -182,6 +191,7 @@ func lintHistogramContract(t *testing.T, text string, declaredType map[string]st
 	}
 	buckets := map[string]map[string]*series{} // family → labelKey → series
 	counts := map[string]map[string]float64{}  // family → labelKey → _count
+	sums := map[string]map[string]bool{}       // family → labelKey → has _sum
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -222,6 +232,12 @@ func lintHistogramContract(t *testing.T, text string, declaredType map[string]st
 			}
 			counts[base][labelKey(labels)] = v
 		}
+		if base := strings.TrimSuffix(name, "_sum"); base != name && declaredType[base] == "histogram" {
+			if sums[base] == nil {
+				sums[base] = map[string]bool{}
+			}
+			sums[base][labelKey(labels)] = true
+		}
 	}
 	if len(buckets) == 0 {
 		t.Error("no histogram _bucket families in exposition")
@@ -253,6 +269,11 @@ func lintHistogramContract(t *testing.T, text string, declaredType map[string]st
 			}
 			if prev != cnt {
 				t.Errorf("%s{%s}: le=\"+Inf\" bucket %g != _count %g", family, key, prev, cnt)
+			}
+			// Strict parsers and _sum/_count mean dashboards need _sum; a
+			// histogram shipping buckets without it is incomplete.
+			if !sums[family][key] {
+				t.Errorf("%s{%s}: buckets without a _sum sample", family, key)
 			}
 		}
 	}

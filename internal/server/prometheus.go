@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -123,7 +124,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) bool {
 		func(st *nsState) float64 { return float64(st.snap.Nodes) })
 	perNS("stwig_graph_machines", "gauge", "Simulated machines in the namespace's cluster.",
 		func(st *nsState) float64 { return float64(st.snap.Machines) })
-	perNS("stwig_graph_epoch", "counter", "Mutation epoch of the namespace's graph.",
+	// Gauge, not counter: the epoch regresses on namespace drop/re-create
+	// and on a follower snapshot re-bootstrap, which would break
+	// rate()/increase() over a counter series.
+	perNS("stwig_graph_epoch", "gauge", "Mutation epoch of the namespace's graph.",
 		func(st *nsState) float64 { return float64(st.snap.Epoch) })
 	perNS("stwig_graph_memory_bytes", "gauge", "Estimated resident bytes across the namespace's machines.",
 		func(st *nsState) float64 { return float64(st.snap.MemoryBytes) })
@@ -191,8 +195,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) bool {
 	// Batch-size histogram. stats() emits BatchSizes cumulatively with the
 	// unbounded bucket (Le = -1) last, which maps directly onto le="+Inf"
 	// and equals Batches — the _count series below, as the exposition
-	// format requires. No _sum series: the pipeline does not track the
-	// summed batch size.
+	// format requires. _sum is the summed batch size the pipeline
+	// accumulates, so _sum/_count is the mean applied batch size.
 	p.family("stwig_update_batch_size", "histogram", "Distribution of applied batch sizes.")
 	for i := range states {
 		st := &states[i]
@@ -203,6 +207,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) bool {
 			}
 			p.sample("stwig_update_batch_size_bucket", promLabels("ns", st.ns.name, "le", le), float64(b.Count))
 		}
+		p.sample("stwig_update_batch_size_sum", st.label, float64(st.upd.BatchSizeSum))
 		p.sample("stwig_update_batch_size_count", st.label, float64(st.upd.Batches))
 	}
 
@@ -280,6 +285,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) bool {
 			promoted = 1
 		}
 		p.sample("stwig_replication_promoted", "", promoted)
+	}
+
+	// Cluster. Families only materialize on a coordinator (-shard-map with
+	// no -shard-id); every sample is one shard leg's cumulative fan-out
+	// traffic, labeled by its position in the shard map.
+	if s.coord != nil {
+		p.family("stwig_cluster_shards", "gauge", "Shard processes in the static shard map.")
+		p.sample("stwig_cluster_shards", "", float64(len(s.coord.legs)))
+		perLeg := func(name, typ, help string, get func(l *shardLeg) float64) {
+			p.family(name, typ, help)
+			for _, l := range s.coord.legs {
+				l.mu.Lock()
+				v := get(l)
+				l.mu.Unlock()
+				p.sample(name, promLabels("shard", strconv.Itoa(l.id)), v)
+			}
+		}
+		perLeg("stwig_cluster_leg_requests_total", "counter", "Fan-out calls issued to the shard.",
+			func(l *shardLeg) float64 { return float64(l.requests) })
+		perLeg("stwig_cluster_leg_errors_total", "counter", "Fan-out calls that failed (transport error or 5xx).",
+			func(l *shardLeg) float64 { return float64(l.errors) })
+		perLeg("stwig_cluster_leg_bytes_read_total", "counter", "Response bytes read off the shard's legs.",
+			func(l *shardLeg) float64 { return float64(l.bytesRead) })
+		p.family("stwig_cluster_leg_latency_seconds", "histogram", "Wall time of one fan-out leg, end to end.")
+		for _, l := range s.coord.legs {
+			p.latencyHistogram("stwig_cluster_leg_latency_seconds", &l.lat, "shard", strconv.Itoa(l.id))
+		}
 	}
 
 	// HTTP endpoints: per-tenant series labeled {ns, route}; the non-tenant

@@ -6,7 +6,9 @@ package server_test
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -17,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"stwig/internal/journal"
 	"stwig/internal/server"
 	"stwig/internal/server/client"
 )
@@ -311,4 +314,109 @@ func TestFollowerTornTailRestart(t *testing.T) {
 	_, cf2, _ := bootFollower(t, dirF, leaderURL)
 	awaitReplicated(t, cf2, leaderSeqOf(t, cl))
 	requireConverged(t, cl, cf2, model)
+}
+
+// bootPaddedLeader is bootLeader with journal alignment left at a real
+// deployment's block size, so every Sync pads the on-disk journal with
+// zeros — the file shape a follower's wal requests actually tail between
+// group commits.
+func bootPaddedLeader(t *testing.T, dir string) (*server.Server, *client.Client, string) {
+	t.Helper()
+	svc, err := server.NewMulti(server.Config{
+		DataDir:        dir,
+		AdminToken:     replTestToken,
+		UpdateLockWait: time.Second,
+		JournalAlign:   4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddNamespaceSpec(mustSpec(t, durName, durSpec)); err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, svc)
+	return svc, client.New(ts.URL).Namespace(durName), ts.URL
+}
+
+// TestFollowerConvergesOnPaddedLeader pins replication over an aligned
+// journal: with the leader's live journal file zero-padded to 4 KiB blocks,
+// the shipped wal frames must exclude the padding (a follower that scanned
+// zeros would stall on a permanently torn tail) and the follower must
+// converge to the oracle exactly as it does against an unpadded leader.
+func TestFollowerConvergesOnPaddedLeader(t *testing.T) {
+	dirL := t.TempDir()
+	_, cl, leaderURL := bootPaddedLeader(t, dirL)
+	models := applyDurMutations(t, cl)
+
+	// The padding must really be there: a live aligned journal's physical
+	// length is a block multiple strictly above its logical (framed) length.
+	wal := filepath.Join(dirL, "ns", durName, "journal.wal")
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size()%4096 != 0 || fi.Size() == 0 {
+		t.Fatalf("leader journal is %d bytes, want a non-zero multiple of the 4096 alignment", fi.Size())
+	}
+
+	// The wire never carries the padding: the full tail's frames re-scan
+	// cleanly with no torn tail and end exactly at the leader's last seq.
+	leaderSeq := leaderSeqOf(t, cl)
+	resp, err := http.Get(leaderURL + "/v1/ns/" + durName + "/wal?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("wal tail: status %d, err %v", resp.StatusCode, err)
+	}
+	if int64(len(frames)) >= fi.Size() {
+		t.Fatalf("shipped tail is %d bytes, the padded file %d: padding leaked onto the wire", len(frames), fi.Size())
+	}
+	recs, rep, err := journal.Scan(bytes.NewReader(frames))
+	if err != nil || rep.Torn {
+		t.Fatalf("shipped frames do not scan cleanly: err=%v torn=%v", err, rep.Torn)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].Seq != leaderSeq {
+		t.Fatalf("shipped frames end at seq %d of %d records, want leader seq %d",
+			recs[len(recs)-1].Seq, len(recs), leaderSeq)
+	}
+
+	_, cf, _ := bootFollower(t, t.TempDir(), leaderURL)
+	awaitReplicated(t, cf, leaderSeq)
+	requireConverged(t, cl, cf, models[len(models)-1])
+}
+
+// TestWalLongPollCaughtUpCarriesLeaderSeq pins the caught-up long-poll
+// contract: when the wait window expires with nothing new, the empty 200
+// still carries X-Stwig-Leader-Seq — the seq read under the same reader-gate
+// window that decided "caught up" — so a follower's lag gauge stays exact
+// even across idle polls.
+func TestWalLongPollCaughtUpCarriesLeaderSeq(t *testing.T) {
+	_, cl, leaderURL := bootLeader(t, t.TempDir())
+	applyDurMutations(t, cl)
+	leaderSeq := leaderSeqOf(t, cl)
+
+	url := fmt.Sprintf("%s/v1/ns/%s/wal?from=%d&wait_ms=50", leaderURL, durName, leaderSeq)
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("caught-up poll: status %d with %d body bytes, want an empty 200", resp.StatusCode, len(body))
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatalf("caught-up poll returned in %v, before the 50ms wait window", time.Since(start))
+	}
+	got := resp.Header.Get(server.LeaderSeqHeader)
+	if got != fmt.Sprint(leaderSeq) {
+		t.Fatalf("caught-up poll %s = %q, want the leader seq %d", server.LeaderSeqHeader, got, leaderSeq)
+	}
 }

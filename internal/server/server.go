@@ -50,6 +50,11 @@ type Server struct {
 	// a plain leader. While it is active and unpromoted every mutating
 	// endpoint answers 403 read_only.
 	repl *replicator
+	// coord is the scatter-gather fan-out runtime (Config.ShardMap with a
+	// negative ShardID); nil on shards and on non-clustered servers. A
+	// coordinator hosts no namespaces: its tenant routes are served by
+	// fanning out to the shard map instead of by the registry.
+	coord *coordinator
 
 	draining atomic.Bool
 	// runCtx is canceled by Abort; every request context is joined to it
@@ -123,35 +128,57 @@ func NewMulti(cfg Config) (*Server, error) {
 		mux.HandleFunc(method+" /v1"+path, h)
 		mux.HandleFunc(pattern, deprecateLegacy(h))
 	}
-	// Unprefixed tenant routes alias the default namespace…
-	route("POST /query", s.nsRoute("/query", s.handleQuery))
-	route("POST /explain", s.nsRoute("/explain", s.handleExplain))
-	route("POST /update", s.nsRoute("/update", s.handleUpdate))
-	route("GET /stats", s.nsRoute("/stats", s.handleStats))
-	// …and the routed forms address any tenant.
-	route("POST /ns/{ns}/query", s.nsRoute("/query", s.handleQuery))
-	route("POST /ns/{ns}/explain", s.nsRoute("/explain", s.handleExplain))
-	route("POST /ns/{ns}/update", s.nsRoute("/update", s.handleUpdate))
-	route("GET /ns/{ns}/stats", s.nsRoute("/stats", s.handleStats))
-	// Admin: list, create, drop.
-	route("GET /ns", s.instrument("/ns", s.handleListNamespaces))
-	route("POST /ns", s.instrument("/ns", s.handleCreateNamespace))
-	route("DELETE /ns/{ns}", s.instrument("/ns", s.handleDropNamespace))
+	if cfg.ShardMap != "" && cfg.ShardID < 0 {
+		// Coordinator mode: the tenant surface is served by scatter-gather
+		// fan-out over the shard map, not by the local registry — the
+		// coordinator owns no graph. Replication wire routes are absent
+		// (replication runs per shard); healthz/version/metrics below stay
+		// local.
+		s.coord = newCoordinator(s)
+		route("POST /query", s.instrument("/query", s.coord.handleQuery))
+		route("POST /explain", s.instrument("/explain", s.coord.handleExplain))
+		route("POST /update", s.instrument("/update", s.coord.handleUpdate))
+		route("GET /stats", s.instrument("/stats", s.coord.handleStats))
+		route("POST /ns/{ns}/query", s.instrument("/query", s.coord.handleQuery))
+		route("POST /ns/{ns}/explain", s.instrument("/explain", s.coord.handleExplain))
+		route("POST /ns/{ns}/update", s.instrument("/update", s.coord.handleUpdate))
+		route("GET /ns/{ns}/stats", s.instrument("/stats", s.coord.handleStats))
+		route("GET /ns", s.instrument("/ns", s.coord.handleListNamespaces))
+		route("POST /ns", s.instrument("/ns", s.coord.handleCreateNamespace))
+		route("DELETE /ns/{ns}", s.instrument("/ns", s.coord.handleDropNamespace))
+		mux.HandleFunc("POST /v1/ns/{ns}/update/bulk", s.instrument("/update/bulk", s.coord.handleBulkUpdate))
+		mux.HandleFunc("POST /v1/update/bulk", s.instrument("/update/bulk", s.coord.handleBulkUpdate))
+	} else {
+		// Unprefixed tenant routes alias the default namespace…
+		route("POST /query", s.nsRoute("/query", s.handleQuery))
+		route("POST /explain", s.nsRoute("/explain", s.handleExplain))
+		route("POST /update", s.nsRoute("/update", s.handleUpdate))
+		route("GET /stats", s.nsRoute("/stats", s.handleStats))
+		// …and the routed forms address any tenant.
+		route("POST /ns/{ns}/query", s.nsRoute("/query", s.handleQuery))
+		route("POST /ns/{ns}/explain", s.nsRoute("/explain", s.handleExplain))
+		route("POST /ns/{ns}/update", s.nsRoute("/update", s.handleUpdate))
+		route("GET /ns/{ns}/stats", s.nsRoute("/stats", s.handleStats))
+		// Admin: list, create, drop.
+		route("GET /ns", s.instrument("/ns", s.handleListNamespaces))
+		route("POST /ns", s.instrument("/ns", s.handleCreateNamespace))
+		route("DELETE /ns/{ns}", s.instrument("/ns", s.handleDropNamespace))
+		// Replication wire protocol and promotion are /v1-only: they are new
+		// with the versioned surface, so no legacy alias exists to deprecate.
+		mux.HandleFunc("GET /v1/ns/{ns}/wal", s.nsRoute("/wal", s.handleWALTail))
+		mux.HandleFunc("GET /v1/ns/{ns}/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
+		mux.HandleFunc("GET /v1/wal", s.nsRoute("/wal", s.handleWALTail))
+		mux.HandleFunc("GET /v1/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
+		// Bulk updates are likewise /v1-only: the endpoint arrived with group
+		// commit, after the unversioned surface was frozen.
+		mux.HandleFunc("POST /v1/ns/{ns}/update/bulk", s.nsRoute("/update/bulk", s.handleBulkUpdate))
+		mux.HandleFunc("POST /v1/update/bulk", s.nsRoute("/update/bulk", s.handleBulkUpdate))
+		mux.HandleFunc("GET /v1/replication/manifest", s.instrument("/replication/manifest", s.handleReplicationManifest))
+		mux.HandleFunc("POST /v1/admin/promote", s.instrument("/admin/promote", s.handlePromote))
+	}
 	route("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	route("GET /version", s.instrument("/version", s.handleVersion))
 	route("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	// Replication wire protocol and promotion are /v1-only: they are new
-	// with the versioned surface, so no legacy alias exists to deprecate.
-	mux.HandleFunc("GET /v1/ns/{ns}/wal", s.nsRoute("/wal", s.handleWALTail))
-	mux.HandleFunc("GET /v1/ns/{ns}/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
-	mux.HandleFunc("GET /v1/wal", s.nsRoute("/wal", s.handleWALTail))
-	mux.HandleFunc("GET /v1/snapshot", s.nsRoute("/snapshot", s.handleSnapshot))
-	// Bulk updates are likewise /v1-only: the endpoint arrived with group
-	// commit, after the unversioned surface was frozen.
-	mux.HandleFunc("POST /v1/ns/{ns}/update/bulk", s.nsRoute("/update/bulk", s.handleBulkUpdate))
-	mux.HandleFunc("POST /v1/update/bulk", s.nsRoute("/update/bulk", s.handleBulkUpdate))
-	mux.HandleFunc("GET /v1/replication/manifest", s.instrument("/replication/manifest", s.handleReplicationManifest))
-	mux.HandleFunc("POST /v1/admin/promote", s.instrument("/admin/promote", s.handlePromote))
 	// Unknown paths get the uniform error envelope instead of net/http's
 	// plain-text 404.
 	mux.HandleFunc("/", s.instrument("/{unknown}", func(w http.ResponseWriter, r *http.Request) bool {
@@ -454,6 +481,12 @@ func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWrite
 		writeError(w, status, err.Error())
 		return true
 	}
+	if req.Shard != nil {
+		if code, serr := s.validateShard(req.Shard); serr != nil {
+			writeErrorCode(w, http.StatusBadRequest, code, serr.Error())
+			return true
+		}
+	}
 	timeout, maxMatches := ns.cfg.effectiveLimits(req)
 	lim := core.Limits{Timeout: timeout, MaxMatches: maxMatches}
 	ctx, cancel := s.requestContext(r, lim)
@@ -495,8 +528,36 @@ func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWrite
 		matchesSent += sent
 		return sent, ok
 	})
+	emit := emitBlock
+	if req.Shard != nil {
+		// Cluster mode's disjointness contract: the full graph is
+		// replicated on every shard, but this shard only emits matches
+		// whose root vertex (assignment[0]) it owns under the range
+		// partition of the id space — so the coordinator's merged union
+		// over all shards is exactly the single-machine answer, with no
+		// duplicates. The filter runs before the stream limiter: dropped
+		// matches must not count against the request's match cap.
+		part := memcloud.RangePartitioner{K: req.Shard.Count, N: ns.eng.Snapshot().Nodes}
+		want := req.Shard.Index
+		emit = func(ms []core.Match) (int, bool) {
+			kept := make([]core.Match, 0, len(ms))
+			for _, m := range ms {
+				var root graph.NodeID
+				if len(m.Assignment) > 0 {
+					root = m.Assignment[0]
+				}
+				if part.Owner(root) == want {
+					kept = append(kept, m)
+				}
+			}
+			if len(kept) == 0 {
+				return 0, true
+			}
+			return emitBlock(kept)
+		}
+	}
 	start := time.Now()
-	stats, err := ns.eng.MatchStreamBlocks(ctx, q, emitBlock)
+	stats, err := ns.eng.MatchStreamBlocks(ctx, q, emit)
 	elapsed := time.Since(start)
 	rl.exec = elapsed
 	rl.matches = matchesSent
@@ -543,6 +604,40 @@ func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWrite
 		EmitFlushes:   stats.EmitFlushes,
 	}})
 	return false
+}
+
+// validateShard checks a request's shard selector: internally consistent,
+// and — on a process that knows its own cluster identity — matching this
+// shard. A selector addressed to the wrong shard would silently drop or
+// duplicate matches in the coordinator's merge, so it is refused loudly.
+func (s *Server) validateShard(sel *ShardSelector) (code string, err error) {
+	if sel.Count < 1 || sel.Index < 0 || sel.Index >= sel.Count {
+		return CodeBadRequest, fmt.Errorf("invalid shard selector: index %d of %d", sel.Index, sel.Count)
+	}
+	if s.cfg.ShardMap != "" && s.cfg.ShardID >= 0 {
+		if n := len(parseShardMap(s.cfg.ShardMap)); sel.Count != n || sel.Index != s.cfg.ShardID {
+			return CodeWrongShard, fmt.Errorf("shard selector %d of %d does not match this process (shard %d of %d)",
+				sel.Index, sel.Count, s.cfg.ShardID, n)
+		}
+	}
+	return "", nil
+}
+
+// clusterInfo snapshots the process's cluster-mode state for /stats; nil
+// outside cluster mode.
+func (s *Server) clusterInfo() *ClusterInfo {
+	if s.cfg.ShardMap == "" {
+		return nil
+	}
+	if s.coord != nil {
+		return s.coord.info()
+	}
+	urls := parseShardMap(s.cfg.ShardMap)
+	ci := &ClusterInfo{Role: "shard", ShardID: s.cfg.ShardID, Shards: make([]ShardInfo, len(urls))}
+	for i, u := range urls {
+		ci.Shards[i] = ShardInfo{Shard: i, URL: u}
+	}
+	return ci
 }
 
 // journalStatsOf snapshots a namespace's journal counters, nil when it is
@@ -870,6 +965,7 @@ func (s *Server) handleStats(ns *namespace, rl *requestLog, w http.ResponseWrite
 		UpdateQueue: ns.pipe.stats(),
 		Journal:     journalStatsOf(ns),
 		Replication: s.replicationInfoFor(ns.name),
+		Cluster:     s.clusterInfo(),
 		Endpoints:   endpoints,
 	})
 	return false

@@ -216,6 +216,7 @@ type updatePipeline struct {
 	batches         uint64
 	maxBatch        int
 	batchSizes      [len(batchSizeBuckets) + 1]uint64
+	batchSizeSum    uint64
 	waitHist        histogram
 	applyHist       histogram
 }
@@ -637,6 +638,7 @@ func (p *updatePipeline) ackApplied(rec pendRec, results []memcloud.MutationResu
 		bi++
 	}
 	p.batchSizes[bi]++
+	p.batchSizeSum += uint64(rec.size)
 	for _, r := range results {
 		if r.Err != nil {
 			p.conflicts++
@@ -717,6 +719,7 @@ func (p *updatePipeline) stats() UpdateQueueInfo {
 		JournalFailures: p.journalFailures,
 		Batches:         p.batches,
 		MaxBatch:        p.maxBatch,
+		BatchSizeSum:    p.batchSizeSum,
 	}
 	sizes := p.batchSizes
 	p.mu.Unlock()

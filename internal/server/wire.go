@@ -23,6 +23,18 @@ type QueryRequest struct {
 	// executed for real — matches discarded — and the response carries the
 	// rendered span tree and its trace ID alongside the plan.
 	Analyze bool `json:"analyze,omitempty"`
+	// Shard, when set, restricts the stream to matches whose root vertex
+	// (assignment[0]) this shard owns under the range partition of the id
+	// space into Count shards. The coordinator sets it on every fan-out
+	// leg so the legs' match sets are disjoint and their union is the full
+	// answer; clients normally leave it unset.
+	Shard *ShardSelector `json:"shard,omitempty"`
+}
+
+// ShardSelector names one shard of a Count-way range partition.
+type ShardSelector struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
 }
 
 // Record is one NDJSON line of a streamed /query response. A stream is any
@@ -83,6 +95,28 @@ type StreamStats struct {
 	Parallelism   int    `json:"parallelism,omitempty"`
 	ParallelTasks uint64 `json:"parallel_tasks,omitempty"`
 	EmitFlushes   uint64 `json:"emit_flushes,omitempty"`
+	// Shards is set on coordinator-merged streams: one entry per fan-out
+	// leg, in shard order, with the leg's contribution to the merged
+	// stream and its wire cost.
+	Shards []ShardLegStats `json:"shards,omitempty"`
+}
+
+// ShardLegStats is one scatter-gather leg's summary inside a coordinator's
+// merged stream stats.
+type ShardLegStats struct {
+	// Shard is the leg's shard id; URL its base URL from the shard map.
+	Shard int    `json:"shard"`
+	URL   string `json:"url,omitempty"`
+	// Matches is how many match records the leg contributed to the merged
+	// stream; Bytes is the NDJSON bytes read off the leg's response.
+	Matches int   `json:"matches"`
+	Bytes   int64 `json:"bytes"`
+	// ElapsedMicros is the leg's wall time, first byte to leg EOF (or to
+	// the coordinator cutting it off at a global cap).
+	ElapsedMicros int64 `json:"elapsed_us"`
+	// Error is set when the leg failed; the merged stream then terminates
+	// with a shard_unavailable error record naming the shard.
+	Error string `json:"error,omitempty"`
 }
 
 // ExplainResponse is the body of a POST /explain reply.
@@ -230,6 +264,8 @@ const (
 	CodeNotPersisted     = "not_persisted"     // replication endpoint on a journal-less namespace
 	CodeSnapshotRequired = "snapshot_required" // wal cursor predates the checkpoint; bootstrap from /snapshot
 	CodeNotFollower      = "not_a_follower"    // promote on a server that follows nobody
+	CodeShardUnavailable = "shard_unavailable" // a scatter-gather leg failed; the message names the shard
+	CodeWrongShard       = "wrong_shard"       // request's shard selector does not match this process
 )
 
 // StatsResponse is the body of GET /stats and GET /ns/{name}/stats. All
@@ -257,9 +293,37 @@ type StatsResponse struct {
 	// Replication reports WAL-shipping state; absent unless the server is
 	// (or was, before promotion) a follower.
 	Replication *ReplicationInfo `json:"replication,omitempty"`
+	// Cluster reports shard-map state; absent unless the server runs in
+	// cluster mode (coordinator or shard).
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
 	// Endpoints maps route (e.g. "/query") to its request counters and
 	// latency histogram summary.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// ClusterInfo snapshots a cluster-mode process for GET /stats.
+type ClusterInfo struct {
+	// Role is "coordinator" or "shard".
+	Role string `json:"role"`
+	// ShardID is this process's index into the shard map (shards only).
+	ShardID int `json:"shard_id,omitempty"`
+	// Shards has one entry per shard-map slot, in shard order. On a
+	// coordinator each entry carries that leg's cumulative counters; on a
+	// shard only the URLs are populated.
+	Shards []ShardInfo `json:"shards"`
+}
+
+// ShardInfo is one shard-map slot's state inside ClusterInfo.
+type ShardInfo struct {
+	Shard int    `json:"shard"`
+	URL   string `json:"url"`
+	// Coordinator-side cumulative per-leg counters: requests fanned out,
+	// leg failures, NDJSON bytes read off the leg, and total leg wall time
+	// in microseconds (latency histograms are on /metrics).
+	Requests     uint64 `json:"requests,omitempty"`
+	Errors       uint64 `json:"errors,omitempty"`
+	BytesRead    uint64 `json:"bytes_read,omitempty"`
+	ElapsedMicro uint64 `json:"elapsed_us,omitempty"`
 }
 
 // JournalInfo snapshots one namespace's durability state: the write-ahead
@@ -434,6 +498,10 @@ type UpdateQueueInfo struct {
 	// is the largest batch applied, in mutations.
 	Batches  uint64 `json:"batches"`
 	MaxBatch int    `json:"max_batch"`
+	// BatchSizeSum is the total number of mutations across all applied
+	// batches — the histogram's _sum, so BatchSizeSum/Batches is the mean
+	// applied batch size.
+	BatchSizeSum uint64 `json:"batch_size_sum"`
 	// BatchSizes is the batch-size (mutations per batch) histogram in
 	// cumulative form: Count batches had a size of at most Le, buckets
 	// non-decreasing in Le order, and the final bucket (Le = -1, unbounded)
