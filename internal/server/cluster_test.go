@@ -375,6 +375,134 @@ func TestClusterDegradedMode(t *testing.T) {
 	}
 }
 
+// TestClusterConcurrentUpdateConvergence pins the coordinator's
+// single-writer-per-namespace rule: concurrent add_node updates racing
+// through the coordinator must reach every shard in one order, so all
+// replicas assign the same id to the same logical node and every ack names
+// an id the whole cluster agrees on. Without serialization, shard A can
+// apply U1,U2 while shard B applies U2,U1 — silent, permanent divergence.
+func TestClusterConcurrentUpdateConvergence(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	c := client.New(tc.coordURL)
+	model := oracleOf(rmat.MustGenerate(clusterParams))
+	base := int64(len(model.labels))
+
+	const writers = 8
+	ids := make([]int64, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for k := 0; k < writers; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Update(context.Background(), server.UpdateRequest{
+				Op: server.OpAddNode, Label: fmt.Sprintf("c%d", k),
+			})
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			ids[k] = resp.NodeID
+		}()
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent writer %d: %v", k, err)
+		}
+	}
+	// The acks must hand out exactly the next `writers` ids, each once:
+	// duplicates or gaps mean some shard's ack disagreed with the cluster.
+	seen := map[int64]bool{}
+	for k, id := range ids {
+		if id < base || id >= base+writers || seen[id] {
+			t.Fatalf("writer %d acked id %d, want unique ids covering [%d,%d)", k, id, base, base+writers)
+		}
+		seen[id] = true
+	}
+
+	// Chain the new nodes by their acked ids. If any shard had applied the
+	// adds in a different order, its label→id assignment differs, so the
+	// edge (added by id) connects the wrong labels there and the pattern
+	// below returns a different — or empty — match set on that shard.
+	for k := 0; k+1 < writers; k++ {
+		if _, err := c.Update(context.Background(), server.UpdateRequest{
+			Op: server.OpAddEdge, U: ids[k], V: ids[k+1],
+		}); err != nil {
+			t.Fatalf("edge %d-%d: %v", k, k+1, err)
+		}
+	}
+	for k := 0; k+1 < writers; k++ {
+		pattern := fmt.Sprintf("(a:c%d)-(b:c%d)", k, k+1)
+		want := map[string]bool{assignmentKey64([]int64{ids[k], ids[k+1]}): true}
+		requireSetEqual(t, "coordinator: "+pattern, serverSet(t, c, pattern), want)
+		for i, u := range tc.shardURLs {
+			requireSetEqual(t, fmt.Sprintf("shard %d: %s", i, pattern),
+				serverSet(t, client.New(u), pattern), want)
+		}
+	}
+}
+
+// TestClusterLegClientErrorRelay pins that a deterministic client-level
+// refusal from the legs (here: 404 unknown namespace) is relayed to the
+// caller with its real status and code — not rewrapped as a 502
+// shard_unavailable infrastructure failure — and is not booked against the
+// per-leg error counters.
+func TestClusterLegClientErrorRelay(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	_, err := client.New(tc.coordURL).Namespace("ghost").Query(context.Background(),
+		server.QueryRequest{Pattern: "(a:L0)-(b:L1)"}, func([]int64) bool { return true })
+	se, ok := err.(*client.StatusError)
+	if !ok || se.StatusCode != http.StatusNotFound || se.Code != server.CodeNotFound {
+		t.Fatalf("coordinator query on unknown namespace: %v, want 404 %s", err, server.CodeNotFound)
+	}
+	if client.IsShardUnavailable(err) {
+		t.Fatal("unknown namespace misclassified as shard_unavailable")
+	}
+	st, err := client.New(tc.coordURL).Stats(context.Background())
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	for i, sh := range st.Cluster.Shards {
+		if sh.Errors != 0 {
+			t.Fatalf("shard %d booked %d leg errors for a 404 refusal", i, sh.Errors)
+		}
+	}
+}
+
+// TestClusterShardSelectorPinnedN pins that a selector's N overrides the
+// shard's local vertex count when drawing range boundaries — the mechanism
+// that keeps every fan-out leg partitioning the same id space while an
+// add_node broadcast is mid-flight. With N twice the graph size, shard 0 of
+// 2 owns every real vertex and shard 1 owns none.
+func TestClusterShardSelectorPinnedN(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	g := rmat.MustGenerate(clusterParams)
+	const pattern = "(a:L0)-(b:L1)"
+	full := serverSet(t, client.New(tc.shardURLs[0]), pattern) // selector-free: the whole answer
+
+	pinned := map[string]bool{}
+	if _, err := client.New(tc.shardURLs[0]).Query(context.Background(), server.QueryRequest{
+		Pattern: pattern,
+		Shard:   &server.ShardSelector{Index: 0, Count: 2, N: 2 * g.NumNodes()},
+	}, func(a []int64) bool { pinned[assignmentKey64(a)] = true; return true }); err != nil {
+		t.Fatalf("shard 0 with pinned N: %v", err)
+	}
+	requireSetEqual(t, "shard 0 owns all vertices under pinned N", pinned, full)
+
+	rest := 0
+	if _, err := client.New(tc.shardURLs[1]).Query(context.Background(), server.QueryRequest{
+		Pattern: pattern,
+		Shard:   &server.ShardSelector{Index: 1, Count: 2, N: 2 * g.NumNodes()},
+	}, func([]int64) bool { rest++; return true }); err != nil {
+		t.Fatalf("shard 1 with pinned N: %v", err)
+	}
+	if rest != 0 {
+		t.Fatalf("shard 1 emitted %d matches under a pinned N that assigns it none", rest)
+	}
+}
+
 // TestClusterStatsAndMetrics pins the observability surface: the /stats
 // cluster block on both roles, per-leg counters after traffic, and the
 // coordinator's /metrics page against the full exposition lint (type

@@ -86,6 +86,19 @@ type coordinator struct {
 	// update ownership routing; refreshed lazily from a shard's stats and
 	// bumped by add_node acknowledgements.
 	nsNodes sync.Map
+	// nsWrite serializes mutating broadcasts per namespace (namespace →
+	// *sync.Mutex). Two overlapping update broadcasts could otherwise reach
+	// shard A as U1,U2 and shard B as U2,U1 — and because add_node ids are
+	// assigned shard-locally, divergent orders mean permanently divergent
+	// replicas. Single-writer-per-namespace makes every shard apply the
+	// same sequence.
+	nsWrite sync.Map
+}
+
+// writeLock returns the namespace's broadcast-serialization mutex.
+func (c *coordinator) writeLock(ns string) *sync.Mutex {
+	v, _ := c.nsWrite.LoadOrStore(ns, &sync.Mutex{})
+	return v.(*sync.Mutex)
 }
 
 func newCoordinator(s *Server) *coordinator {
@@ -161,6 +174,13 @@ type legQueryResult struct {
 	elapsed time.Duration
 	stats   *StreamStats // the leg's own trailer, nil if it never arrived
 	err     error
+	// refuseStatus/refuseCode are set when the leg answered a deterministic
+	// client-level 4xx (unknown namespace, read-only, overloaded, ...). The
+	// shards answer those consistently, so the refusal is relayed to the
+	// client as-is — status, code and message — rather than dressed up as a
+	// shard_unavailable infrastructure failure.
+	refuseStatus int
+	refuseCode   string
 }
 
 func (c *coordinator) handleQuery(w http.ResponseWriter, r *http.Request) bool {
@@ -191,6 +211,15 @@ func (c *coordinator) handleQuery(w http.ResponseWriter, r *http.Request) bool {
 	defer cancel()
 	trace := w.Header().Get(TraceHeader)
 
+	// Snapshot the namespace's vertex count once and pin it into every
+	// leg's selector: while an add_node broadcast is in flight the shards'
+	// local counts differ, and legs partitioning over different N put a
+	// boundary root vertex on two shards (duplicates) or on none (drops).
+	// One shared N keeps the legs' slices disjoint and complete. A zero
+	// snapshot (empty namespace, or the stats fetch failed) falls back to
+	// each shard's local count — the pre-existing best-effort behavior.
+	partN := c.nodeCount(ctx, r, name)
+
 	// Fan out one leg per shard. Legs push match records and their terminal
 	// result into one channel; the merge loop below is the only writer to
 	// the client, enforcing the global caps.
@@ -201,12 +230,15 @@ func (c *coordinator) handleQuery(w http.ResponseWriter, r *http.Request) bool {
 	for i := range c.legs {
 		leg := c.legs[i]
 		legReq := req
-		legReq.Shard = &ShardSelector{Index: leg.id, Count: len(c.legs)}
+		legReq.Shard = &ShardSelector{Index: leg.id, Count: len(c.legs), N: partN}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			res := c.queryLeg(legCtx, leg, name, legReq, trace, msgs)
-			leg.record(res.bytes, res.elapsed, res.err != nil && !errors.Is(res.err, context.Canceled))
+			// 4xx refusals and context cancellation are not shard failures;
+			// only transport errors and 5xx count against the leg.
+			leg.record(res.bytes, res.elapsed,
+				res.err != nil && res.refuseStatus == 0 && !errors.Is(res.err, context.Canceled))
 			msgs <- legMsg{done: res}
 		}()
 	}
@@ -247,13 +279,13 @@ func (c *coordinator) handleQuery(w http.ResponseWriter, r *http.Request) bool {
 		return ok
 	}
 	results := make([]*legQueryResult, len(c.legs))
-	var failed *legError
+	var failed *legQueryResult
 	capped := false
 	for msg := range msgs {
 		if msg.done != nil {
 			results[msg.done.shard] = msg.done
 			if msg.done.err != nil && failed == nil && !capped {
-				failed = &legError{shard: msg.done.shard, url: msg.done.url, err: msg.done.err}
+				failed = msg.done
 				legCancel() // degrade: a partial merge would be a wrong answer
 			}
 			continue
@@ -280,8 +312,15 @@ func (c *coordinator) handleQuery(w http.ResponseWriter, r *http.Request) bool {
 	}
 
 	if failed != nil {
-		msg, code, status := failed.Error(), CodeShardUnavailable, http.StatusBadGateway
+		le := &legError{shard: failed.shard, url: failed.url, err: failed.err}
+		msg, code, status := le.Error(), CodeShardUnavailable, http.StatusBadGateway
 		switch {
+		case failed.refuseStatus != 0:
+			// Deterministic client error from a leg (404 unknown namespace,
+			// 403 read_only, 429 overloaded): every replica answers it the
+			// same way, so relay it untranslated — IsNotFound and friends
+			// keep working, and it is not booked as a shard failure.
+			msg, code, status = failed.err.Error(), failed.refuseCode, failed.refuseStatus
 		case errors.Is(failed.err, context.DeadlineExceeded):
 			msg, code, status = "deadline exceeded", CodeDeadline, http.StatusGatewayTimeout
 		case errors.Is(failed.err, context.Canceled):
@@ -373,6 +412,22 @@ func (c *coordinator) queryLeg(ctx context.Context, leg *shardLeg, ns string, re
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// A client-level refusal, not a dead shard: relay it.
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			res.refuseStatus = resp.StatusCode
+			res.refuseCode = CodeBadRequest
+			msg := strings.TrimSpace(string(raw))
+			var env ErrorResponse
+			if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+				msg = env.Error
+				if env.Code != "" {
+					res.refuseCode = env.Code
+				}
+			}
+			res.err = errors.New(msg)
+			return res
+		}
 		return fail(fmt.Errorf("leg status %d: %s", resp.StatusCode, readEnvelopeError(resp)))
 	}
 
@@ -424,6 +479,12 @@ type legHTTPResult struct {
 // callLeg performs one HTTP call against a shard, forwarding the trace and
 // any Authorization header, and books the leg's counters.
 func (c *coordinator) callLeg(ctx context.Context, leg *shardLeg, r *http.Request, method, target string, body []byte) legHTTPResult {
+	// Bound the call by the server's default request deadline on top of
+	// whatever the caller's context carries: a shard that accepts the TCP
+	// connection but never answers degrades to a shard_unavailable envelope
+	// instead of hanging the request (and its goroutine) forever.
+	ctx, cancel := context.WithTimeout(ctx, c.s.cfg.DefaultTimeout)
+	defer cancel()
 	start := time.Now()
 	out := legHTTPResult{leg: leg}
 	hreq, err := http.NewRequestWithContext(ctx, method, target, bytes.NewReader(body))
@@ -502,8 +563,13 @@ func writeLegError(w http.ResponseWriter, le *legError) bool {
 // count — every shard applies every update regardless; the count only
 // chooses whose acknowledgement the client sees.
 func (c *coordinator) nodeCount(ctx context.Context, r *http.Request, ns string) int64 {
+	// A cached zero is treated as a miss and re-fetched: zero means the
+	// namespace looked empty or the stats fetch failed, and pinning it
+	// would route every ownership decision to shard 0 forever.
 	if v, ok := c.nsNodes.Load(ns); ok {
-		return v.(*atomic.Int64).Load()
+		if n := v.(*atomic.Int64).Load(); n > 0 {
+			return n
+		}
 	}
 	leg := c.legs[0]
 	res := c.callLeg(ctx, leg, r, http.MethodGet, leg.legPath(ns, "/stats"), nil)
@@ -519,8 +585,12 @@ func (c *coordinator) nodeCount(ctx context.Context, r *http.Request, ns string)
 }
 
 // bumpNodeCount raises the cached vertex count (never lowers it; remove_edge
-// and add_edge do not shrink the id space).
+// and add_edge do not shrink the id space). Non-positive counts are never
+// cached — nodeCount treats a stored zero as a miss.
 func (c *coordinator) bumpNodeCount(ns string, n int64) {
+	if n <= 0 {
+		return
+	}
 	v, _ := c.nsNodes.LoadOrStore(ns, &atomic.Int64{})
 	ctr := v.(*atomic.Int64)
 	for {
@@ -567,6 +637,12 @@ func (c *coordinator) handleUpdate(w http.ResponseWriter, r *http.Request) bool 
 		writeError(w, http.StatusBadRequest, err.Error())
 		return true
 	}
+	// Single writer per namespace: overlapping broadcasts would reach the
+	// shards in different orders, and shard-locally assigned add_node ids
+	// would diverge across replicas — silently and permanently.
+	lock := c.writeLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	body, _ := json.Marshal(req)
 	results := c.broadcast(r.Context(), r, http.MethodPost, "/update", true, name, body)
 	if le := firstFailure(results); le != nil {
@@ -617,6 +693,11 @@ func (c *coordinator) handleBulkUpdate(w http.ResponseWriter, r *http.Request) b
 			return true
 		}
 	}
+	// Same single-writer rule as handleUpdate: every shard must apply the
+	// batches in one order.
+	lock := c.writeLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	body, _ := json.Marshal(req)
 	results := c.broadcast(r.Context(), r, http.MethodPost, "/update/bulk", true, name, body)
 	if le := firstFailure(results); le != nil {
@@ -713,6 +794,13 @@ func (c *coordinator) handleDropNamespace(w http.ResponseWriter, r *http.Request
 		return true
 	}
 	name := nsName(r)
+	// A drop is a mutating broadcast too: serialize it with the namespace's
+	// updates so it cannot interleave mid-stream on some shards, and so the
+	// node-count cache eviction below cannot race a concurrent add_node's
+	// bump.
+	lock := c.writeLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	results := c.broadcast(r.Context(), r, http.MethodDelete, "", true, name, nil)
 	if le := firstFailure(results); le != nil {
 		return writeLegError(w, le)

@@ -535,9 +535,17 @@ func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWrite
 		// whose root vertex (assignment[0]) it owns under the range
 		// partition of the id space — so the coordinator's merged union
 		// over all shards is exactly the single-machine answer, with no
-		// duplicates. The filter runs before the stream limiter: dropped
-		// matches must not count against the request's match cap.
-		part := memcloud.RangePartitioner{K: req.Shard.Count, N: ns.eng.Snapshot().Nodes}
+		// duplicates. The partition divides the selector's pinned N when
+		// set (the coordinator's one snapshot for the whole fan-out, so
+		// every leg draws the same range boundaries even mid-broadcast),
+		// falling back to the local count for selector-bearing requests
+		// sent directly. The filter runs before the stream limiter:
+		// dropped matches must not count against the request's match cap.
+		partN := req.Shard.N
+		if partN <= 0 {
+			partN = ns.eng.Snapshot().Nodes
+		}
+		part := memcloud.RangePartitioner{K: req.Shard.Count, N: partN}
 		want := req.Shard.Index
 		emit = func(ms []core.Match) (int, bool) {
 			kept := make([]core.Match, 0, len(ms))
@@ -613,6 +621,9 @@ func (s *Server) handleQuery(ns *namespace, rl *requestLog, w http.ResponseWrite
 func (s *Server) validateShard(sel *ShardSelector) (code string, err error) {
 	if sel.Count < 1 || sel.Index < 0 || sel.Index >= sel.Count {
 		return CodeBadRequest, fmt.Errorf("invalid shard selector: index %d of %d", sel.Index, sel.Count)
+	}
+	if sel.N < 0 {
+		return CodeBadRequest, fmt.Errorf("invalid shard selector: negative vertex count %d", sel.N)
 	}
 	if s.cfg.ShardMap != "" && s.cfg.ShardID >= 0 {
 		if n := len(parseShardMap(s.cfg.ShardMap)); sel.Count != n || sel.Index != s.cfg.ShardID {

@@ -35,6 +35,13 @@ type QueryRequest struct {
 type ShardSelector struct {
 	Index int `json:"index"`
 	Count int `json:"count"`
+	// N, when positive, pins the vertex count the range partition divides.
+	// The coordinator snapshots it once per query so every fan-out leg
+	// partitions the same id space even while an add_node broadcast is in
+	// flight — shards whose local counts momentarily differ would otherwise
+	// disagree about who owns a root vertex near a range boundary. Unset
+	// (0), the shard falls back to its local count.
+	N int64 `json:"n,omitempty"`
 }
 
 // Record is one NDJSON line of a streamed /query response. A stream is any
